@@ -1,0 +1,385 @@
+// Repository-level benchmarks: one testing.B entry per table and figure of
+// the paper's evaluation. Each benchmark runs the same workload/runtime
+// cell the corresponding experiment measures, at test scale so the full
+// suite stays tractable; cmd/benchall runs the full-table versions with
+// larger inputs and parameter sweeps.
+//
+//	go test -bench=. -benchmem
+//	go test -bench=BenchmarkFig8 -benchtime=3x
+package repro_test
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/bench"
+	"repro/internal/bots"
+	"repro/internal/core"
+	"repro/internal/numa"
+	"repro/internal/posp"
+	"repro/internal/prof"
+	"repro/internal/simnuma"
+	"repro/xomp"
+)
+
+const benchWorkers = 4
+
+func benchTeam(b *testing.B, preset string) *xomp.Team {
+	b.Helper()
+	cfg := xomp.Preset(preset, benchWorkers)
+	cfg.Topology = numa.Synthetic(benchWorkers, 2)
+	return xomp.MustTeam(cfg)
+}
+
+// runApp times one BOTS app on one preset inside a b.N loop.
+func runApp(b *testing.B, app, preset string) {
+	b.Helper()
+	w := bots.MustNew(app, bots.ScaleTest)
+	tm := benchTeam(b, preset)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		w.RunParallel(tm)
+	}
+	b.StopTimer()
+	if err := w.Verify(); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkFig1 reproduces Fig. 1: BOTS on GOMP vs LOMP vs XLOMP.
+func BenchmarkFig1(b *testing.B) {
+	for _, app := range bots.Names {
+		for _, preset := range []string{"gomp", "lomp", "xlomp"} {
+			b.Run(app+"/"+preset, func(b *testing.B) { runApp(b, app, preset) })
+		}
+	}
+}
+
+// BenchmarkFig3 reproduces Fig. 3's measurement: Fib and Sort under XGOMP
+// with the event timeline enabled, reporting the imbalance ratio.
+func BenchmarkFig3(b *testing.B) {
+	for _, app := range []string{"fib", "sort"} {
+		b.Run(app, func(b *testing.B) {
+			cfg := xomp.Preset("xgomp", benchWorkers)
+			cfg.Topology = numa.Synthetic(benchWorkers, 2)
+			cfg.Profile = true
+			tm := xomp.MustTeam(cfg)
+			w := bots.MustNew(app, bots.ScaleTest)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				w.RunParallel(tm)
+			}
+			b.StopTimer()
+			b.ReportMetric(tm.Profile().Snapshot().ImbalanceRatio(), "max/mean-tasks")
+		})
+	}
+}
+
+// BenchmarkFig4 reproduces Fig. 4: BOTS across all five runtimes.
+func BenchmarkFig4(b *testing.B) {
+	for _, app := range bots.Names {
+		for _, preset := range []string{"gomp", "xgomp", "xgomptb", "lomp", "xlomp"} {
+			b.Run(app+"/"+preset, func(b *testing.B) { runApp(b, app, preset) })
+		}
+	}
+}
+
+// BenchmarkFig5 reproduces Fig. 5: improvement of XGOMP/XGOMPTB over GOMP,
+// reported as the improvement metric of a paired measurement.
+func BenchmarkFig5(b *testing.B) {
+	for _, app := range []string{"fib", "nqueens", "sort"} {
+		for _, preset := range []string{"xgomp", "xgomptb"} {
+			b.Run(app+"/"+preset, func(b *testing.B) {
+				w := bots.MustNew(app, bots.ScaleTest)
+				gomp := benchTeam(b, "gomp")
+				fast := benchTeam(b, preset)
+				var tg, tf time.Duration
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					s := time.Now()
+					w.RunParallel(gomp)
+					tg += time.Since(s)
+					s = time.Now()
+					w.RunParallel(fast)
+					tf += time.Since(s)
+				}
+				b.StopTimer()
+				if tf > 0 {
+					b.ReportMetric(tg.Seconds()/tf.Seconds(), "improvement-x")
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkFig6 reproduces Fig. 6: scaling with team size.
+func BenchmarkFig6(b *testing.B) {
+	for _, app := range []string{"fib", "sort", "uts"} {
+		for _, n := range []int{1, 2, 4, 8} {
+			b.Run(fmt.Sprintf("%s/%dT", app, n), func(b *testing.B) {
+				cfg := xomp.Preset("xgomptb", n)
+				cfg.Topology = numa.Synthetic(n, min(n, 2))
+				tm := xomp.MustTeam(cfg)
+				w := bots.MustNew(app, bots.ScaleTest)
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					w.RunParallel(tm)
+				}
+			})
+		}
+	}
+}
+
+// dlbTeam builds an xgomptb team with explicit DLB settings.
+func dlbTeam(strategy xomp.DLBStrategy, nv, ns, ti int, pl float64) *xomp.Team {
+	cfg := xomp.Preset("xgomptb", benchWorkers)
+	cfg.Topology = numa.Synthetic(benchWorkers, 2)
+	cfg.DLB = xomp.DLBConfig{Strategy: strategy, NVictim: nv, NSteal: ns, TInterval: ti, PLocal: pl}
+	return xomp.MustTeam(cfg)
+}
+
+// BenchmarkFig7 reproduces Fig. 7: static vs NA-RP vs NA-WS per app (at
+// representative settings; cmd/benchall sweeps for the true optimum).
+func BenchmarkFig7(b *testing.B) {
+	variants := map[string]func() *xomp.Team{
+		"static": func() *xomp.Team { return benchTeam(b, "xgomptb") },
+		"narp":   func() *xomp.Team { return dlbTeam(xomp.DLBRedirectPush, 8, 16, 100, 1) },
+		"naws":   func() *xomp.Team { return dlbTeam(xomp.DLBWorkSteal, 8, 16, 100, 1) },
+	}
+	for _, app := range bots.Names {
+		for name, mk := range variants {
+			b.Run(app+"/"+name, func(b *testing.B) {
+				tm := mk()
+				w := bots.MustNew(app, bots.ScaleTest)
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					w.RunParallel(tm)
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkFig8 reproduces Fig. 8: PoSp throughput vs batch size on GOMP
+// and XGOMPTB, reporting MH/s.
+func BenchmarkFig8(b *testing.B) {
+	var seed [32]byte
+	copy(seed[:], "bench fig8 seed.................")
+	for _, preset := range []string{"gomp", "xgomptb"} {
+		for _, batch := range []int{1, 64, 1024} {
+			b.Run(fmt.Sprintf("%s/batch%d", preset, batch), func(b *testing.B) {
+				tm := benchTeam(b, preset)
+				var mhs float64
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					p, err := posp.Generate(tm, 12, batch, seed)
+					if err != nil {
+						b.Fatal(err)
+					}
+					mhs = p.ThroughputMHS()
+				}
+				b.ReportMetric(mhs, "MH/s")
+			})
+		}
+	}
+}
+
+// synthCell runs one Fig. 9/10 surface cell: imbalanced spin tasks of the
+// given size against a DLB config derived from the steal size.
+func synthCell(b *testing.B, strategy xomp.DLBStrategy, taskUnits int, steal int) {
+	b.Helper()
+	top := numa.Synthetic(benchWorkers, 2)
+	model := simnuma.NewModel(top, simnuma.Config{LocalNS: 1, RemoteNS: 4})
+	cfg := xomp.Preset("xgomptb", benchWorkers)
+	cfg.Topology = top
+	if strategy != xomp.DLBNone {
+		cfg.DLB = xomp.DLBConfig{Strategy: strategy, NVictim: 4, NSteal: steal, TInterval: 100, PLocal: 1}
+	}
+	tm := xomp.MustTeam(cfg)
+	tasks := 1 << 22 / taskUnits
+	if tasks > 5000 {
+		tasks = 5000
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tm.Run(func(w *xomp.Worker) {
+			for t := 0; t < tasks; t++ {
+				size := taskUnits
+				if t%16 == 0 {
+					size *= 16
+				}
+				w.Spawn(func(w *xomp.Worker) {
+					model.Access(w.ID(), 0, size/64+1)
+					simnuma.Spin(size)
+				})
+			}
+		})
+	}
+}
+
+// BenchmarkFig9 reproduces Fig. 9 cells: NA-RP over task size × steal size.
+func BenchmarkFig9(b *testing.B) {
+	for _, size := range []int{100, 10000} {
+		for _, steal := range []int{1, 32} {
+			b.Run(fmt.Sprintf("task%d/steal%d", size, steal), func(b *testing.B) {
+				synthCell(b, xomp.DLBRedirectPush, size, steal)
+			})
+		}
+	}
+}
+
+// BenchmarkFig10 reproduces Fig. 10 cells: NA-WS over the same surface.
+func BenchmarkFig10(b *testing.B) {
+	for _, size := range []int{100, 10000} {
+		for _, steal := range []int{1, 32} {
+			b.Run(fmt.Sprintf("task%d/steal%d", size, steal), func(b *testing.B) {
+				synthCell(b, xomp.DLBWorkSteal, size, steal)
+			})
+		}
+	}
+}
+
+// BenchmarkFig11 reproduces Fig. 11: BOTS under the Table-IV guideline
+// settings (coarse tasks → NA-RP with large steals; fine → NA-WS small).
+func BenchmarkFig11(b *testing.B) {
+	guideline := map[string]func() *xomp.Team{
+		"fib":       func() *xomp.Team { return dlbTeam(xomp.DLBWorkSteal, 1, 1, 100, 1) },
+		"nqueens":   func() *xomp.Team { return dlbTeam(xomp.DLBWorkSteal, 1, 4, 100, 1) },
+		"uts":       func() *xomp.Team { return dlbTeam(xomp.DLBWorkSteal, 4, 8, 100, 1) },
+		"strassen":  func() *xomp.Team { return dlbTeam(xomp.DLBRedirectPush, 8, 32, 100, 1) },
+		"sort":      func() *xomp.Team { return dlbTeam(xomp.DLBRedirectPush, 8, 32, 100, 1) },
+		"align":     func() *xomp.Team { return dlbTeam(xomp.DLBRedirectPush, 8, 8, 100, 1) },
+		"fft":       func() *xomp.Team { return dlbTeam(xomp.DLBWorkSteal, 8, 32, 100, 1) },
+		"floorplan": func() *xomp.Team { return dlbTeam(xomp.DLBWorkSteal, 8, 32, 100, 1) },
+		"health":    func() *xomp.Team { return dlbTeam(xomp.DLBWorkSteal, 4, 32, 100, 0.5) },
+	}
+	for _, app := range bots.Names {
+		b.Run(app, func(b *testing.B) {
+			tm := guideline[app]()
+			w := bots.MustNew(app, bots.ScaleTest)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				w.RunParallel(tm)
+			}
+		})
+	}
+}
+
+// BenchmarkTable1 exercises the Table-I sweep corners for one fine- and
+// one coarse-grained app so the sweep path itself is benchmarked.
+func BenchmarkTable1(b *testing.B) {
+	type corner struct {
+		nv, ns int
+		pl     float64
+	}
+	corners := []corner{{1, 1, 1}, {1, 32, 0.03}, {8, 1, 1}, {8, 32, 0.03}}
+	for _, app := range []string{"fib", "sort"} {
+		for _, c := range corners {
+			b.Run(fmt.Sprintf("%s/nv%d-ns%d-pl%v", app, c.nv, c.ns, c.pl), func(b *testing.B) {
+				tm := dlbTeam(xomp.DLBWorkSteal, c.nv, c.ns, 100, c.pl)
+				w := bots.MustNew(app, bots.ScaleTest)
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					w.RunParallel(tm)
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkTable2 reproduces Table II's measurement: BOTS under each DLB
+// strategy with the paper's statistics reported as metrics.
+func BenchmarkTable2(b *testing.B) {
+	for _, app := range []string{"fib", "uts", "sort"} {
+		for name, strat := range map[string]xomp.DLBStrategy{
+			"narp": xomp.DLBRedirectPush, "naws": xomp.DLBWorkSteal,
+		} {
+			b.Run(app+"/"+name, func(b *testing.B) {
+				tm := dlbTeam(strat, 8, 16, 100, 1)
+				w := bots.MustNew(app, bots.ScaleTest)
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					w.RunParallel(tm)
+				}
+				b.StopTimer()
+				p := tm.Profile()
+				per := float64(b.N)
+				b.ReportMetric(float64(p.Sum(prof.CntReqSent))/per, "req-sent/op")
+				b.ReportMetric(float64(p.Sum(prof.CntReqHandled))/per, "req-handled/op")
+				b.ReportMetric(float64(p.Sum(prof.CntTasksStolen))/per, "stolen/op")
+				b.ReportMetric(float64(p.Sum(prof.CntTasksSelf))/per, "self/op")
+			})
+		}
+	}
+}
+
+// BenchmarkTable3 reproduces Table III's measurement: static balancing
+// statistics.
+func BenchmarkTable3(b *testing.B) {
+	for _, app := range []string{"fib", "uts", "sort"} {
+		b.Run(app, func(b *testing.B) {
+			tm := benchTeam(b, "xgomptb")
+			w := bots.MustNew(app, bots.ScaleTest)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				w.RunParallel(tm)
+			}
+			b.StopTimer()
+			p := tm.Profile()
+			per := float64(b.N)
+			b.ReportMetric(float64(p.Sum(prof.CntStaticPush))/per, "static-push/op")
+			b.ReportMetric(float64(p.Sum(prof.CntImmExec))/per, "imm-exec/op")
+			b.ReportMetric(float64(p.Sum(prof.CntTasksRemote))/per, "remote/op")
+		})
+	}
+}
+
+// BenchmarkTable4 reproduces Table IV's guideline cells: the recommended
+// strategy per task-size class on the synthetic workload.
+func BenchmarkTable4(b *testing.B) {
+	cells := []struct {
+		name  string
+		strat xomp.DLBStrategy
+		size  int
+		steal int
+	}{
+		{"tiny-ws-small-steal", xomp.DLBWorkSteal, 10, 1},
+		{"small-ws", xomp.DLBWorkSteal, 100, 4},
+		{"mid-ws", xomp.DLBWorkSteal, 1000, 16},
+		{"large-rp-big-steal", xomp.DLBRedirectPush, 10000, 32},
+	}
+	for _, c := range cells {
+		b.Run(c.name, func(b *testing.B) {
+			synthCell(b, c.strat, c.size, c.steal)
+		})
+	}
+}
+
+// BenchmarkExperimentHarness times the cheap harness entries end to end so
+// regressions in the table generators themselves are visible.
+func BenchmarkExperimentHarness(b *testing.B) {
+	e, _ := bench.ByID("fig8")
+	o := bench.Options{Workers: benchWorkers, Zones: 2, Scale: bots.ScaleTest, Reps: 1}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := e.Run(o, discard{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+type discard struct{}
+
+func (discard) Write(p []byte) (int, error) { return len(p), nil }
+
+// Verify the core.Team type used here is the same type the public facade
+// exposes (compile-time API stability check).
+var _ *core.Team = (*xomp.Team)(nil)
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

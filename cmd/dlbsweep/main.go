@@ -1,0 +1,162 @@
+// Command dlbsweep runs a full DLB parameter sweep for one BOTS benchmark,
+// printing a row per configuration — the raw data behind Table I.
+//
+// Usage:
+//
+//	dlbsweep -app sort -strategy naws -workers 8 -scale test
+//	dlbsweep -app fp -strategy narp -nvictim 1,8,24 -nsteal 1,16,32 -tinterval 10,100 -plocal 0.03,1
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/bots"
+	"repro/internal/core"
+	"repro/internal/numa"
+)
+
+func main() {
+	var (
+		app       = flag.String("app", "fib", "benchmark: "+strings.Join(bots.Names, "|"))
+		strategy  = flag.String("strategy", "naws", "narp|naws")
+		workers   = flag.Int("workers", 4, "team size")
+		zones     = flag.Int("zones", 2, "synthetic NUMA zones")
+		scale     = flag.String("scale", "test", "input scale")
+		reps      = flag.Int("reps", 1, "repetitions per configuration (min taken)")
+		nvictim   = flag.String("nvictim", "1,8", "comma-separated Nvictim values")
+		nsteal    = flag.String("nsteal", "1,16,32", "comma-separated Nsteal values")
+		tinterval = flag.String("tinterval", "100", "comma-separated Tinterval values")
+		plocal    = flag.String("plocal", "0.03,1", "comma-separated Plocal values")
+	)
+	flag.Parse()
+
+	sc, err := parseScale(*scale)
+	if err != nil {
+		fatal(err)
+	}
+	strat := core.DLBWorkSteal
+	switch *strategy {
+	case "naws":
+	case "narp":
+		strat = core.DLBRedirectPush
+	default:
+		fatal(fmt.Errorf("unknown strategy %q", *strategy))
+	}
+	b, err := bots.New(*app, sc)
+	if err != nil {
+		fatal(err)
+	}
+	nvs, err := parseInts(*nvictim)
+	if err != nil {
+		fatal(err)
+	}
+	nss, err := parseInts(*nsteal)
+	if err != nil {
+		fatal(err)
+	}
+	tis, err := parseInts(*tinterval)
+	if err != nil {
+		fatal(err)
+	}
+	pls, err := parseFloats(*plocal)
+	if err != nil {
+		fatal(err)
+	}
+
+	top := numa.Synthetic(*workers, *zones)
+	baselineCfg := core.Preset("xgomptb", *workers)
+	baselineCfg.Topology = top
+	base := timeRuns(core.MustTeam(baselineCfg), b, *reps)
+	fmt.Printf("%s on %d workers (%d zones), scale=%v, static baseline %v\n",
+		b.Name(), *workers, *zones, sc, base.Round(time.Microsecond))
+	fmt.Printf("%-8s %-7s %-9s %-7s %-12s %s\n", "Nvictim", "Nsteal", "Tinterval", "Plocal", "time", "improvement")
+
+	bestImp, bestLine := 0.0, ""
+	for _, nv := range nvs {
+		for _, ns := range nss {
+			for _, ti := range tis {
+				for _, pl := range pls {
+					cfg := core.Preset("xgomptb", *workers)
+					cfg.Topology = top
+					cfg.DLB = core.DLBConfig{Strategy: strat, NVictim: nv, NSteal: ns, TInterval: ti, PLocal: pl}
+					tm, err := core.NewTeam(cfg)
+					if err != nil {
+						fatal(err)
+					}
+					d := timeRuns(tm, b, *reps)
+					imp := base.Seconds() / d.Seconds()
+					line := fmt.Sprintf("%-8d %-7d %-9d %-7.2f %-12v %.2fx",
+						nv, ns, ti, pl, d.Round(time.Microsecond), imp)
+					fmt.Println(line)
+					if imp > bestImp {
+						bestImp, bestLine = imp, line
+					}
+				}
+			}
+		}
+	}
+	fmt.Printf("\nbest (%s): %s\n", *strategy, bestLine)
+	if err := b.Verify(); err != nil {
+		fatal(err)
+	}
+}
+
+func timeRuns(tm *core.Team, b bots.Benchmark, reps int) time.Duration {
+	best := time.Duration(1<<63 - 1)
+	for i := 0; i < reps; i++ {
+		start := time.Now()
+		b.RunParallel(tm)
+		if d := time.Since(start); d < best {
+			best = d
+		}
+	}
+	return best
+}
+
+func parseInts(s string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil {
+			return nil, fmt.Errorf("bad int %q", part)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+func parseFloats(s string) ([]float64, error) {
+	var out []float64
+	for _, part := range strings.Split(s, ",") {
+		v, err := strconv.ParseFloat(strings.TrimSpace(part), 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad float %q", part)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+func parseScale(s string) (bots.Scale, error) {
+	switch s {
+	case "test":
+		return bots.ScaleTest, nil
+	case "small":
+		return bots.ScaleSmall, nil
+	case "medium":
+		return bots.ScaleMedium, nil
+	case "large":
+		return bots.ScaleLarge, nil
+	}
+	return 0, fmt.Errorf("unknown scale %q", s)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "dlbsweep:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,75 @@
+// Command whatif performs trace-driven DLB what-if analysis: record a
+// profile of a real run, then replay its task-size distribution under
+// alternative load-balancing configurations to find the best settings
+// without re-running the application.
+//
+// Usage:
+//
+//	botsrun -app sort -runtime xgomptb -profile -profout sort.json
+//	whatif -in sort.json -workers 8 -zones 4 -reps 3
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/numa"
+	"repro/internal/prof"
+	"repro/internal/replay"
+)
+
+func main() {
+	var (
+		in      = flag.String("in", "", "profile dump (required; record with botsrun -profile)")
+		workers = flag.Int("workers", 4, "team size for replay")
+		zones   = flag.Int("zones", 2, "synthetic NUMA zones")
+		reps    = flag.Int("reps", 3, "replays per candidate")
+	)
+	flag.Parse()
+	if *in == "" {
+		fmt.Fprintln(os.Stderr, "whatif: -in is required")
+		os.Exit(2)
+	}
+	f, err := os.Open(*in)
+	if err != nil {
+		fatal(err)
+	}
+	snap, err := prof.Load(f)
+	f.Close()
+	if err != nil {
+		fatal(err)
+	}
+	tr, err := replay.FromSnapshot(snap)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("trace: %d tasks over %d threads, mean task ~%.0f units\n",
+		tr.TotalTasks, tr.Workers(), tr.MeanTaskUnits())
+
+	base := core.Preset("xgomptb", *workers)
+	base.Topology = numa.Synthetic(*workers, *zones)
+	results, err := replay.Evaluate(tr, base, replay.DefaultCandidates(tr, *zones), *reps)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("%-14s %-12s %-12s %s\n", "candidate", "mean", "best", "settings")
+	for _, r := range results {
+		d := r.Candidate.DLB
+		settings := "static round-robin"
+		if d.Strategy != core.DLBNone {
+			settings = fmt.Sprintf("%v nv=%d ns=%d ti=%d pl=%.2f",
+				d.Strategy, d.NVictim, d.NSteal, d.TInterval, d.PLocal)
+		}
+		fmt.Printf("%-14s %-12v %-12v %s\n",
+			r.Candidate.Name, r.Mean.Round(time.Microsecond), r.Best.Round(time.Microsecond), settings)
+	}
+	fmt.Printf("\nrecommendation: %s\n", results[0].Candidate.Name)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "whatif:", err)
+	os.Exit(1)
+}

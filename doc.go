@@ -1,0 +1,14 @@
+// Package repro is a from-scratch Go reproduction of "Optimizing
+// Fine-Grained Parallelism Through Dynamic Load Balancing on Multi-Socket
+// Many-Core Systems" (IPDPS 2025): the XQueue lock-less tasking substrate,
+// the hybrid distributed tree barrier, and the NUMA-aware dynamic load
+// balancing strategies NA-RP and NA-WS, together with the GOMP/LOMP
+// baselines, the nine BOTS benchmarks, a BLAKE3-based Proof-of-Space
+// application, and a harness that regenerates every table and figure of
+// the paper's evaluation.
+//
+// The public API lives in repro/xomp; see README.md for a tour and
+// DESIGN.md for the system inventory. The root package exists to host the
+// repository-level benchmark suite (bench_test.go), which has one
+// testing.B entry per reproduced table and figure.
+package repro

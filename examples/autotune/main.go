@@ -1,0 +1,64 @@
+// Autotune: the paper's stated future work, as a library feature — probe
+// a workload, classify its task granularity against the Table-IV
+// guidelines, and retune the team's dynamic load balancer to match. Also
+// demonstrates task dependencies (xomp.In / xomp.Out) and taskloops
+// (Worker.ForRange), the OpenMP constructs layered on the runtime.
+package main
+
+import (
+	"fmt"
+	"runtime"
+	"time"
+
+	"repro/xomp"
+)
+
+// stencil is the probed workload: a dependence-ordered two-phase sweep
+// over a grid, with a taskloop inside each phase.
+func stencil(grid, next []float64, rows, cols int) xomp.TaskFunc {
+	return func(w *xomp.Worker) {
+		for step := 0; step < 4; step++ {
+			w.SpawnDeps(func(w *xomp.Worker) {
+				w.ForRange(rows, 4, func(_ *xomp.Worker, lo, hi int) {
+					for r := lo; r < hi; r++ {
+						for c := 1; c < cols-1; c++ {
+							next[r*cols+c] = (grid[r*cols+c-1] + grid[r*cols+c] + grid[r*cols+c+1]) / 3
+						}
+					}
+				})
+			}, xomp.In(&grid), xomp.Out(&next))
+			w.SpawnDeps(func(*xomp.Worker) {
+				copy(grid, next)
+			}, xomp.In(&next), xomp.Out(&grid))
+		}
+		w.TaskWait()
+	}
+}
+
+func main() {
+	workers := runtime.NumCPU()
+	team := xomp.MustTeam(xomp.Preset("xgomptb", workers))
+
+	const rows, cols = 256, 512
+	grid := make([]float64, rows*cols)
+	next := make([]float64, rows*cols)
+	for i := range grid {
+		grid[i] = float64(i % 17)
+	}
+
+	cfg, m, err := team.AutoTune(stencil(grid, next, rows, cols))
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("probe: %d tasks, mean task %v, imbalance %.2f\n",
+		m.Tasks, m.MeanTask.Round(time.Microsecond), m.Imbalance)
+	fmt.Printf("tuned: strategy=%v Nvictim=%d Nsteal=%d Tinterval=%d Plocal=%.2f\n",
+		cfg.Strategy, cfg.NVictim, cfg.NSteal, cfg.TInterval, cfg.PLocal)
+
+	// Run the production iterations under the tuned balancer.
+	start := time.Now()
+	for iter := 0; iter < 10; iter++ {
+		team.Run(stencil(grid, next, rows, cols))
+	}
+	fmt.Printf("10 tuned iterations: %v\n", time.Since(start).Round(time.Millisecond))
+}

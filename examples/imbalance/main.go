@@ -1,0 +1,72 @@
+// Imbalance: reproduce the paper's Fig. 3 story on your own machine —
+// run a skewed workload with static balancing, render the per-thread
+// profiler timeline, then watch NUMA-aware work stealing flatten it.
+package main
+
+import (
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/numa"
+	"repro/internal/prof"
+	"repro/xomp"
+)
+
+// skewedWork spawns tasks whose sizes vary 100×: every 8th task is heavy.
+// Under static round-robin placement the workers that receive heavy tasks
+// develop backlogs that only they can drain — unless a DLB moves them.
+func skewedWork(w *xomp.Worker) {
+	for i := 0; i < 600; i++ {
+		n := 2_000
+		if i%8 == 0 {
+			n = 200_000
+		}
+		w.Spawn(func(*xomp.Worker) {
+			x := uint64(n)
+			for j := 0; j < n; j++ {
+				x ^= x << 13
+				x ^= x >> 7
+				x ^= x << 17
+			}
+			_ = x
+		})
+	}
+}
+
+func run(name string, cfg xomp.Config) time.Duration {
+	cfg.Profile = true
+	cfg.Topology = numa.Synthetic(cfg.Workers, 2)
+	team := xomp.MustTeam(cfg)
+	start := time.Now()
+	team.Run(skewedWork)
+	elapsed := time.Since(start)
+
+	snap := team.Profile().Snapshot()
+	fmt.Printf("\n=== %s: %v ===\n", name, elapsed.Round(time.Millisecond))
+	if err := snap.TimelineSummary(os.Stdout, 64); err != nil {
+		panic(err)
+	}
+	fmt.Printf("task-count imbalance (max/mean): %.2f\n", snap.ImbalanceRatio())
+	fmt.Printf("utilization balance (min/max):  %.2f (1.0 = perfectly even)\n", snap.UtilizationRatio())
+	_ = prof.EvStall // see the legend: '.' columns are stall time
+	return elapsed
+}
+
+func main() {
+	const workers = 4
+
+	static := run("XGOMPTB, static balancing", xomp.Preset("xgomptb", workers))
+
+	cfg := xomp.Preset("xgomptb+naws", workers)
+	cfg.DLB = xomp.DLBConfig{
+		Strategy:  xomp.DLBWorkSteal,
+		NVictim:   2,
+		NSteal:    8,
+		TInterval: 20,
+		PLocal:    1.0,
+	}
+	dlb := run("XGOMPTB + NA-WS stealing", cfg)
+
+	fmt.Printf("\nNA-WS improvement: %.2fx\n", static.Seconds()/dlb.Seconds())
+}

@@ -1,0 +1,34 @@
+// Quickstart: spawn recursive tasks on the paper's XGOMPTB runtime
+// (XQueue + distributed tree barrier) and wait for them with taskwait —
+// the OpenMP "parallel + single" idiom in ~30 lines.
+package main
+
+import (
+	"fmt"
+	"runtime"
+
+	"repro/internal/prof"
+	"repro/xomp"
+)
+
+func fib(w *xomp.Worker, n int) int {
+	if n < 2 {
+		return n
+	}
+	var a int
+	w.Spawn(func(w *xomp.Worker) { a = fib(w, n-1) }) // child task
+	b := fib(w, n-2)                                  // compute locally
+	w.TaskWait()                                      // join children
+	return a + b
+}
+
+func main() {
+	team := xomp.MustTeam(xomp.Preset("xgomptb", runtime.NumCPU()))
+
+	var result int
+	team.Run(func(w *xomp.Worker) { result = fib(w, 28) })
+
+	fmt.Println("fib(28) =", result) // 317811
+	fmt.Printf("executed %d tasks across %d workers\n",
+		team.Profile().Sum(prof.CntTasksExecuted), team.Workers())
+}

@@ -1,0 +1,196 @@
+package bench
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/bots"
+	"repro/internal/core"
+	"repro/internal/numa"
+)
+
+// tiny returns options that keep every experiment in unit-test budget.
+func tiny() Options {
+	return Options{Workers: 4, Zones: 2, Scale: bots.ScaleTest, Reps: 1, SweepReps: 1}
+}
+
+func TestRegistryComplete(t *testing.T) {
+	want := []string{"fig1", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8",
+		"fig9", "fig10", "fig11", "table1", "table2", "table3", "table4"}
+	if len(Experiments) != len(want) {
+		t.Fatalf("%d experiments, want %d", len(Experiments), len(want))
+	}
+	for _, id := range want {
+		if _, ok := ByID(id); !ok {
+			t.Errorf("experiment %s missing", id)
+		}
+	}
+	if _, ok := ByID("fig99"); ok {
+		t.Error("unknown id resolved")
+	}
+}
+
+func TestExtensionsRegistry(t *testing.T) {
+	want := []string{"ext-cutoff", "ext-autotune", "ext-mech"}
+	if len(Extensions) != len(want) {
+		t.Fatalf("%d extensions, want %d", len(Extensions), len(want))
+	}
+	for _, id := range want {
+		if _, ok := AnyByID(id); !ok {
+			t.Errorf("extension %s missing", id)
+		}
+	}
+	// AnyByID must also resolve paper experiments.
+	if _, ok := AnyByID("fig4"); !ok {
+		t.Error("AnyByID lost the paper experiments")
+	}
+}
+
+func TestExtCutoffRuns(t *testing.T) {
+	e, ok := AnyByID("ext-cutoff")
+	if !ok {
+		t.Fatal("missing")
+	}
+	var buf bytes.Buffer
+	if err := e.Run(tiny(), &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "cutoff") {
+		t.Fatalf("unexpected output:\n%s", buf.String())
+	}
+}
+
+func TestMeasureHelpers(t *testing.T) {
+	if ops := core.MeasureSubstrate(core.SchedXQueue, 2, 20*time.Millisecond); ops <= 0 {
+		t.Error("substrate measurement non-positive")
+	}
+	if ops := core.MeasureCounter(true, 2, 20*time.Millisecond); ops <= 0 {
+		t.Error("counter measurement non-positive")
+	}
+}
+
+func TestOptionsDefaults(t *testing.T) {
+	o := Options{}.withDefaults()
+	if o.Workers <= 0 || o.Zones <= 0 || o.Reps <= 0 || o.SweepReps <= 0 {
+		t.Fatalf("defaults not applied: %+v", o)
+	}
+	if o.Zones > o.Workers {
+		t.Fatalf("more zones than workers: %+v", o)
+	}
+}
+
+func TestTableWriterAlignment(t *testing.T) {
+	var buf bytes.Buffer
+	tab := newTable(&buf, "name", "value")
+	tab.row("x", "1")
+	tab.row("longer-name", "22")
+	if err := tab.flush(); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("got %d lines:\n%s", len(lines), buf.String())
+	}
+	if len(lines[0]) == 0 || !strings.Contains(lines[1], "---") {
+		t.Fatalf("missing separator:\n%s", buf.String())
+	}
+}
+
+func TestFmtHelpers(t *testing.T) {
+	if got := fmtDur(1500 * time.Millisecond); got != "1.50" {
+		t.Errorf("fmtDur(1.5s) = %q", got)
+	}
+	if got := fmtCount(12_345_678); got != "12.3M" {
+		t.Errorf("fmtCount = %q", got)
+	}
+	if got := fmtCount(999); got != "999" {
+		t.Errorf("fmtCount small = %q", got)
+	}
+	if got := fmtCount(2_000_000_000); got != "2.0B" {
+		t.Errorf("fmtCount big = %q", got)
+	}
+}
+
+func TestStealSizeMapping(t *testing.T) {
+	for _, steal := range surfaceStealSizes {
+		cfg := stealSizeToDLB(core.DLBWorkSteal, steal, 1)
+		if cfg.NVictim < 1 || cfg.NVictim > 8 || cfg.NSteal < 1 {
+			t.Fatalf("bad mapping for %v: %+v", steal, cfg)
+		}
+		eff := effectiveStealSize(cfg)
+		if eff < steal/4 || eff > steal*4 {
+			t.Errorf("steal %v mapped to effective %v (cfg %+v)", steal, eff, cfg)
+		}
+	}
+}
+
+func TestSynthWorkloadRuns(t *testing.T) {
+	top := numa.Synthetic(4, 2)
+	spec := defaultSynth(100, top)
+	if spec.tasks <= 0 {
+		t.Fatal("no tasks")
+	}
+	cfg := core.Preset("xgomptb", 4)
+	cfg.Topology = top
+	tm := core.MustTeam(cfg)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		spec.run(tm)
+	}()
+	select {
+	case <-done:
+	case <-time.After(60 * time.Second):
+		t.Fatal("synthetic workload hung")
+	}
+}
+
+// Smoke-run the cheap experiments end to end; sweep-based experiments are
+// covered by TestSweepExperiments below with an even smaller grid.
+func TestCheapExperiments(t *testing.T) {
+	for _, id := range []string{"fig3", "fig8"} {
+		t.Run(id, func(t *testing.T) {
+			e, _ := ByID(id)
+			var buf bytes.Buffer
+			if err := e.Run(tiny(), &buf); err != nil {
+				t.Fatal(err)
+			}
+			if buf.Len() == 0 {
+				t.Fatal("no output")
+			}
+		})
+	}
+}
+
+func TestBaselineExperiments(t *testing.T) {
+	if testing.Short() {
+		t.Skip("baseline matrix is slow")
+	}
+	// fig1/fig4/fig5 share the cached baseline study, so running all three
+	// costs one matrix.
+	for _, id := range []string{"fig1", "fig4", "fig5"} {
+		e, _ := ByID(id)
+		var buf bytes.Buffer
+		if err := e.Run(tiny(), &buf); err != nil {
+			t.Fatalf("%s: %v", id, err)
+		}
+		for _, app := range bots.Names {
+			if !strings.Contains(buf.String(), app) {
+				t.Errorf("%s output missing row for %s", id, app)
+			}
+		}
+	}
+}
+
+func TestMeanTaskDuration(t *testing.T) {
+	o := tiny()
+	per, tasks, err := o.meanTaskDuration("fib")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if per <= 0 || tasks == 0 {
+		t.Fatalf("per=%v tasks=%d", per, tasks)
+	}
+}

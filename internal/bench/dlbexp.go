@@ -1,0 +1,398 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"repro/internal/bots"
+	"repro/internal/core"
+	"repro/internal/numa"
+	"repro/internal/stats"
+)
+
+// ---- DLB sweep study (Fig. 7, Tables I–III) -------------------------------
+
+// sweepGrid is the parameter grid explored per strategy. It is a coarse
+// version of the paper's sweep, covering the corners that Table I shows
+// matter: few vs many victims, single vs batched steals, local vs remote
+// victim preference.
+func sweepGrid() []core.DLBConfig {
+	var out []core.DLBConfig
+	for _, nv := range []int{1, 8} {
+		for _, ns := range []int{1, 32} {
+			for _, pl := range []float64{0.03, 1.0} {
+				out = append(out, core.DLBConfig{
+					NVictim: nv, NSteal: ns, TInterval: 100, PLocal: pl,
+				})
+			}
+		}
+	}
+	return out
+}
+
+// dlbStudy holds the sweep outcome per application.
+type dlbStudy struct {
+	apps     []string
+	static   map[string]*stats.Sample
+	best     map[string]map[core.DLBStrategy]sweepResult
+	counters map[string]map[core.DLBStrategy]counterRow
+	slbStats map[string]counterRow
+}
+
+type sweepResult struct {
+	cfg    core.DLBConfig
+	dur    time.Duration
+	sample *stats.Sample // dispersion at the best setting (error bars)
+}
+
+func getDLBStudy(o Options) (*dlbStudy, error) {
+	cacheMu.Lock()
+	defer cacheMu.Unlock()
+	key := cacheKey("dlb", o)
+	if v, ok := cache[key]; ok {
+		return v.(*dlbStudy), nil
+	}
+	s := &dlbStudy{
+		apps:     bots.Names,
+		static:   map[string]*stats.Sample{},
+		best:     map[string]map[core.DLBStrategy]sweepResult{},
+		counters: map[string]map[core.DLBStrategy]counterRow{},
+		slbStats: map[string]counterRow{},
+	}
+	sweepOpts := o
+	sweepOpts.Reps = o.SweepReps
+	for _, app := range s.apps {
+		b := bots.MustNew(app, o.Scale)
+		// Static baseline with dispersion, and SLB counters from the runs.
+		tm := o.team("xgomptb")
+		sample, err := o.sampleOn(tm, b)
+		if err != nil {
+			return nil, err
+		}
+		s.static[app] = sample
+		s.slbStats[app] = collectCounters(tm, sample.MeanDuration())
+
+		s.best[app] = map[core.DLBStrategy]sweepResult{}
+		s.counters[app] = map[core.DLBStrategy]counterRow{}
+		for _, strat := range []core.DLBStrategy{core.DLBRedirectPush, core.DLBWorkSteal} {
+			best := sweepResult{dur: 1<<63 - 1}
+			for _, g := range sweepGrid() {
+				g.Strategy = strat
+				tm := o.teamWithDLB(g)
+				d, err := sweepOpts.timeOn(tm, b)
+				if err != nil {
+					return nil, err
+				}
+				if d < best.dur {
+					best = sweepResult{cfg: g, dur: d}
+				}
+			}
+			// Dedicated dispersion + counters run at the best setting.
+			tm := o.teamWithDLB(best.cfg)
+			bs, err := o.sampleOn(tm, b)
+			if err != nil {
+				return nil, err
+			}
+			best.sample = bs
+			s.best[app][strat] = best
+			s.counters[app][strat] = collectCounters(tm, bs.MeanDuration())
+		}
+	}
+	cache[key] = s
+	return s, nil
+}
+
+// ---- Fig. 7 ---------------------------------------------------------------
+
+func runFig7(o Options, w io.Writer) error {
+	o = o.withDefaults()
+	s, err := getDLBStudy(o)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "Fig. 7 — execution time (s, mean ±95%%CI): static vs best DLB, %d workers, %d zones, scale=%v\n",
+		o.Workers, o.Zones, o.Scale)
+	t := newTable(w, "benchmark", "STATIC", "BEST(NA-RP)", "BEST(NA-WS)")
+	withCI := func(sm *stats.Sample) string {
+		return fmt.Sprintf("%s ±%s", fmtDur(sm.MeanDuration()),
+			fmtDur(time.Duration(sm.CI95()*float64(time.Second))))
+	}
+	for _, app := range s.apps {
+		t.row(app,
+			withCI(s.static[app]),
+			withCI(s.best[app][core.DLBRedirectPush].sample),
+			withCI(s.best[app][core.DLBWorkSteal].sample))
+	}
+	return t.flush()
+}
+
+// ---- Table I ----------------------------------------------------------------
+
+func runTable1(o Options, w io.Writer) error {
+	o = o.withDefaults()
+	s, err := getDLBStudy(o)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "Table I — optimal DLB settings found by the sweep (grid of %d points/strategy)\n", len(sweepGrid()))
+	t := newTable(w, "benchmark", "strategy", "Nvictim", "Nsteal", "Tinterval", "Plocal", "time(s)")
+	for _, app := range s.apps {
+		for _, strat := range []core.DLBStrategy{core.DLBRedirectPush, core.DLBWorkSteal} {
+			r := s.best[app][strat]
+			t.row(app, strat.String(),
+				fmt.Sprintf("%d", r.cfg.NVictim),
+				fmt.Sprintf("%d", r.cfg.NSteal),
+				fmt.Sprintf("%d", r.cfg.TInterval),
+				fmt.Sprintf("%.2f", r.cfg.PLocal),
+				fmtDur(r.dur))
+		}
+	}
+	return t.flush()
+}
+
+// ---- Tables II and III -----------------------------------------------------
+
+func counterTable(w io.Writer, title string, apps []string, get func(app string) counterRow, dlb bool) error {
+	fmt.Fprintln(w, title)
+	header := []string{"benchmark", "time(s)", "self", "local", "remote", "static push", "imm exec"}
+	if dlb {
+		header = append(header, "req sent", "req handled", "req w/steal", "total steal", "local steal")
+	}
+	t := newTable(w, header...)
+	for _, app := range apps {
+		c := get(app)
+		cells := []string{app, fmtDur(c.time),
+			fmtCount(c.self), fmtCount(c.local), fmtCount(c.remote),
+			fmtCount(c.static), fmtCount(c.immExec)}
+		if dlb {
+			cells = append(cells,
+				fmtCount(c.reqSent), fmtCount(c.reqHand), fmtCount(c.reqSteal),
+				fmtCount(c.totSteal), fmtCount(c.locSteal))
+		}
+		t.row(cells...)
+	}
+	return t.flush()
+}
+
+func runTable2(o Options, w io.Writer) error {
+	o = o.withDefaults()
+	s, err := getDLBStudy(o)
+	if err != nil {
+		return err
+	}
+	for _, strat := range []core.DLBStrategy{core.DLBRedirectPush, core.DLBWorkSteal} {
+		title := fmt.Sprintf("Table II — BOTS runtime statistics with %s at best settings", strat)
+		if err := counterTable(w, title, s.apps, func(app string) counterRow {
+			return s.counters[app][strat]
+		}, true); err != nil {
+			return err
+		}
+		fmt.Fprintln(w)
+	}
+	return nil
+}
+
+func runTable3(o Options, w io.Writer) error {
+	o = o.withDefaults()
+	s, err := getDLBStudy(o)
+	if err != nil {
+		return err
+	}
+	return counterTable(w, "Table III — BOTS runtime statistics with static load balancing",
+		s.apps, func(app string) counterRow { return s.slbStats[app] }, false)
+}
+
+// ---- Fig. 9 / Fig. 10 surfaces ---------------------------------------------
+
+// surfaceTaskSizes are the x-axis points (spin units ≈ the paper's rdtscp
+// cycle buckets 10¹–10⁵).
+var surfaceTaskSizes = []int{10, 100, 1000, 10000, 100000}
+
+// surfaceStealSizes are the y-axis points, matching the paper's axes.
+var surfaceStealSizes = []float64{2, 10, 64, 404, 2560}
+
+type surfaceStudy struct {
+	// improvement[strategy][si][ti] = t_static / t_dlb.
+	improvement map[core.DLBStrategy][][]float64
+}
+
+func getSurfaceStudy(o Options) (*surfaceStudy, error) {
+	cacheMu.Lock()
+	defer cacheMu.Unlock()
+	key := cacheKey("surface", o)
+	if v, ok := cache[key]; ok {
+		return v.(*surfaceStudy), nil
+	}
+	top := numa.Synthetic(o.Workers, o.Zones)
+	s := &surfaceStudy{improvement: map[core.DLBStrategy][][]float64{}}
+	for _, strat := range []core.DLBStrategy{core.DLBRedirectPush, core.DLBWorkSteal} {
+		grid := make([][]float64, len(surfaceStealSizes))
+		for si, steal := range surfaceStealSizes {
+			grid[si] = make([]float64, len(surfaceTaskSizes))
+			for ti, size := range surfaceTaskSizes {
+				spec := defaultSynth(size, top)
+				staticTeam := o.team("xgomptb")
+				tStatic := bestOf(o.SweepReps, func() time.Duration {
+					start := time.Now()
+					spec.run(staticTeam)
+					return time.Since(start)
+				})
+				cfg := stealSizeToDLB(strat, steal, 1.0)
+				dlbTeam := o.teamWithDLB(cfg)
+				tDLB := bestOf(o.SweepReps, func() time.Duration {
+					start := time.Now()
+					spec.run(dlbTeam)
+					return time.Since(start)
+				})
+				grid[si][ti] = tStatic.Seconds() / tDLB.Seconds()
+			}
+		}
+		s.improvement[strat] = grid
+	}
+	cache[key] = s
+	return s, nil
+}
+
+func bestOf(n int, f func() time.Duration) time.Duration {
+	best := f()
+	for i := 1; i < n; i++ {
+		if d := f(); d < best {
+			best = d
+		}
+	}
+	return best
+}
+
+func runSurface(o Options, w io.Writer, strat core.DLBStrategy, figName string) error {
+	o = o.withDefaults()
+	s, err := getSurfaceStudy(o)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "%s — %s improvement (× over static; >1 means DLB wins), %d workers, %d zones\n",
+		figName, strat, o.Workers, o.Zones)
+	header := []string{"steal\\task"}
+	for _, size := range surfaceTaskSizes {
+		header = append(header, fmt.Sprintf("%d", size))
+	}
+	t := newTable(w, header...)
+	grid := s.improvement[strat]
+	for si, steal := range surfaceStealSizes {
+		cells := []string{fmt.Sprintf("%.0f", steal)}
+		for ti := range surfaceTaskSizes {
+			cells = append(cells, fmt.Sprintf("%.2f", grid[si][ti]))
+		}
+		t.row(cells...)
+	}
+	return t.flush()
+}
+
+func runFig9(o Options, w io.Writer) error {
+	return runSurface(o, w, core.DLBRedirectPush, "Fig. 9")
+}
+
+func runFig10(o Options, w io.Writer) error {
+	return runSurface(o, w, core.DLBWorkSteal, "Fig. 10")
+}
+
+// ---- Table IV and Fig. 11 ---------------------------------------------------
+
+// guideline is a derived recommendation per task-size class.
+type guideline struct {
+	class     string
+	maxSizeNS float64 // mean task duration upper bound for the class
+	cfg       core.DLBConfig
+	imprv     float64
+}
+
+// deriveGuidelines turns the surface study into Table IV: for each task
+// size, the best (strategy, steal size) cell.
+func deriveGuidelines(o Options) ([]guideline, error) {
+	s, err := getSurfaceStudy(o)
+	if err != nil {
+		return nil, err
+	}
+	nsPerUnit := 1000.0 / unitsPerMicroCached()
+	var out []guideline
+	for ti, size := range surfaceTaskSizes {
+		best := guideline{
+			class:     fmt.Sprintf("~%d units", size),
+			maxSizeNS: float64(size) * nsPerUnit * 10, // class upper bound
+			imprv:     -1,
+		}
+		for _, strat := range []core.DLBStrategy{core.DLBRedirectPush, core.DLBWorkSteal} {
+			for si, steal := range surfaceStealSizes {
+				if imp := s.improvement[strat][si][ti]; imp > best.imprv {
+					best.imprv = imp
+					best.cfg = stealSizeToDLB(strat, steal, 1.0)
+					best.cfg.Strategy = strat
+				}
+			}
+		}
+		out = append(out, best)
+	}
+	return out, nil
+}
+
+func runTable4(o Options, w io.Writer) error {
+	o = o.withDefaults()
+	gs, err := deriveGuidelines(o)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(w, "Table IV — guidelines derived from the Fig. 9/10 sweep")
+	t := newTable(w, "task size", "best DLB", "Nvictim", "Nsteal", "Ssteal", "improvement")
+	for _, g := range gs {
+		t.row(g.class, g.cfg.Strategy.String(),
+			fmt.Sprintf("%d", g.cfg.NVictim),
+			fmt.Sprintf("%d", g.cfg.NSteal),
+			fmt.Sprintf("%.0f", effectiveStealSize(g.cfg)),
+			fmt.Sprintf("%.2fx", g.imprv))
+	}
+	return t.flush()
+}
+
+func runFig11(o Options, w io.Writer) error {
+	o = o.withDefaults()
+	gs, err := deriveGuidelines(o)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "Fig. 11 — BOTS with guideline-selected DLB settings (seconds), %d workers\n", o.Workers)
+	t := newTable(w, "benchmark", "mean task", "chosen DLB", "STATIC", "GUIDELINE(NA-RP)", "GUIDELINE(NA-WS)")
+	for _, app := range bots.Names {
+		per, _, err := o.meanTaskDuration(app)
+		if err != nil {
+			return err
+		}
+		// Pick the guideline class whose bound covers the measured size.
+		pick := gs[len(gs)-1]
+		for _, g := range gs {
+			if float64(per.Nanoseconds()) <= g.maxSizeNS {
+				pick = g
+				break
+			}
+		}
+		b := bots.MustNew(app, o.Scale)
+		dStatic, err := o.timeApp("xgomptb", b)
+		if err != nil {
+			return err
+		}
+		times := map[core.DLBStrategy]time.Duration{}
+		for _, strat := range []core.DLBStrategy{core.DLBRedirectPush, core.DLBWorkSteal} {
+			cfg := pick.cfg
+			cfg.Strategy = strat
+			d, err := o.timeOn(o.teamWithDLB(cfg), b)
+			if err != nil {
+				return err
+			}
+			times[strat] = d
+		}
+		t.row(app, per.String(), pick.cfg.Strategy.String(),
+			fmtDur(dStatic),
+			fmtDur(times[core.DLBRedirectPush]),
+			fmtDur(times[core.DLBWorkSteal]))
+	}
+	return t.flush()
+}

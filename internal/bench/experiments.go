@@ -1,0 +1,273 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"time"
+
+	"repro/internal/bots"
+	"repro/internal/core"
+	"repro/internal/numa"
+	"repro/internal/posp"
+	"repro/internal/prof"
+)
+
+// Experiment regenerates one table or figure of the paper.
+type Experiment struct {
+	// ID is the paper's identifier, e.g. "fig4" or "table1".
+	ID string
+	// Title describes what the paper shows there.
+	Title string
+	// Run executes the experiment and writes a text rendering to w.
+	Run func(o Options, w io.Writer) error
+}
+
+// Experiments lists every reproduced table and figure in paper order.
+var Experiments = []Experiment{
+	{"fig1", "BOTS execution time: GOMP vs LOMP vs XLOMP", runFig1},
+	{"fig3", "Load imbalance of Fib and Sort under XGOMP (profiler timelines)", runFig3},
+	{"fig4", "BOTS execution time across all five runtimes", runFig4},
+	{"fig5", "XGOMP / XGOMPTB improvement over GOMP", runFig5},
+	{"fig6", "Scaling with thread count per application", runFig6},
+	{"fig7", "Static vs best NA-RP vs best NA-WS per application", runFig7},
+	{"fig8", "PoSp throughput vs batch size, GOMP vs XGOMPTB", runFig8},
+	{"fig9", "NA-RP improvement surface over task size × steal size", runFig9},
+	{"fig10", "NA-WS improvement surface over task size × steal size", runFig10},
+	{"fig11", "BOTS with Table-IV guideline settings", runFig11},
+	{"table1", "Optimal DLB settings per benchmark", runTable1},
+	{"table2", "Runtime statistics with NA-RP and NA-WS", runTable2},
+	{"table3", "Runtime statistics with static load balancing", runTable3},
+	{"table4", "Parameter guidelines per task-size class", runTable4},
+}
+
+// ByID returns the experiment with the given id.
+func ByID(id string) (Experiment, bool) {
+	for _, e := range Experiments {
+		if e.ID == id {
+			return e, true
+		}
+	}
+	return Experiment{}, false
+}
+
+// ---- shared, cached studies ----------------------------------------------
+
+var (
+	cacheMu sync.Mutex
+	cache   = map[string]any{}
+)
+
+func cacheKey(name string, o Options) string {
+	return fmt.Sprintf("%s/w%d/z%d/s%d/r%d", name, o.Workers, o.Zones, o.Scale, o.Reps)
+}
+
+// baselineStudy times every BOTS app on every named preset.
+type baselineStudy struct {
+	apps    []string
+	presets []string
+	times   map[string]map[string]time.Duration // preset → app → mean time
+}
+
+func getBaselineStudy(o Options) (*baselineStudy, error) {
+	cacheMu.Lock()
+	defer cacheMu.Unlock()
+	key := cacheKey("baseline", o)
+	if v, ok := cache[key]; ok {
+		return v.(*baselineStudy), nil
+	}
+	s := &baselineStudy{
+		apps:    bots.Names,
+		presets: []string{"gomp", "xgomp", "xgomptb", "lomp", "xlomp"},
+		times:   map[string]map[string]time.Duration{},
+	}
+	for _, preset := range s.presets {
+		s.times[preset] = map[string]time.Duration{}
+		for _, app := range s.apps {
+			b := bots.MustNew(app, o.Scale)
+			d, err := o.timeApp(preset, b)
+			if err != nil {
+				return nil, err
+			}
+			s.times[preset][app] = d
+		}
+	}
+	cache[key] = s
+	return s, nil
+}
+
+// ---- Fig. 1 ---------------------------------------------------------------
+
+func runFig1(o Options, w io.Writer) error {
+	o = o.withDefaults()
+	s, err := getBaselineStudy(o)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "Fig. 1 — BOTS execution time (seconds, mean of %d), %d workers, scale=%v\n", o.Reps, o.Workers, o.Scale)
+	t := newTable(w, "benchmark", "GOMP", "LOMP", "XLOMP")
+	for _, app := range s.apps {
+		t.row(app,
+			fmtDur(s.times["gomp"][app]),
+			fmtDur(s.times["lomp"][app]),
+			fmtDur(s.times["xlomp"][app]))
+	}
+	return t.flush()
+}
+
+// ---- Fig. 3 ---------------------------------------------------------------
+
+func runFig3(o Options, w io.Writer) error {
+	o = o.withDefaults()
+	for _, app := range []string{"fib", "sort"} {
+		cfg := core.Preset("xgomp", o.Workers)
+		cfg.Topology = numa.Synthetic(o.Workers, o.Zones)
+		cfg.Profile = true
+		tm := core.MustTeam(cfg)
+		b := bots.MustNew(app, o.Scale)
+		b.RunParallel(tm)
+		snap := tm.Profile().Snapshot()
+		fmt.Fprintf(w, "Fig. 3 — %s under XGOMP (%d workers)\n", app, o.Workers)
+		if err := snap.TimelineSummary(w, 60); err != nil {
+			return err
+		}
+		if err := snap.TaskCountSummary(w, 40); err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "imbalance max/mean executed: %.2f  utilization min/max: %.2f\n\n",
+			snap.ImbalanceRatio(), snap.UtilizationRatio())
+	}
+	return nil
+}
+
+// ---- Fig. 4 ---------------------------------------------------------------
+
+func runFig4(o Options, w io.Writer) error {
+	o = o.withDefaults()
+	s, err := getBaselineStudy(o)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "Fig. 4 — BOTS execution time (seconds, mean of %d), %d workers, scale=%v\n", o.Reps, o.Workers, o.Scale)
+	t := newTable(w, "benchmark", "GOMP", "XGOMP", "XGOMPTB", "LOMP", "XLOMP")
+	for _, app := range s.apps {
+		t.row(app,
+			fmtDur(s.times["gomp"][app]),
+			fmtDur(s.times["xgomp"][app]),
+			fmtDur(s.times["xgomptb"][app]),
+			fmtDur(s.times["lomp"][app]),
+			fmtDur(s.times["xlomp"][app]))
+	}
+	return t.flush()
+}
+
+// ---- Fig. 5 ---------------------------------------------------------------
+
+func runFig5(o Options, w io.Writer) error {
+	o = o.withDefaults()
+	s, err := getBaselineStudy(o)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "Fig. 5 — improvement over GOMP (×, higher is better), %d workers\n", o.Workers)
+	t := newTable(w, "benchmark", "XGOMP", "XGOMPTB")
+	for _, app := range s.apps {
+		g := s.times["gomp"][app].Seconds()
+		t.row(app,
+			fmt.Sprintf("%.1fx", g/s.times["xgomp"][app].Seconds()),
+			fmt.Sprintf("%.1fx", g/s.times["xgomptb"][app].Seconds()))
+	}
+	return t.flush()
+}
+
+// ---- Fig. 6 ---------------------------------------------------------------
+
+func runFig6(o Options, w io.Writer) error {
+	o = o.withDefaults()
+	var threadCounts []int
+	for n := 1; n <= o.Workers; n *= 2 {
+		threadCounts = append(threadCounts, n)
+	}
+	if last := threadCounts[len(threadCounts)-1]; last != o.Workers {
+		threadCounts = append(threadCounts, o.Workers)
+	}
+	fmt.Fprintf(w, "Fig. 6 — scaling with thread count (seconds, mean of %d), scale=%v\n", o.Reps, o.Scale)
+	header := []string{"benchmark", "runtime"}
+	for _, n := range threadCounts {
+		header = append(header, fmt.Sprintf("%dT", n))
+	}
+	t := newTable(w, header...)
+	for _, app := range bots.Names {
+		for _, preset := range []string{"gomp", "xgomp", "xgomptb"} {
+			cells := []string{app, preset}
+			for _, n := range threadCounts {
+				sub := o
+				sub.Workers = n
+				sub.Zones = 0 // re-derive zones for this thread count
+				sub = sub.withDefaults()
+				b := bots.MustNew(app, o.Scale)
+				d, err := sub.timeApp(preset, b)
+				if err != nil {
+					return err
+				}
+				cells = append(cells, fmtDur(d))
+			}
+			t.row(cells...)
+		}
+	}
+	return t.flush()
+}
+
+// ---- Fig. 8 ---------------------------------------------------------------
+
+func runFig8(o Options, w io.Writer) error {
+	o = o.withDefaults()
+	k := map[bots.Scale]int{
+		bots.ScaleTest: 12, bots.ScaleSmall: 15, bots.ScaleMedium: 17, bots.ScaleLarge: 19,
+	}[o.Scale]
+	var seed [32]byte
+	copy(seed[:], "posp fig8 seed..................")
+	batches := []int{1, 4, 16, 64, 256, 1024, 4096, 8192, 16384}
+	fmt.Fprintf(w, "Fig. 8 — PoSp throughput (MH/s, higher is better), 2^%d puzzles, %d workers\n", k, o.Workers)
+	t := newTable(w, "batch", "GOMP", "XGOMPTB")
+	total := 1 << k
+	for _, batch := range batches {
+		if batch > total {
+			break
+		}
+		cells := []string{fmt.Sprintf("%d", batch)}
+		for _, preset := range []string{"gomp", "xgomptb"} {
+			tm := o.team(preset)
+			best := 0.0
+			for r := 0; r < o.Reps; r++ {
+				p, err := posp.Generate(tm, k, batch, seed)
+				if err != nil {
+					return err
+				}
+				if mhs := p.ThroughputMHS(); mhs > best {
+					best = mhs
+				}
+			}
+			cells = append(cells, fmt.Sprintf("%.2f", best))
+		}
+		t.row(cells...)
+	}
+	return t.flush()
+}
+
+// taskStats estimates the mean task duration of an app on xgomptb, used to
+// classify workloads into the paper's task-size classes.
+func (o Options) meanTaskDuration(app string) (time.Duration, uint64, error) {
+	tm := o.team("xgomptb")
+	b := bots.MustNew(app, o.Scale)
+	start := time.Now()
+	b.RunParallel(tm)
+	elapsed := time.Since(start)
+	tasks := tm.Profile().Sum(prof.CntTasksExecuted)
+	if tasks == 0 {
+		return 0, 0, fmt.Errorf("bench: %s executed no tasks", app)
+	}
+	// Upper-bound estimate: total worker time over task count.
+	per := time.Duration(uint64(elapsed.Nanoseconds()) * uint64(tm.Workers()) / tasks)
+	return per, tasks, nil
+}

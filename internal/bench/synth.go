@@ -1,0 +1,110 @@
+package bench
+
+import (
+	"math"
+
+	"repro/internal/core"
+	"repro/internal/numa"
+	"repro/internal/simnuma"
+)
+
+// synthSpec is the controllable-granularity workload behind Fig. 9/10 and
+// Table IV: a single producer spawns tasks whose compute size is set in
+// spin units, with a deterministic heavy tail (every heavyEvery-th task is
+// heavyFactor× larger). Heavy tasks create backlogs behind slow workers
+// that only dynamic load balancing can drain — the imbalance mechanism the
+// paper's DLB targets — while the NUMA model charges remote workers extra
+// for the producer-homed data, exposing the Plocal dimension.
+type synthSpec struct {
+	taskUnits   int // spin units per regular task (the Fig 9/10 x-axis)
+	tasks       int
+	heavyEvery  int
+	heavyFactor int
+	model       *simnuma.Model
+	homeZone    int
+}
+
+// defaultSynth builds the sweep workload for a given task size, scaling
+// the task count down as tasks grow so every cell costs a similar total.
+func defaultSynth(taskUnits int, top numa.Topology) synthSpec {
+	budget := 1 << 24 // total spin units per run
+	tasks := budget / taskUnits
+	if tasks > 20000 {
+		tasks = 20000
+	}
+	if tasks < 64 {
+		tasks = 64
+	}
+	return synthSpec{
+		taskUnits:   taskUnits,
+		tasks:       tasks,
+		heavyEvery:  16,
+		heavyFactor: 16,
+		model:       simnuma.NewModel(top, simnuma.Config{LocalNS: 1, RemoteNS: 4}),
+		homeZone:    top.ZoneOf(0),
+	}
+}
+
+// run executes the workload once and returns nothing; callers time it.
+func (s synthSpec) run(tm *core.Team) {
+	tm.Run(func(w *core.Worker) {
+		for i := 0; i < s.tasks; i++ {
+			size := s.taskUnits
+			if s.heavyEvery > 0 && hashIdx(i)%uint64(s.heavyEvery) == 0 {
+				size *= s.heavyFactor
+			}
+			w.Spawn(func(w *core.Worker) {
+				if s.model != nil {
+					// Tasks read producer-homed data: one modelled access
+					// per 64 spin units, so locality matters but compute
+					// dominates.
+					s.model.Access(w.ID(), s.homeZone, size/64+1)
+				}
+				simnuma.Spin(size)
+			})
+		}
+	})
+}
+
+func hashIdx(i int) uint64 {
+	x := uint64(i)*0x9e3779b97f4a7c15 + 0x123456789
+	x ^= x >> 29
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 32
+	return x
+}
+
+// stealSizeToDLB inverts the paper's Eq. 1 — Ssteal = Nsteal·Nvictim /
+// log10(Tinterval) — into concrete settings, fixing Tinterval = 100 (so
+// the denominator is 2) and splitting the product between Nvictim (≤ 8)
+// and Nsteal.
+func stealSizeToDLB(strategy core.DLBStrategy, stealSize float64, pLocal float64) core.DLBConfig {
+	product := 2 * stealSize // Nsteal · Nvictim
+	nv := int(math.Round(math.Sqrt(product)))
+	if nv < 1 {
+		nv = 1
+	}
+	if nv > 8 {
+		nv = 8
+	}
+	ns := int(math.Round(product / float64(nv)))
+	if ns < 1 {
+		ns = 1
+	}
+	return core.DLBConfig{
+		Strategy:  strategy,
+		NVictim:   nv,
+		NSteal:    ns,
+		TInterval: 100,
+		PLocal:    pLocal,
+	}
+}
+
+// effectiveStealSize recomputes Eq. 1 for reporting.
+func effectiveStealSize(d core.DLBConfig) float64 {
+	return float64(d.NSteal) * float64(d.NVictim) / math.Log10(float64(d.TInterval))
+}
+
+// unitsPerMicroCached reports the host's calibrated spin-unit rate, for
+// converting spin-unit task sizes to wall time in reports.
+func unitsPerMicroCached() float64 { return simnuma.UnitsPerMicrosecond() }

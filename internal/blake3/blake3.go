@@ -1,0 +1,338 @@
+// Package blake3 is a from-scratch, pure-Go implementation of the BLAKE3
+// cryptographic hash function (https://github.com/BLAKE3-team/BLAKE3-specs),
+// the hash the paper's Proof-of-Space application is built on (§VII). It
+// implements the full function family: the default hash, the keyed hash,
+// derive-key mode, and extendable output (XOF).
+//
+// The implementation follows the reference design: 1024-byte chunks
+// compressed in 64-byte blocks, a binary Merkle tree over chunk chaining
+// values maintained as a stack (one entry per set bit of the chunk count),
+// and a 7-round compression function with the BLAKE3 message permutation.
+package blake3
+
+import (
+	"encoding/binary"
+	"math/bits"
+)
+
+// Sizes of the function's structural units, in bytes.
+const (
+	// BlockSize is the compression-function block size.
+	BlockSize = 64
+	// ChunkSize is the leaf size of the hash tree.
+	ChunkSize = 1024
+	// KeySize is the keyed-mode key size.
+	KeySize = 32
+	// OutSize is the default digest size (the XOF can emit any length).
+	OutSize = 32
+)
+
+// Domain-separation flags.
+const (
+	flagChunkStart uint32 = 1 << iota
+	flagChunkEnd
+	flagParent
+	flagRoot
+	flagKeyedHash
+	flagDeriveKeyContext
+	flagDeriveKeyMaterial
+)
+
+// iv is the BLAKE3 initialization vector (the SHA-256 IV).
+var iv = [8]uint32{
+	0x6A09E667, 0xBB67AE85, 0x3C6EF372, 0xA54FF53A,
+	0x510E527F, 0x9B05688C, 0x1F83D9AB, 0x5BE0CD19,
+}
+
+// msgPermutation maps the message words of round r to round r+1.
+var msgPermutation = [16]int{2, 6, 3, 10, 7, 0, 4, 13, 1, 11, 12, 5, 9, 14, 15, 8}
+
+// g is the quarter-round.
+func g(v *[16]uint32, a, b, c, d int, mx, my uint32) {
+	v[a] = v[a] + v[b] + mx
+	v[d] = bits.RotateLeft32(v[d]^v[a], -16)
+	v[c] = v[c] + v[d]
+	v[b] = bits.RotateLeft32(v[b]^v[c], -12)
+	v[a] = v[a] + v[b] + my
+	v[d] = bits.RotateLeft32(v[d]^v[a], -8)
+	v[c] = v[c] + v[d]
+	v[b] = bits.RotateLeft32(v[b]^v[c], -7)
+}
+
+func roundFn(v *[16]uint32, m *[16]uint32) {
+	// Columns.
+	g(v, 0, 4, 8, 12, m[0], m[1])
+	g(v, 1, 5, 9, 13, m[2], m[3])
+	g(v, 2, 6, 10, 14, m[4], m[5])
+	g(v, 3, 7, 11, 15, m[6], m[7])
+	// Diagonals.
+	g(v, 0, 5, 10, 15, m[8], m[9])
+	g(v, 1, 6, 11, 12, m[10], m[11])
+	g(v, 2, 7, 8, 13, m[12], m[13])
+	g(v, 3, 4, 9, 14, m[14], m[15])
+}
+
+// compress is the BLAKE3 compression function, returning all 16 output
+// words (the first 8 form the new chaining value; all 16 feed the XOF).
+func compress(cv *[8]uint32, block *[16]uint32, counter uint64, blockLen, flags uint32) [16]uint32 {
+	v := [16]uint32{
+		cv[0], cv[1], cv[2], cv[3], cv[4], cv[5], cv[6], cv[7],
+		iv[0], iv[1], iv[2], iv[3],
+		uint32(counter), uint32(counter >> 32), blockLen, flags,
+	}
+	m := *block
+	for r := 0; r < 7; r++ {
+		roundFn(&v, &m)
+		if r < 6 {
+			var p [16]uint32
+			for i := 0; i < 16; i++ {
+				p[i] = m[msgPermutation[i]]
+			}
+			m = p
+		}
+	}
+	for i := 0; i < 8; i++ {
+		v[i] ^= v[i+8]
+		v[i+8] ^= cv[i]
+	}
+	return v
+}
+
+// wordsFromBlock decodes a 64-byte block little-endian.
+func wordsFromBlock(b *[BlockSize]byte) [16]uint32 {
+	var m [16]uint32
+	for i := range m {
+		m[i] = binary.LittleEndian.Uint32(b[4*i:])
+	}
+	return m
+}
+
+// output is a deferred compression: enough state to produce either one
+// chaining value (interior node) or arbitrarily many root bytes (XOF).
+type output struct {
+	cv       [8]uint32
+	block    [16]uint32
+	counter  uint64
+	blockLen uint32
+	flags    uint32
+}
+
+func (o *output) chainingValue() [8]uint32 {
+	w := compress(&o.cv, &o.block, o.counter, o.blockLen, o.flags)
+	var cv [8]uint32
+	copy(cv[:], w[:8])
+	return cv
+}
+
+// rootBytes fills out with XOF output starting at byte offset off.
+func (o *output) rootBytes(out []byte, off uint64) {
+	blockIdx := off / BlockSize
+	inBlock := int(off % BlockSize)
+	for len(out) > 0 {
+		w := compress(&o.cv, &o.block, blockIdx, o.blockLen, o.flags|flagRoot)
+		var buf [BlockSize]byte
+		for i, x := range w {
+			binary.LittleEndian.PutUint32(buf[4*i:], x)
+		}
+		n := copy(out, buf[inBlock:])
+		out = out[n:]
+		inBlock = 0
+		blockIdx++
+	}
+}
+
+// chunkState incrementally hashes one 1024-byte chunk.
+type chunkState struct {
+	cv           [8]uint32
+	chunkCounter uint64
+	block        [BlockSize]byte
+	blockLen     int
+	blocksDone   int
+	flags        uint32
+}
+
+func newChunkState(key [8]uint32, counter uint64, flags uint32) chunkState {
+	return chunkState{cv: key, chunkCounter: counter, flags: flags}
+}
+
+func (cs *chunkState) len() int { return cs.blocksDone*BlockSize + cs.blockLen }
+
+func (cs *chunkState) startFlag() uint32 {
+	if cs.blocksDone == 0 {
+		return flagChunkStart
+	}
+	return 0
+}
+
+func (cs *chunkState) update(input []byte) {
+	for len(input) > 0 {
+		if cs.blockLen == BlockSize {
+			// A full block with more input coming: compress it (it is
+			// certainly not the chunk's last block).
+			m := wordsFromBlock(&cs.block)
+			w := compress(&cs.cv, &m, cs.chunkCounter, BlockSize, cs.flags|cs.startFlag())
+			copy(cs.cv[:], w[:8])
+			cs.blocksDone++
+			cs.blockLen = 0
+			cs.block = [BlockSize]byte{}
+		}
+		n := copy(cs.block[cs.blockLen:], input)
+		cs.blockLen += n
+		input = input[n:]
+	}
+}
+
+func (cs *chunkState) output() output {
+	m := wordsFromBlock(&cs.block)
+	return output{
+		cv:       cs.cv,
+		block:    m,
+		counter:  cs.chunkCounter,
+		blockLen: uint32(cs.blockLen),
+		flags:    cs.flags | cs.startFlag() | flagChunkEnd,
+	}
+}
+
+// parentOutput builds the deferred compression of an interior tree node.
+func parentOutput(left, right [8]uint32, key [8]uint32, flags uint32) output {
+	var block [16]uint32
+	copy(block[:8], left[:])
+	copy(block[8:], right[:])
+	return output{cv: key, block: block, counter: 0, blockLen: BlockSize, flags: flags | flagParent}
+}
+
+// Hasher computes BLAKE3 incrementally. It implements the write/sum shape
+// of the standard library hash interfaces (Write never fails).
+type Hasher struct {
+	key   [8]uint32
+	chunk chunkState
+	flags uint32
+	// stack holds the chaining value of one complete subtree per set bit
+	// of the finished-chunk count; 54 levels cover 2^54 chunks.
+	stack    [54][8]uint32
+	stackLen int
+}
+
+// New returns a Hasher for the default hash mode.
+func New() *Hasher { return newHasher(iv, 0) }
+
+// NewKeyed returns a Hasher for the keyed mode.
+func NewKeyed(key *[KeySize]byte) *Hasher {
+	return newHasher(keyWords(key), flagKeyedHash)
+}
+
+func keyWords(key *[KeySize]byte) [8]uint32 {
+	var kw [8]uint32
+	for i := range kw {
+		kw[i] = binary.LittleEndian.Uint32(key[4*i:])
+	}
+	return kw
+}
+
+func newHasher(key [8]uint32, flags uint32) *Hasher {
+	return &Hasher{key: key, chunk: newChunkState(key, 0, flags), flags: flags}
+}
+
+// Reset returns the Hasher to its initial state.
+func (h *Hasher) Reset() {
+	h.chunk = newChunkState(h.key, 0, h.flags)
+	h.stackLen = 0
+}
+
+// Size returns OutSize, for hash.Hash compatibility.
+func (h *Hasher) Size() int { return OutSize }
+
+// BlockSize returns BlockSize, for hash.Hash compatibility.
+func (h *Hasher) BlockSize() int { return BlockSize }
+
+// pushCV adds a finished chunk's chaining value to the tree, merging
+// completed subtrees: one merge per trailing zero bit of the chunk count.
+func (h *Hasher) pushCV(cv [8]uint32, totalChunks uint64) {
+	for totalChunks&1 == 0 {
+		p := parentOutput(h.stack[h.stackLen-1], cv, h.key, h.flags)
+		cv = p.chainingValue()
+		h.stackLen--
+		totalChunks >>= 1
+	}
+	h.stack[h.stackLen] = cv
+	h.stackLen++
+}
+
+// Write absorbs input; it never returns an error.
+func (h *Hasher) Write(p []byte) (int, error) {
+	n := len(p)
+	for len(p) > 0 {
+		if h.chunk.len() == ChunkSize {
+			out := h.chunk.output()
+			total := h.chunk.chunkCounter + 1
+			h.pushCV(out.chainingValue(), total)
+			h.chunk = newChunkState(h.key, total, h.flags)
+		}
+		take := ChunkSize - h.chunk.len()
+		if take > len(p) {
+			take = len(p)
+		}
+		h.chunk.update(p[:take])
+		p = p[take:]
+	}
+	return n, nil
+}
+
+// rootOutput folds the stack into the root's deferred compression.
+func (h *Hasher) rootOutput() output {
+	out := h.chunk.output()
+	for i := h.stackLen - 1; i >= 0; i-- {
+		out = parentOutput(h.stack[i], out.chainingValue(), h.key, h.flags)
+	}
+	return out
+}
+
+// Sum appends the 32-byte digest to b and returns the result. The Hasher
+// state is unchanged, so writing may continue afterwards.
+func (h *Hasher) Sum(b []byte) []byte {
+	var d [OutSize]byte
+	h.XOF(d[:], 0)
+	return append(b, d[:]...)
+}
+
+// Sum256 returns the 32-byte digest of the current input.
+func (h *Hasher) Sum256() [OutSize]byte {
+	var d [OutSize]byte
+	h.XOF(d[:], 0)
+	return d
+}
+
+// XOF fills out with extendable output starting at byte offset off. Any
+// offset/length may be requested; overlapping reads are consistent with a
+// single infinite output stream.
+func (h *Hasher) XOF(out []byte, off uint64) {
+	ro := h.rootOutput()
+	ro.rootBytes(out, off)
+}
+
+// Sum256 returns the BLAKE3 digest of data in the default hash mode.
+func Sum256(data []byte) [OutSize]byte {
+	h := New()
+	h.Write(data)
+	return h.Sum256()
+}
+
+// SumKeyed returns the keyed-mode digest of data.
+func SumKeyed(key *[KeySize]byte, data []byte) [OutSize]byte {
+	h := NewKeyed(key)
+	h.Write(data)
+	return h.Sum256()
+}
+
+// DeriveKey derives len(out) bytes of key material from the given context
+// string and input key material, per the BLAKE3 KDF mode. The context
+// should be a hardcoded, globally unique application string.
+func DeriveKey(context string, material []byte, out []byte) {
+	ctx := newHasher(iv, flagDeriveKeyContext)
+	ctx.Write([]byte(context))
+	ctxKey := ctx.Sum256()
+	kw := keyWords(&ctxKey)
+	m := newHasher(kw, flagDeriveKeyMaterial)
+	m.Write(material)
+	m.XOF(out, 0)
+}

@@ -1,0 +1,228 @@
+package blake3
+
+import (
+	"bytes"
+	"encoding/hex"
+	"testing"
+	"testing/quick"
+)
+
+// testInput builds the official test-vector input pattern: byte i is
+// i mod 251.
+func testInput(n int) []byte {
+	b := make([]byte, n)
+	for i := range b {
+		b[i] = byte(i % 251)
+	}
+	return b
+}
+
+// Golden digests for the default hash mode. The empty-input and "abc"
+// values are the published BLAKE3 vectors; the i%251-pattern lengths cover
+// every structural regime: sub-block, sub-chunk, exact chunk, chunk+1
+// (first parent node), and multi-level trees.
+func TestGoldenVectors(t *testing.T) {
+	cases := []struct {
+		name string
+		in   []byte
+		want string
+	}{
+		{"empty", nil, "af1349b9f5f9a1a6a0404dea36dcc9499bcb25c9adc112b7cc9a93cae41f3262"},
+		{"abc", []byte("abc"), "6437b3ac38465133ffb63b75273a8db548c558465d79db03fd359c6cd5bd9d85"},
+		{"len1", testInput(1), "2d3adedff11b61f14c886e35afa036736dcd87a74d27b5c1510225d0f592e213"},
+		{"len1023", testInput(1023), "10108970eeda3eb932baac1428c7a2163b0e924c9a9e25b35bba72b28f70bd11"},
+		{"len1024", testInput(1024), "42214739f095a406f3fc83deb889744ac00df831c10daa55189b5d121c855af7"},
+		{"len1025", testInput(1025), "d00278ae47eb27b34faecf67b4fe263f82d5412916c1ffd97c8cb7fb814b8444"},
+		{"len2048", testInput(2048), "e776b6028c7cd22a4d0ba182a8bf62205d2ef576467e838ed6f2529b85fba24a"},
+		{"len3072", testInput(3072), "b98cb0ff3623be03326b373de6b9095218513e64f1ee2edd2525c7ad1e5cffd2"},
+		{"len4096", testInput(4096), "015094013f57a5277b59d8475c0501042c0b642e531b0a1c8f58d2163229e969"},
+	}
+	for _, c := range cases {
+		got := Sum256(c.in)
+		if hex.EncodeToString(got[:]) != c.want {
+			t.Errorf("%s: got %x, want %s", c.name, got, c.want)
+		}
+	}
+}
+
+// Property: incremental writes across arbitrary split points produce the
+// one-shot digest.
+func TestIncrementalEqualsOneShot(t *testing.T) {
+	f := func(data []byte, splitsRaw []uint16) bool {
+		want := Sum256(data)
+		h := New()
+		rest := data
+		for _, s := range splitsRaw {
+			if len(rest) == 0 {
+				break
+			}
+			n := int(s) % (len(rest) + 1)
+			h.Write(rest[:n])
+			rest = rest[n:]
+		}
+		h.Write(rest)
+		return h.Sum256() == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Chunk-boundary torture: split exactly at and around every boundary of a
+// 4-chunk input.
+func TestChunkBoundarySplits(t *testing.T) {
+	data := testInput(4*ChunkSize + 17)
+	want := Sum256(data)
+	for _, split := range []int{1, 63, 64, 65, 1023, 1024, 1025, 2048, 3071, 4096, len(data) - 1} {
+		h := New()
+		h.Write(data[:split])
+		h.Write(data[split:])
+		if h.Sum256() != want {
+			t.Errorf("split at %d diverges", split)
+		}
+	}
+	// Byte-at-a-time.
+	h := New()
+	for _, b := range data {
+		h.Write([]byte{b})
+	}
+	if h.Sum256() != want {
+		t.Error("byte-at-a-time diverges")
+	}
+}
+
+// XOF output must behave as one infinite stream: any (offset, length) read
+// matches the corresponding slice of a long prefix read.
+func TestXOFConsistency(t *testing.T) {
+	h := New()
+	h.Write([]byte("xof test input"))
+	long := make([]byte, 4096)
+	h.XOF(long, 0)
+
+	// The 32-byte digest is the stream prefix.
+	d := h.Sum256()
+	if !bytes.Equal(d[:], long[:32]) {
+		t.Fatal("Sum256 is not the XOF prefix")
+	}
+	for _, probe := range []struct{ off, n int }{
+		{0, 1}, {31, 2}, {64, 64}, {63, 130}, {1000, 500}, {4095, 1},
+	} {
+		got := make([]byte, probe.n)
+		h.XOF(got, uint64(probe.off))
+		if !bytes.Equal(got, long[probe.off:probe.off+probe.n]) {
+			t.Errorf("XOF(off=%d,n=%d) inconsistent with stream", probe.off, probe.n)
+		}
+	}
+}
+
+func TestSumDoesNotMutate(t *testing.T) {
+	h := New()
+	h.Write([]byte("hello "))
+	_ = h.Sum(nil)
+	_ = h.Sum(nil)
+	h.Write([]byte("world"))
+	if h.Sum256() != Sum256([]byte("hello world")) {
+		t.Fatal("Sum mutated hasher state")
+	}
+}
+
+func TestReset(t *testing.T) {
+	h := New()
+	h.Write([]byte("garbage"))
+	h.Reset()
+	h.Write([]byte("abc"))
+	if h.Sum256() != Sum256([]byte("abc")) {
+		t.Fatal("Reset did not restore initial state")
+	}
+}
+
+func TestModesAreDomainSeparated(t *testing.T) {
+	data := []byte("the same input")
+	var key [KeySize]byte
+	copy(key[:], "whats the Elephant doing here???")
+
+	plain := Sum256(data)
+	keyed := SumKeyed(&key, data)
+	var derived [OutSize]byte
+	DeriveKey("repro 2026-06-10 test context", data, derived[:])
+
+	if plain == keyed || plain == derived || keyed == derived {
+		t.Fatal("modes must produce distinct digests")
+	}
+	var key2 [KeySize]byte
+	copy(key2[:], "a completely different key......")
+	if SumKeyed(&key2, data) == keyed {
+		t.Fatal("different keys collided")
+	}
+	var derived2 [OutSize]byte
+	DeriveKey("repro 2026-06-10 other context", data, derived2[:])
+	if derived2 == derived {
+		t.Fatal("different contexts collided")
+	}
+}
+
+func TestDeriveKeyDeterministicAnyLength(t *testing.T) {
+	a := make([]byte, 77)
+	b := make([]byte, 77)
+	DeriveKey("ctx", []byte("material"), a)
+	DeriveKey("ctx", []byte("material"), b)
+	if !bytes.Equal(a, b) {
+		t.Fatal("DeriveKey not deterministic")
+	}
+	short := make([]byte, 16)
+	DeriveKey("ctx", []byte("material"), short)
+	if !bytes.Equal(short, a[:16]) {
+		t.Fatal("DeriveKey output is not a consistent stream")
+	}
+}
+
+func TestHashInterfaceShape(t *testing.T) {
+	h := New()
+	if h.Size() != 32 || h.BlockSize() != 64 {
+		t.Fatal("wrong Size/BlockSize")
+	}
+	if n, err := h.Write(make([]byte, 10)); n != 10 || err != nil {
+		t.Fatal("Write contract violated")
+	}
+	out := h.Sum([]byte("prefix-"))
+	if !bytes.HasPrefix(out, []byte("prefix-")) || len(out) != 7+32 {
+		t.Fatal("Sum append contract violated")
+	}
+}
+
+// Distinct inputs must give distinct digests (smoke-level collision check
+// across sizes that exercise different tree shapes).
+func TestNoAccidentalCollisions(t *testing.T) {
+	seen := make(map[[OutSize]byte]int)
+	for n := 0; n < 3000; n += 7 {
+		d := Sum256(testInput(n))
+		if prev, dup := seen[d]; dup {
+			t.Fatalf("collision between len %d and len %d", prev, n)
+		}
+		seen[d] = n
+	}
+}
+
+func BenchmarkSum256_1K(b *testing.B) {
+	data := testInput(1024)
+	b.SetBytes(1024)
+	for i := 0; i < b.N; i++ {
+		Sum256(data)
+	}
+}
+
+func BenchmarkSum256_64K(b *testing.B) {
+	data := testInput(64 * 1024)
+	b.SetBytes(64 * 1024)
+	for i := 0; i < b.N; i++ {
+		Sum256(data)
+	}
+}
+
+func BenchmarkSum256_32B(b *testing.B) {
+	data := testInput(32)
+	b.SetBytes(32)
+	for i := 0; i < b.N; i++ {
+		Sum256(data)
+	}
+}

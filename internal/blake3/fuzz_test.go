@@ -1,0 +1,67 @@
+package blake3
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzIncrementalConsistency checks, for arbitrary data and split points,
+// that incremental hashing equals one-shot hashing, that the XOF stream is
+// self-consistent, and that Sum does not perturb state. Runs on its seed
+// corpus in normal `go test`; `go test -fuzz=FuzzIncremental` explores.
+func FuzzIncrementalConsistency(f *testing.F) {
+	f.Add([]byte{}, uint16(0))
+	f.Add([]byte("abc"), uint16(1))
+	f.Add(testInput(1024), uint16(64))
+	f.Add(testInput(1025), uint16(1024))
+	f.Add(testInput(5000), uint16(3000))
+	f.Fuzz(func(t *testing.T, data []byte, splitRaw uint16) {
+		split := int(splitRaw)
+		if split > len(data) {
+			split = len(data)
+		}
+		want := Sum256(data)
+
+		h := New()
+		h.Write(data[:split])
+		mid := h.Sum(nil) // must not disturb state
+		_ = mid
+		h.Write(data[split:])
+		if h.Sum256() != want {
+			t.Fatalf("incremental mismatch at split %d/%d", split, len(data))
+		}
+
+		// XOF prefix property.
+		long := make([]byte, 96)
+		h.XOF(long, 0)
+		if !bytes.Equal(long[:32], want[:]) {
+			t.Fatal("digest is not the XOF prefix")
+		}
+		tail := make([]byte, 41)
+		h.XOF(tail, 55)
+		if !bytes.Equal(tail, long[55:96]) {
+			t.Fatal("offset XOF read inconsistent with stream")
+		}
+	})
+}
+
+// FuzzKeyedDomainSeparation checks keyed hashing is deterministic and
+// never collides with the unkeyed mode on the same data.
+func FuzzKeyedDomainSeparation(f *testing.F) {
+	f.Add([]byte("seed"), byte(0))
+	f.Add(testInput(2048), byte(7))
+	f.Fuzz(func(t *testing.T, data []byte, keyByte byte) {
+		var key [KeySize]byte
+		for i := range key {
+			key[i] = keyByte + byte(i)
+		}
+		a := SumKeyed(&key, data)
+		b := SumKeyed(&key, data)
+		if a != b {
+			t.Fatal("keyed hash not deterministic")
+		}
+		if a == Sum256(data) {
+			t.Fatal("keyed and unkeyed modes collided")
+		}
+	})
+}

@@ -1,0 +1,178 @@
+package bots
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/rng"
+)
+
+// Align is the BOTS Protein Alignment benchmark: pairwise local alignment
+// scores (Smith–Waterman with affine gaps) over all pairs of a set of
+// protein sequences. Like the original, it uses the single-producer
+// pattern: one worker creates one task per sequence pair in a loop — the
+// paper calls this out as the reason NA-RP has no effect on Align (only
+// the producing thread can redirect). Tasks are the coarsest in the suite
+// (~10⁶ cycles).
+type Align struct {
+	seqs   [][]byte
+	scores []int32
+	ran    bool
+
+	gapOpen   int32
+	gapExtend int32
+}
+
+// The 20 proteinogenic amino acids.
+const aminoAcids = "ARNDCQEGHILKMFPSTWYV"
+
+// NewAlign returns the instance for the given scale.
+func NewAlign(sc Scale) *Align {
+	type params struct{ count, length int }
+	p := map[Scale]params{
+		ScaleTest:   {12, 64},
+		ScaleSmall:  {24, 96},
+		ScaleMedium: {36, 128},
+		ScaleLarge:  {48, 192},
+	}[sc]
+	a := &Align{gapOpen: 4, gapExtend: 1}
+	r := rng.New(0xA116)
+	a.seqs = make([][]byte, p.count)
+	for i := range a.seqs {
+		// Vary lengths ±25% so pair costs are uneven (load imbalance).
+		l := p.length*3/4 + r.Intn(p.length/2+1)
+		s := make([]byte, l)
+		for j := range s {
+			s[j] = aminoAcids[r.Intn(len(aminoAcids))]
+		}
+		a.seqs[i] = s
+	}
+	a.scores = make([]int32, p.count*p.count)
+	return a
+}
+
+// Name implements Benchmark.
+func (a *Align) Name() string { return "align" }
+
+// Params implements Benchmark.
+func (a *Align) Params() string { return fmt.Sprintf("seqs=%d", len(a.seqs)) }
+
+// substitution is a BLOSUM-flavoured score: identity +5, conservative
+// groups +1, otherwise -2. Deterministic and cheap, preserving the DP
+// compute shape of the original.
+func substitution(x, y byte) int32 {
+	if x == y {
+		return 5
+	}
+	group := func(c byte) int {
+		switch c {
+		case 'A', 'G', 'S', 'T', 'P':
+			return 0 // small
+		case 'I', 'L', 'M', 'V':
+			return 1 // hydrophobic
+		case 'F', 'W', 'Y':
+			return 2 // aromatic
+		case 'D', 'E', 'N', 'Q':
+			return 3 // acidic/amide
+		case 'H', 'K', 'R':
+			return 4 // basic
+		default:
+			return 5 // C
+		}
+	}
+	if group(x) == group(y) {
+		return 1
+	}
+	return -2
+}
+
+// swScore computes the Smith–Waterman local alignment score with affine
+// gaps in O(len(x)·len(y)) time and O(len(y)) space.
+func swScore(x, y []byte, gapOpen, gapExtend int32) int32 {
+	n := len(y)
+	h := make([]int32, n+1) // best score ending at (i, j)
+	e := make([]int32, n+1) // gap-in-x state
+	var best int32
+	for i := 1; i <= len(x); i++ {
+		var diag, f int32 // h[i-1][j-1], gap-in-y state
+		for j := 1; j <= n; j++ {
+			up := h[j]
+			if v := h[j] - gapOpen; v > e[j]-gapExtend {
+				e[j] = v
+			} else {
+				e[j] = e[j] - gapExtend
+			}
+			if v := h[j-1] - gapOpen; v > f-gapExtend {
+				f = v
+			} else {
+				f -= gapExtend
+			}
+			score := diag + substitution(x[i-1], y[j-1])
+			if e[j] > score {
+				score = e[j]
+			}
+			if f > score {
+				score = f
+			}
+			if score < 0 {
+				score = 0
+			}
+			h[j] = score
+			diag = up
+			if score > best {
+				best = score
+			}
+		}
+	}
+	return best
+}
+
+// RunParallel implements Benchmark: the single-producer loop over pairs.
+func (a *Align) RunParallel(tm *core.Team) {
+	n := len(a.seqs)
+	for i := range a.scores {
+		a.scores[i] = 0
+	}
+	tm.Run(func(w *core.Worker) {
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				i, j := i, j
+				w.Spawn(func(*core.Worker) {
+					a.scores[i*n+j] = swScore(a.seqs[i], a.seqs[j], a.gapOpen, a.gapExtend)
+				})
+			}
+		}
+	})
+	a.ran = true
+}
+
+// RunSequential implements Benchmark.
+func (a *Align) RunSequential() {
+	n := len(a.seqs)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			_ = swScore(a.seqs[i], a.seqs[j], a.gapOpen, a.gapExtend)
+		}
+	}
+}
+
+// Verify implements Benchmark: every pair score must match the sequential
+// recomputation, and self-alignment sanity holds (score(x,x) = 5·len).
+func (a *Align) Verify() error {
+	if !a.ran {
+		return fmt.Errorf("align: Verify before RunParallel")
+	}
+	n := len(a.seqs)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			want := swScore(a.seqs[i], a.seqs[j], a.gapOpen, a.gapExtend)
+			if got := a.scores[i*n+j]; got != want {
+				return fmt.Errorf("align: score(%d,%d) = %d, want %d", i, j, got, want)
+			}
+		}
+	}
+	if s := a.seqs[0]; swScore(s, s, a.gapOpen, a.gapExtend) != int32(5*len(s)) {
+		return fmt.Errorf("align: self-alignment sanity failed")
+	}
+	return nil
+}

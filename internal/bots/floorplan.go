@@ -1,0 +1,191 @@
+package bots
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"repro/internal/core"
+	"repro/internal/rng"
+)
+
+// Floorplan is the BOTS Floorplan benchmark: branch-and-bound placement of
+// a set of cells (each with alternative shapes) minimizing the area of the
+// enclosing bounding box. One task is spawned per surviving branch of the
+// search tree, and all branches prune against a shared best bound — the
+// irregular, mid-grained workload where the paper reports a 2.6–2.8× DLB
+// win. Cells are synthesized deterministically (the original BOTS input
+// files are not redistributable); the optimal area is scale-invariant
+// between the parallel and sequential searches, which is what Verify
+// checks.
+type Floorplan struct {
+	cells [][]shape
+	// best is the shared bound: the smallest bounding-box area found.
+	best atomic.Int64
+	// boardMax bounds coordinates so the search space is finite.
+	boardMax int
+	parallel int64
+	ran      bool
+}
+
+type shape struct{ w, h int }
+
+type rect struct{ x1, y1, x2, y2 int }
+
+// NewFloorplan returns the instance for the given scale.
+func NewFloorplan(sc Scale) *Floorplan {
+	n := map[Scale]int{ScaleTest: 5, ScaleSmall: 6, ScaleMedium: 7, ScaleLarge: 8}[sc]
+	f := &Floorplan{boardMax: 64}
+	r := rng.New(0xF100 + uint64(n))
+	f.cells = make([][]shape, n)
+	for i := range f.cells {
+		// Two or three alternative shapes per cell, dims 1..4.
+		alts := 2 + r.Intn(2)
+		f.cells[i] = make([]shape, alts)
+		for j := range f.cells[i] {
+			w := 1 + r.Intn(4)
+			h := 1 + r.Intn(4)
+			f.cells[i][j] = shape{w: w, h: h}
+		}
+	}
+	return f
+}
+
+// Name implements Benchmark.
+func (f *Floorplan) Name() string { return "floorplan" }
+
+// Params implements Benchmark.
+func (f *Floorplan) Params() string { return fmt.Sprintf("cells=%d", len(f.cells)) }
+
+func overlaps(a, b rect) bool {
+	return a.x1 <= b.x2 && b.x1 <= a.x2 && a.y1 <= b.y2 && b.y1 <= a.y2
+}
+
+// boundingArea returns the enclosing area of placed plus the extra rect.
+func boundingArea(placed []rect, extra *rect) int64 {
+	maxX, maxY := 0, 0
+	for _, r := range placed {
+		if r.x2 > maxX {
+			maxX = r.x2
+		}
+		if r.y2 > maxY {
+			maxY = r.y2
+		}
+	}
+	if extra != nil {
+		if extra.x2 > maxX {
+			maxX = extra.x2
+		}
+		if extra.y2 > maxY {
+			maxY = extra.y2
+		}
+	}
+	return int64(maxX+1) * int64(maxY+1)
+}
+
+// candidates yields the anchor positions for the next cell: the origin when
+// nothing is placed, otherwise to the right of and below each placed cell.
+func candidates(placed []rect, buf [][2]int) [][2]int {
+	buf = buf[:0]
+	if len(placed) == 0 {
+		return append(buf, [2]int{0, 0})
+	}
+	for _, r := range placed {
+		buf = append(buf, [2]int{r.x2 + 1, r.y1}, [2]int{r.x1, r.y2 + 1})
+	}
+	return buf
+}
+
+// branch enumerates the children of a node: every (candidate position,
+// shape) pair that fits the board, does not overlap, and survives the
+// bound. visit is called with the new placement (which it must copy if it
+// escapes the call).
+func (f *Floorplan) branch(placed []rect, cell int, visit func(r rect)) {
+	var buf [8 * 2][2]int
+	for _, pos := range candidates(placed, buf[:0]) {
+		for _, sh := range f.cells[cell] {
+			r := rect{x1: pos[0], y1: pos[1], x2: pos[0] + sh.w - 1, y2: pos[1] + sh.h - 1}
+			if r.x2 >= f.boardMax || r.y2 >= f.boardMax {
+				continue
+			}
+			bad := false
+			for _, p := range placed {
+				if overlaps(p, r) {
+					bad = true
+					break
+				}
+			}
+			if bad {
+				continue
+			}
+			if boundingArea(placed, &r) >= f.best.Load() {
+				continue // bound: cannot improve
+			}
+			visit(r)
+		}
+	}
+}
+
+// relaxBest lowers the shared bound to area if it improves it.
+func (f *Floorplan) relaxBest(area int64) {
+	for {
+		cur := f.best.Load()
+		if area >= cur || f.best.CompareAndSwap(cur, area) {
+			return
+		}
+	}
+}
+
+// solveTask explores the subtree below placed, spawning a task per branch.
+func (f *Floorplan) solveTask(w *core.Worker, placed []rect, cell int) {
+	if cell == len(f.cells) {
+		f.relaxBest(boundingArea(placed, nil))
+		return
+	}
+	f.branch(placed, cell, func(r rect) {
+		next := make([]rect, cell+1)
+		copy(next, placed)
+		next[cell] = r
+		w.Spawn(func(w *core.Worker) { f.solveTask(w, next, cell+1) })
+	})
+	w.TaskWait()
+}
+
+// solveSeq is the sequential reference search.
+func (f *Floorplan) solveSeq(placed []rect, cell int) {
+	if cell == len(f.cells) {
+		f.relaxBest(boundingArea(placed, nil))
+		return
+	}
+	f.branch(placed, cell, func(r rect) {
+		f.solveSeq(append(placed[:cell:cell], r), cell+1)
+	})
+}
+
+// RunParallel implements Benchmark.
+func (f *Floorplan) RunParallel(tm *core.Team) {
+	f.best.Store(int64(f.boardMax) * int64(f.boardMax) * 4)
+	tm.Run(func(w *core.Worker) { f.solveTask(w, nil, 0) })
+	f.parallel = f.best.Load()
+	f.ran = true
+}
+
+// RunSequential implements Benchmark.
+func (f *Floorplan) RunSequential() {
+	f.best.Store(int64(f.boardMax) * int64(f.boardMax) * 4)
+	f.solveSeq(nil, 0)
+}
+
+// Verify implements Benchmark: the parallel optimum must equal the
+// sequential optimum (branch-and-bound explores nondeterministically but
+// the optimum is unique).
+func (f *Floorplan) Verify() error {
+	if !f.ran {
+		return fmt.Errorf("floorplan: Verify before RunParallel")
+	}
+	f.RunSequential()
+	want := f.best.Load()
+	if f.parallel != want {
+		return fmt.Errorf("floorplan: parallel best area %d, sequential %d", f.parallel, want)
+	}
+	return nil
+}

@@ -1,0 +1,223 @@
+package bots
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+)
+
+// Health is the BOTS Health benchmark: a simulation of a hierarchical
+// health system. Villages form a tree; at every time step each village
+// generates new patients stochastically, treats up to its hospital
+// capacity, and refers the overflow to its parent. One task is spawned per
+// child village per step, recursively — many small tasks with a tree-shaped
+// DAG, like the original.
+//
+// To make the parallel result exactly verifiable, patients are modelled as
+// counts (not identities) and every cross-village interaction is a
+// commutative sum, so the outcome is schedule-independent; randomness comes
+// from a per-village, per-step hash so no RNG state is shared between
+// tasks.
+type Health struct {
+	levels    int
+	branching int
+	steps     int
+	root      *village
+
+	parallel healthTotals
+	ran      bool
+}
+
+type village struct {
+	id       uint64
+	children []*village
+	// population is the pool that can fall sick each step.
+	population int
+	// capacity is how many patients the hospital treats per step.
+	capacity int
+	// waiting is the current hospital queue (own + referred).
+	waiting int
+	// referredIn accumulates referrals from children during a step; only
+	// the parent reads it, after its children's tasks complete.
+	referredIn int
+	// pendingRefer is this village's outgoing referral for the step just
+	// computed; the parent consumes it after TaskWait.
+	pendingRefer int
+	totals       healthTotals
+}
+
+// healthTotals is the simulation checksum.
+type healthTotals struct {
+	Sick, Treated, Referred int64
+}
+
+func (t healthTotals) add(o healthTotals) healthTotals {
+	return healthTotals{t.Sick + o.Sick, t.Treated + o.Treated, t.Referred + o.Referred}
+}
+
+// NewHealth returns the instance for the given scale.
+func NewHealth(sc Scale) *Health {
+	type params struct{ levels, branching, steps int }
+	p := map[Scale]params{
+		ScaleTest:   {3, 3, 20},
+		ScaleSmall:  {4, 4, 50},
+		ScaleMedium: {5, 4, 80},
+		ScaleLarge:  {5, 5, 120},
+	}[sc]
+	h := &Health{levels: p.levels, branching: p.branching, steps: p.steps}
+	h.root = h.buildVillage(1, p.levels)
+	return h
+}
+
+// buildVillage constructs the subtree rooted at id with the given number of
+// levels remaining. Leaf villages have larger populations and smaller
+// hospitals, as in the BOTS inputs.
+func (h *Health) buildVillage(id uint64, levels int) *village {
+	v := &village{id: id}
+	if levels == 1 {
+		v.population = 40
+		v.capacity = 2
+		return v
+	}
+	v.population = 10
+	v.capacity = 4 * levels
+	v.children = make([]*village, h.branching)
+	for i := range v.children {
+		v.children[i] = h.buildVillage(id*uint64(h.branching+1)+uint64(i+1), levels-1)
+	}
+	return v
+}
+
+// reset clears simulation state before a run.
+func (v *village) reset() {
+	v.waiting = 0
+	v.referredIn = 0
+	v.pendingRefer = 0
+	v.totals = healthTotals{}
+	for _, c := range v.children {
+		c.reset()
+	}
+}
+
+// mix64 is SplitMix64's finalizer, used as a per-(village, step) hash.
+func mix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// stepVillage advances one village by one time step. Children have already
+// been stepped (their referrals are in referredIn).
+func (v *village) stepVillage(step int) {
+	// New sick patients: one Bernoulli(1/8) draw per inhabitant, derived
+	// from the (village, step, inhabitant) hash — schedule independent.
+	sick := 0
+	base := v.id*0x1000003 + uint64(step)
+	for i := 0; i < v.population; i++ {
+		if mix64(base+uint64(i)*0x10001)&7 == 0 {
+			sick++
+		}
+	}
+	v.totals.Sick += int64(sick)
+	v.waiting += sick + v.referredIn
+	v.referredIn = 0
+
+	treated := v.waiting
+	if treated > v.capacity {
+		treated = v.capacity
+	}
+	v.waiting -= treated
+	v.totals.Treated += int64(treated)
+
+	// Half of the untreated queue (rounded down) escalates to the parent;
+	// the root has no parent, so its queue just grows.
+	refer := v.waiting / 2
+	if refer > 0 {
+		v.totals.Referred += int64(refer)
+		v.waiting -= refer
+	}
+	v.pendingRefer = refer
+}
+
+// stepTask advances the subtree rooted at v by one step, spawning one task
+// per child, then processes v itself and collects the children's referrals
+// (commutative sums, so arrival order is irrelevant).
+func stepTask(w *core.Worker, v *village, step int) {
+	for _, c := range v.children {
+		c := c
+		w.Spawn(func(w *core.Worker) { stepTask(w, c, step) })
+	}
+	w.TaskWait()
+	for _, c := range v.children {
+		v.referredIn += c.pendingRefer
+		c.pendingRefer = 0
+	}
+	v.stepVillage(step)
+}
+
+// stepSeq is the sequential reference.
+func stepSeq(v *village, step int) {
+	for _, c := range v.children {
+		stepSeq(c, step)
+	}
+	for _, c := range v.children {
+		v.referredIn += c.pendingRefer
+		c.pendingRefer = 0
+	}
+	v.stepVillage(step)
+}
+
+// collect sums the per-village totals.
+func collect(v *village) healthTotals {
+	t := v.totals
+	for _, c := range v.children {
+		t = t.add(collect(c))
+	}
+	return t
+}
+
+// Name implements Benchmark.
+func (h *Health) Name() string { return "health" }
+
+// Params implements Benchmark.
+func (h *Health) Params() string {
+	return fmt.Sprintf("levels=%d branching=%d steps=%d", h.levels, h.branching, h.steps)
+}
+
+// RunParallel implements Benchmark.
+func (h *Health) RunParallel(tm *core.Team) {
+	h.root.reset()
+	tm.Run(func(w *core.Worker) {
+		for s := 0; s < h.steps; s++ {
+			stepTask(w, h.root, s)
+		}
+	})
+	h.parallel = collect(h.root)
+	h.ran = true
+}
+
+// RunSequential implements Benchmark.
+func (h *Health) RunSequential() {
+	h.root.reset()
+	for s := 0; s < h.steps; s++ {
+		stepSeq(h.root, s)
+	}
+}
+
+// Verify implements Benchmark: the parallel totals must equal the
+// sequential totals exactly.
+func (h *Health) Verify() error {
+	if !h.ran {
+		return fmt.Errorf("health: Verify before RunParallel")
+	}
+	if h.parallel.Sick == 0 {
+		return fmt.Errorf("health: no patients simulated")
+	}
+	h.RunSequential()
+	want := collect(h.root)
+	if h.parallel != want {
+		return fmt.Errorf("health: parallel totals %+v, sequential %+v", h.parallel, want)
+	}
+	return nil
+}

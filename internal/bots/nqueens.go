@@ -1,0 +1,115 @@
+package bots
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+)
+
+// NQueens is the BOTS N-Queens benchmark: count all placements of n queens
+// on an n×n board. One task is spawned per branch of the backtracking tree,
+// like the BOTS task version — extremely fine-grained with an irregular
+// DAG, the workload where the paper reports its largest improvements
+// (96.5× for XGOMP, 1522.8× for XGOMPTB).
+type NQueens struct {
+	n      int
+	result int64
+	ran    bool
+}
+
+// knownSolutions[n] is the number of n-queens solutions (OEIS A000170).
+var knownSolutions = map[int]int64{
+	1: 1, 2: 0, 3: 0, 4: 2, 5: 10, 6: 4, 7: 40, 8: 92,
+	9: 352, 10: 724, 11: 2680, 12: 14200, 13: 73712, 14: 365596,
+}
+
+// NewNQueens returns the instance for the given scale.
+func NewNQueens(sc Scale) *NQueens {
+	n := map[Scale]int{ScaleTest: 8, ScaleSmall: 10, ScaleMedium: 11, ScaleLarge: 12}[sc]
+	return &NQueens{n: n}
+}
+
+// Name implements Benchmark.
+func (q *NQueens) Name() string { return "nqueens" }
+
+// Params implements Benchmark.
+func (q *NQueens) Params() string { return fmt.Sprintf("n=%d", q.n) }
+
+// safe reports whether a queen at (row, col) conflicts with rows [0, row).
+func safe(cols []int8, row, col int) bool {
+	for r := 0; r < row; r++ {
+		c := int(cols[r])
+		if c == col || c-col == row-r || col-c == row-r {
+			return false
+		}
+	}
+	return true
+}
+
+// queensTask counts solutions below the partial placement cols[0:row],
+// spawning one child task per safe column — the BOTS tasking shape.
+func queensTask(w *core.Worker, n, row int, cols []int8) int64 {
+	if row == n {
+		return 1
+	}
+	counts := make([]int64, n)
+	for col := 0; col < n; col++ {
+		if !safe(cols, row, col) {
+			continue
+		}
+		col := col
+		next := make([]int8, row+1)
+		copy(next, cols[:row])
+		next[row] = int8(col)
+		w.Spawn(func(w *core.Worker) {
+			counts[col] = queensTask(w, n, row+1, next)
+		})
+	}
+	w.TaskWait()
+	var sum int64
+	for _, c := range counts {
+		sum += c
+	}
+	return sum
+}
+
+// queensSeq is the sequential reference.
+func queensSeq(n, row int, cols []int8) int64 {
+	if row == n {
+		return 1
+	}
+	var sum int64
+	for col := 0; col < n; col++ {
+		if safe(cols, row, col) {
+			cols[row] = int8(col)
+			sum += queensSeq(n, row+1, cols)
+		}
+	}
+	return sum
+}
+
+// RunParallel implements Benchmark.
+func (q *NQueens) RunParallel(tm *core.Team) {
+	tm.Run(func(w *core.Worker) {
+		q.result = queensTask(w, q.n, 0, make([]int8, q.n))
+	})
+	q.ran = true
+}
+
+// RunSequential implements Benchmark.
+func (q *NQueens) RunSequential() { _ = queensSeq(q.n, 0, make([]int8, q.n)) }
+
+// Verify implements Benchmark.
+func (q *NQueens) Verify() error {
+	if !q.ran {
+		return fmt.Errorf("nqueens: Verify before RunParallel")
+	}
+	want, ok := knownSolutions[q.n]
+	if !ok {
+		want = queensSeq(q.n, 0, make([]int8, q.n))
+	}
+	if q.result != want {
+		return fmt.Errorf("nqueens(%d) = %d, want %d", q.n, q.result, want)
+	}
+	return nil
+}

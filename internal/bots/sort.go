@@ -1,0 +1,224 @@
+package bots
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/rng"
+)
+
+// Sort is the BOTS Multisort benchmark (cilksort): a parallel mergesort
+// that splits the array into four quarters sorted as tasks, then merges
+// pairs with a divide-and-conquer parallel merge. Below the cutoffs it
+// falls back to sequential quicksort and sequential merge. Task sizes
+// cluster around 10⁵ cycles in the paper — a coarse-grained workload whose
+// DLB win comes from NUMA locality.
+type Sort struct {
+	n       int
+	input   []int32
+	data    []int32
+	scratch []int32
+	ran     bool
+
+	quickCutoff int
+	mergeCutoff int
+	insertion   int
+}
+
+// NewSort returns the instance for the given scale.
+func NewSort(sc Scale) *Sort {
+	n := map[Scale]int{
+		ScaleTest:   1 << 14,
+		ScaleSmall:  1 << 18,
+		ScaleMedium: 1 << 20,
+		ScaleLarge:  1 << 22,
+	}[sc]
+	s := &Sort{n: n, quickCutoff: 2048, mergeCutoff: 2048, insertion: 20}
+	r := rng.New(0x50127)
+	s.input = make([]int32, n)
+	for i := range s.input {
+		s.input[i] = int32(r.Uint32())
+	}
+	s.data = make([]int32, n)
+	s.scratch = make([]int32, n)
+	return s
+}
+
+// Name implements Benchmark.
+func (s *Sort) Name() string { return "sort" }
+
+// Params implements Benchmark.
+func (s *Sort) Params() string { return fmt.Sprintf("n=%d", s.n) }
+
+// insertionSort sorts a in place.
+func insertionSort(a []int32) {
+	for i := 1; i < len(a); i++ {
+		v := a[i]
+		j := i - 1
+		for j >= 0 && a[j] > v {
+			a[j+1] = a[j]
+			j--
+		}
+		a[j+1] = v
+	}
+}
+
+// quickSort is the sequential base sorter.
+func quickSort(a []int32, insertion int) {
+	for len(a) > insertion {
+		// Median-of-three pivot.
+		m := len(a) / 2
+		hi := len(a) - 1
+		if a[0] > a[m] {
+			a[0], a[m] = a[m], a[0]
+		}
+		if a[0] > a[hi] {
+			a[0], a[hi] = a[hi], a[0]
+		}
+		if a[m] > a[hi] {
+			a[m], a[hi] = a[hi], a[m]
+		}
+		pivot := a[m]
+		i, j := 0, hi
+		for i <= j {
+			for a[i] < pivot {
+				i++
+			}
+			for a[j] > pivot {
+				j--
+			}
+			if i <= j {
+				a[i], a[j] = a[j], a[i]
+				i++
+				j--
+			}
+		}
+		// Recurse into the smaller side, loop on the larger.
+		if j < len(a)-i {
+			quickSort(a[:j+1], insertion)
+			a = a[i:]
+		} else {
+			quickSort(a[i:], insertion)
+			a = a[:j+1]
+		}
+	}
+	insertionSort(a)
+}
+
+// seqMerge merges sorted a and b into out.
+func seqMerge(a, b, out []int32) {
+	i, j, k := 0, 0, 0
+	for i < len(a) && j < len(b) {
+		if a[i] <= b[j] {
+			out[k] = a[i]
+			i++
+		} else {
+			out[k] = b[j]
+			j++
+		}
+		k++
+	}
+	copy(out[k:], a[i:])
+	copy(out[k+len(a)-i:], b[j:])
+}
+
+// lowerBound returns the first index in a with a[i] >= v.
+func lowerBound(a []int32, v int32) int {
+	lo, hi := 0, len(a)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if a[mid] < v {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// parMerge merges sorted a and b into out with divide-and-conquer tasks:
+// split a at its median, binary-search the split point in b, and merge the
+// two halves in parallel (the cilksort merge).
+func (s *Sort) parMerge(w *core.Worker, a, b, out []int32) {
+	if len(a) < len(b) {
+		a, b = b, a
+	}
+	if len(a)+len(b) <= s.mergeCutoff || len(b) == 0 {
+		seqMerge(a, b, out)
+		return
+	}
+	ma := len(a) / 2
+	mb := lowerBound(b, a[ma])
+	a1, a2 := a[:ma], a[ma:]
+	b1, b2 := b[:mb], b[mb:]
+	out1, out2 := out[:ma+mb], out[ma+mb:]
+	w.Spawn(func(w *core.Worker) { s.parMerge(w, a1, b1, out1) })
+	s.parMerge(w, a2, b2, out2)
+	w.TaskWait()
+}
+
+// parSort sorts data using scratch, leaving the result in data.
+func (s *Sort) parSort(w *core.Worker, data, scratch []int32) {
+	n := len(data)
+	if n <= s.quickCutoff {
+		quickSort(data, s.insertion)
+		return
+	}
+	q := n / 4
+	parts := [4][2]int{{0, q}, {q, 2 * q}, {2 * q, 3 * q}, {3 * q, n}}
+	for i := 0; i < 3; i++ {
+		p := parts[i]
+		w.Spawn(func(w *core.Worker) {
+			s.parSort(w, data[p[0]:p[1]], scratch[p[0]:p[1]])
+		})
+	}
+	p := parts[3]
+	s.parSort(w, data[p[0]:p[1]], scratch[p[0]:p[1]])
+	w.TaskWait()
+
+	// Merge quarters pairwise into scratch, then scratch halves into data.
+	w.Spawn(func(w *core.Worker) {
+		s.parMerge(w, data[parts[0][0]:parts[0][1]], data[parts[1][0]:parts[1][1]], scratch[:2*q])
+	})
+	s.parMerge(w, data[parts[2][0]:parts[2][1]], data[parts[3][0]:parts[3][1]], scratch[2*q:])
+	w.TaskWait()
+	s.parMerge(w, scratch[:2*q], scratch[2*q:], data)
+}
+
+// RunParallel implements Benchmark.
+func (s *Sort) RunParallel(tm *core.Team) {
+	copy(s.data, s.input)
+	tm.Run(func(w *core.Worker) { s.parSort(w, s.data, s.scratch) })
+	s.ran = true
+}
+
+// RunSequential implements Benchmark.
+func (s *Sort) RunSequential() {
+	tmp := make([]int32, s.n)
+	copy(tmp, s.input)
+	quickSort(tmp, s.insertion)
+}
+
+// Verify implements Benchmark: the output must be sorted and a permutation
+// of the input (checked with an order-independent multiset fingerprint).
+func (s *Sort) Verify() error {
+	if !s.ran {
+		return fmt.Errorf("sort: Verify before RunParallel")
+	}
+	var sumIn, sumOut, xorIn, xorOut uint64
+	for i, v := range s.data {
+		if i > 0 && s.data[i-1] > v {
+			return fmt.Errorf("sort: output not sorted at %d", i)
+		}
+		sumOut += uint64(uint32(v))
+		xorOut ^= uint64(uint32(v)) * 0x9e3779b97f4a7c15
+	}
+	for _, v := range s.input {
+		sumIn += uint64(uint32(v))
+		xorIn ^= uint64(uint32(v)) * 0x9e3779b97f4a7c15
+	}
+	if sumIn != sumOut || xorIn != xorOut {
+		return fmt.Errorf("sort: output is not a permutation of the input")
+	}
+	return nil
+}

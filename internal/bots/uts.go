@@ -1,0 +1,134 @@
+package bots
+
+import (
+	"crypto/sha1"
+	"encoding/binary"
+	"fmt"
+
+	"repro/internal/core"
+)
+
+// UTS is the Unbalanced Tree Search benchmark: count the nodes of an
+// implicitly defined random tree whose shape is derived from cryptographic
+// hashes, so the imbalance is unpredictable but perfectly reproducible.
+// This is the canonical binomial variant: the root has b0 children, and
+// every other node has m children with probability q (else none), with
+// m·q < 1 so the tree is finite but heavy-tailed — the classic stress test
+// for dynamic load balancing. One task is spawned per child.
+type UTS struct {
+	b0       int     // root fan-out
+	m        int     // children per internal node
+	q        float64 // probability a node is internal
+	maxDepth int     // hard safety cap; far above any realistic depth
+	seed     uint32
+	parallel int64
+	ran      bool
+}
+
+// NewUTS returns the instance for the given scale. q·m = 0.96 keeps
+// subtree sizes heavy-tailed (expected ~25 nodes per root child with
+// occasional huge excursions), as in the canonical UTS T3-style trees.
+func NewUTS(sc Scale) *UTS {
+	b0 := map[Scale]int{ScaleTest: 64, ScaleSmall: 512, ScaleMedium: 2048, ScaleLarge: 8192}[sc]
+	return &UTS{b0: b0, m: 8, q: 0.12, maxDepth: 1000, seed: 19}
+}
+
+// Name implements Benchmark.
+func (u *UTS) Name() string { return "uts" }
+
+// Params implements Benchmark.
+func (u *UTS) Params() string {
+	return fmt.Sprintf("bin b0=%d m=%d q=%.3f seed=%d", u.b0, u.m, u.q, u.seed)
+}
+
+// descriptor is a UTS node identity: a SHA-1 state, as in the canonical
+// implementation.
+type descriptor [20]byte
+
+func rootDescriptor(seed uint32) descriptor {
+	var buf [4]byte
+	binary.BigEndian.PutUint32(buf[:], seed)
+	return sha1.Sum(buf[:])
+}
+
+func childDescriptor(parent descriptor, idx int) descriptor {
+	var buf [24]byte
+	copy(buf[:20], parent[:])
+	binary.BigEndian.PutUint32(buf[20:], uint32(idx))
+	return sha1.Sum(buf[:])
+}
+
+// numChildren maps a node's descriptor to its child count.
+func (u *UTS) numChildren(d descriptor, depth int) int {
+	if depth == 0 {
+		return u.b0
+	}
+	if depth >= u.maxDepth {
+		return 0
+	}
+	bits := binary.BigEndian.Uint64(d[:8])
+	uni := (float64(bits>>11) + 0.5) / (1 << 53)
+	if uni < u.q {
+		return u.m
+	}
+	return 0
+}
+
+// countTask counts the subtree rooted at d, spawning one task per child.
+func (u *UTS) countTask(w *core.Worker, d descriptor, depth int) int64 {
+	kids := u.numChildren(d, depth)
+	if kids == 0 {
+		return 1
+	}
+	counts := make([]int64, kids)
+	for i := 0; i < kids; i++ {
+		i := i
+		cd := childDescriptor(d, i)
+		w.Spawn(func(w *core.Worker) {
+			counts[i] = u.countTask(w, cd, depth+1)
+		})
+	}
+	w.TaskWait()
+	total := int64(1)
+	for _, c := range counts {
+		total += c
+	}
+	return total
+}
+
+// countSeq is the sequential reference.
+func (u *UTS) countSeq(d descriptor, depth int) int64 {
+	kids := u.numChildren(d, depth)
+	total := int64(1)
+	for i := 0; i < kids; i++ {
+		total += u.countSeq(childDescriptor(d, i), depth+1)
+	}
+	return total
+}
+
+// RunParallel implements Benchmark.
+func (u *UTS) RunParallel(tm *core.Team) {
+	root := rootDescriptor(u.seed)
+	tm.Run(func(w *core.Worker) {
+		u.parallel = u.countTask(w, root, 0)
+	})
+	u.ran = true
+}
+
+// RunSequential implements Benchmark.
+func (u *UTS) RunSequential() { _ = u.countSeq(rootDescriptor(u.seed), 0) }
+
+// Verify implements Benchmark: node counts must match exactly.
+func (u *UTS) Verify() error {
+	if !u.ran {
+		return fmt.Errorf("uts: Verify before RunParallel")
+	}
+	want := u.countSeq(rootDescriptor(u.seed), 0)
+	if u.parallel != want {
+		return fmt.Errorf("uts: parallel count %d, sequential %d", u.parallel, want)
+	}
+	if want < int64(u.b0) {
+		return fmt.Errorf("uts: degenerate tree of %d nodes", want)
+	}
+	return nil
+}

@@ -1,0 +1,67 @@
+package bqueue
+
+import "sync/atomic"
+
+// Lamport is the classic SPSC ring with shared head/tail indices — the
+// baseline B-queue was designed to beat. Every Enqueue reads the
+// consumer-written tail and every Dequeue reads the producer-written head,
+// so the control variables ping-pong between the two cores' caches on
+// every operation. It exists for the ablation benchmarks that justify
+// B-queue's batched probing (see BenchmarkLamportVsBQueue); the runtime
+// itself always uses Queue.
+type Lamport[T any] struct {
+	head atomic.Uint32 // producer writes, consumer reads
+	_    [15]uint32
+	tail atomic.Uint32 // consumer writes, producer reads
+	_    [15]uint32
+	mask uint32
+	buf  []atomic.Pointer[T]
+}
+
+// NewLamport returns a Lamport ring with the given power-of-two capacity.
+// One slot is sacrificed to distinguish full from empty.
+func NewLamport[T any](capacity int) *Lamport[T] {
+	if capacity < 2 || capacity&(capacity-1) != 0 {
+		panic("bqueue: capacity must be a power of two and >= 2")
+	}
+	return &Lamport[T]{
+		mask: uint32(capacity - 1),
+		buf:  make([]atomic.Pointer[T], capacity),
+	}
+}
+
+// Cap returns the usable capacity (one less than the ring size).
+func (q *Lamport[T]) Cap() int { return len(q.buf) - 1 }
+
+// Enqueue appends v, reporting false when full. Producer-only.
+func (q *Lamport[T]) Enqueue(v *T) bool {
+	if v == nil {
+		panic("bqueue: Enqueue(nil)")
+	}
+	h := q.head.Load()
+	if (h+1)&q.mask == q.tail.Load()&q.mask {
+		return false // full
+	}
+	q.buf[h&q.mask].Store(v)
+	q.head.Store(h + 1)
+	return true
+}
+
+// Dequeue removes the oldest item, or returns nil when empty.
+// Consumer-only.
+func (q *Lamport[T]) Dequeue() *T {
+	t := q.tail.Load()
+	if t == q.head.Load() {
+		return nil // empty
+	}
+	slot := &q.buf[t&q.mask]
+	v := slot.Load()
+	slot.Store(nil)
+	q.tail.Store(t + 1)
+	return v
+}
+
+// Empty reports whether the queue looks empty. Consumer-only.
+func (q *Lamport[T]) Empty() bool {
+	return q.tail.Load() == q.head.Load()
+}

@@ -1,0 +1,156 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/numa"
+)
+
+// Ablation benchmarks: isolate the mechanisms the paper's design choices
+// target. These regenerate the *why* behind the figures — how each queue
+// substrate, task counter, and barrier behaves as worker count grows —
+// in a form measurable on any host (relative scaling, not absolute time).
+
+// BenchmarkSubstrateThroughput drives each scheduler substrate with one
+// producer-consumer pair per worker, measuring task hand-off throughput.
+// The GOMP global lock serializes; XQueue and the Chase–Lev deques scale
+// with cores.
+func BenchmarkSubstrateThroughput(b *testing.B) {
+	for _, workers := range []int{1, 2, 4, 8} {
+		for _, kind := range []Sched{SchedGOMP, SchedLOMP, SchedXQueue} {
+			b.Run(fmt.Sprintf("%v/%dw", kind, workers), func(b *testing.B) {
+				var s scheduler
+				switch kind {
+				case SchedGOMP:
+					s = newGompSched()
+				case SchedLOMP:
+					s = newLompSched(workers, 1024, 1)
+				case SchedXQueue:
+					s = newXQSched(workers, 1024)
+				}
+				tasks := make([]Task, workers)
+				perWorker := b.N / workers
+				var wg sync.WaitGroup
+				b.ResetTimer()
+				for w := 0; w < workers; w++ {
+					wg.Add(1)
+					go func(w int) {
+						defer wg.Done()
+						t := &tasks[w]
+						for i := 0; i < perWorker; i++ {
+							if _, ok := s.push(w, t); !ok {
+								// Queue full: drain one and retry once.
+								s.pop(w)
+								s.push(w, t)
+							}
+							s.pop(w)
+						}
+					}(w)
+				}
+				wg.Wait()
+			})
+		}
+	}
+}
+
+// BenchmarkTaskCounter compares the XGOMP shared atomic counter (RMW on a
+// shared line per task) with the XGOMPTB distributed single-writer cells.
+func BenchmarkTaskCounter(b *testing.B) {
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("atomic/%dw", workers), func(b *testing.B) {
+			c := &atomicCounter{}
+			benchCounter(b, c, workers)
+		})
+		b.Run(fmt.Sprintf("distributed/%dw", workers), func(b *testing.B) {
+			c := newDistCounter(workers)
+			benchCounter(b, c, workers)
+		})
+	}
+}
+
+func benchCounter(b *testing.B, c taskCounter, workers int) {
+	perWorker := b.N / workers
+	var wg sync.WaitGroup
+	b.ResetTimer()
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				c.created(w)
+				c.finished(w)
+			}
+		}(w)
+	}
+	wg.Wait()
+	if !c.quiescent() {
+		b.Fatal("counter lost updates")
+	}
+}
+
+// BenchmarkBarrierRelease measures one full empty parallel region per
+// iteration — spawn, barrier gather, release — for each barrier type,
+// which is the fixed overhead the tree barrier reduces.
+func BenchmarkBarrierRelease(b *testing.B) {
+	for _, preset := range []string{"gomp", "xgomp", "xgomptb"} {
+		for _, workers := range []int{2, 4, 8} {
+			b.Run(fmt.Sprintf("%s/%dw", preset, workers), func(b *testing.B) {
+				cfg := Preset(preset, workers)
+				cfg.Topology = numa.Synthetic(workers, 2)
+				tm := MustTeam(cfg)
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					tm.Run(func(*Worker) {})
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkSpawnLatency measures the task spawn+execute round trip per
+// substrate with a single worker (pure software overhead, no contention).
+func BenchmarkSpawnLatency(b *testing.B) {
+	for _, preset := range []string{"gomp", "lomp", "xgomp", "xgomptb"} {
+		b.Run(preset, func(b *testing.B) {
+			tm := MustTeam(Preset(preset, 1))
+			var sink atomic.Int64
+			b.ResetTimer()
+			tm.Run(func(w *Worker) {
+				for i := 0; i < b.N; i++ {
+					w.Spawn(func(*Worker) { sink.Add(1) })
+					if i%256 == 0 {
+						w.TaskWait() // bound queue growth
+					}
+				}
+				w.TaskWait()
+			})
+			b.StopTimer()
+			if sink.Load() != int64(b.N) {
+				b.Fatalf("ran %d tasks, want %d", sink.Load(), b.N)
+			}
+		})
+	}
+}
+
+// BenchmarkDLBOverhead measures the cost the messaging protocol adds to a
+// balanced workload that never needs it (the "do no harm" property).
+func BenchmarkDLBOverhead(b *testing.B) {
+	for _, name := range []string{"xgomptb", "xgomptb+narp", "xgomptb+naws"} {
+		b.Run(name, func(b *testing.B) {
+			cfg := Preset(name, 4)
+			cfg.Topology = numa.Synthetic(4, 2)
+			tm := MustTeam(cfg)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				tm.Run(func(w *Worker) {
+					for t := 0; t < 512; t++ {
+						w.Spawn(func(*Worker) {})
+					}
+				})
+			}
+		})
+	}
+}

@@ -1,0 +1,114 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/prof"
+)
+
+// Automatic DLB selection — the paper's stated future work ("we will
+// decompose application characteristics to automate the selection of good
+// settings", §X), implemented over its own Table IV guidelines: probe the
+// workload once, measure mean task duration and imbalance, classify the
+// task size, and pick the strategy and steal size the guidelines
+// prescribe.
+
+// Measurement is what the tuner observed during the probe run.
+type Measurement struct {
+	// Elapsed is the probe region's wall time.
+	Elapsed time.Duration
+	// Tasks is the number of tasks the probe executed.
+	Tasks uint64
+	// MeanTask is the estimated mean task duration (total worker time
+	// over task count — an upper bound that includes idle time).
+	MeanTask time.Duration
+	// Imbalance is max/mean of per-worker executed-task counts.
+	Imbalance float64
+}
+
+// Retune replaces the team's DLB configuration. It must be called between
+// parallel regions, never while one is running.
+func (tm *Team) Retune(d DLBConfig) error {
+	if tm.running {
+		return fmt.Errorf("core: Retune during a parallel region")
+	}
+	probe := tm.cfg
+	probe.DLB = d
+	if err := probe.validate(); err != nil {
+		return err
+	}
+	tm.cfg.DLB = d
+	tm.dlbOn = d.Strategy != DLBNone
+	return nil
+}
+
+// AutoTune runs workload once as a probe region under the current
+// settings, derives DLB settings from the paper's Table IV guidelines,
+// and installs them with Retune. It returns the chosen configuration and
+// the probe measurement. Teams must be built with SchedXQueue.
+func (tm *Team) AutoTune(workload TaskFunc) (DLBConfig, Measurement, error) {
+	if tm.cfg.Sched != SchedXQueue {
+		return DLBConfig{}, Measurement{}, fmt.Errorf("core: AutoTune requires SchedXQueue, team uses %v", tm.cfg.Sched)
+	}
+	before := tm.snapshotExecuted()
+	start := time.Now()
+	tm.Run(workload)
+	elapsed := time.Since(start)
+	after := tm.snapshotExecuted()
+
+	m := Measurement{Elapsed: elapsed}
+	var maxExec uint64
+	for i := range after {
+		d := after[i] - before[i]
+		m.Tasks += d
+		if d > maxExec {
+			maxExec = d
+		}
+	}
+	if m.Tasks == 0 {
+		return DLBConfig{}, m, fmt.Errorf("core: probe region executed no tasks")
+	}
+	m.MeanTask = time.Duration(uint64(elapsed.Nanoseconds()) * uint64(tm.n) / m.Tasks)
+	m.Imbalance = float64(maxExec) * float64(tm.n) / float64(m.Tasks)
+
+	cfg := GuidelineFor(m.MeanTask, tm.top.Zones)
+	if err := tm.Retune(cfg); err != nil {
+		return DLBConfig{}, m, err
+	}
+	return cfg, m, nil
+}
+
+// GuidelineFor maps a mean task duration to DLB settings following the
+// paper's Table IV: fine-grained tasks → NA-WS with small steal sizes and
+// fully local victims; coarse tasks → larger steals, with the coarsest
+// class on NA-RP. Plocal only matters on multi-zone topologies.
+func GuidelineFor(meanTask time.Duration, zones int) DLBConfig {
+	ns := meanTask.Nanoseconds()
+	var cfg DLBConfig
+	switch {
+	case ns < 500: // ~10¹–10² cycles: smallest steals
+		cfg = DLBConfig{Strategy: DLBWorkSteal, NVictim: 1, NSteal: 1, TInterval: 100, PLocal: 1}
+	case ns < 5_000: // ~10² cycles class
+		cfg = DLBConfig{Strategy: DLBWorkSteal, NVictim: 2, NSteal: 8, TInterval: 100, PLocal: 1}
+	case ns < 50_000: // ~10³ cycles class
+		cfg = DLBConfig{Strategy: DLBWorkSteal, NVictim: 4, NSteal: 16, TInterval: 100, PLocal: 1}
+	case ns < 500_000: // 10³–10⁴ cycles: bigger steals, some remote
+		cfg = DLBConfig{Strategy: DLBWorkSteal, NVictim: 8, NSteal: 32, TInterval: 100, PLocal: 0.5}
+	default: // >10⁴ cycles: redirect-push with the largest steals
+		cfg = DLBConfig{Strategy: DLBRedirectPush, NVictim: 8, NSteal: 32, TInterval: 100, PLocal: 1}
+	}
+	if zones <= 1 {
+		cfg.PLocal = 1
+	}
+	return cfg
+}
+
+// snapshotExecuted copies the per-worker executed-task counters.
+func (tm *Team) snapshotExecuted() []uint64 {
+	out := make([]uint64, tm.n)
+	for i := 0; i < tm.n; i++ {
+		out[i] = tm.profile.Thread(i).Counter(prof.CntTasksExecuted)
+	}
+	return out
+}

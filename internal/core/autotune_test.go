@@ -1,0 +1,152 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/simnuma"
+)
+
+func TestGuidelineForClasses(t *testing.T) {
+	cases := []struct {
+		mean     time.Duration
+		strategy DLBStrategy
+	}{
+		{100 * time.Nanosecond, DLBWorkSteal},
+		{2 * time.Microsecond, DLBWorkSteal},
+		{20 * time.Microsecond, DLBWorkSteal},
+		{200 * time.Microsecond, DLBWorkSteal},
+		{2 * time.Millisecond, DLBRedirectPush},
+	}
+	prevSteal := 0
+	for _, c := range cases {
+		cfg := GuidelineFor(c.mean, 4)
+		if cfg.Strategy != c.strategy {
+			t.Errorf("GuidelineFor(%v): strategy %v, want %v", c.mean, cfg.Strategy, c.strategy)
+		}
+		steal := cfg.NVictim * cfg.NSteal
+		if steal < prevSteal {
+			t.Errorf("steal size must grow with task size: %v gave %d after %d", c.mean, steal, prevSteal)
+		}
+		prevSteal = steal
+		if cfg.TInterval < 1 || cfg.PLocal < 0 || cfg.PLocal > 1 {
+			t.Errorf("invalid guideline config %+v", cfg)
+		}
+	}
+	// Single-zone topologies force PLocal=1.
+	if cfg := GuidelineFor(200*time.Microsecond, 1); cfg.PLocal != 1 {
+		t.Errorf("single zone must pin PLocal=1, got %v", cfg.PLocal)
+	}
+}
+
+func TestRetune(t *testing.T) {
+	tm := MustTeam(Preset("xgomptb", 2))
+	if err := tm.Retune(DLBConfig{Strategy: DLBWorkSteal, NVictim: 1, NSteal: 1, TInterval: 10, PLocal: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if !tm.dlbOn || tm.cfg.DLB.Strategy != DLBWorkSteal {
+		t.Fatal("Retune did not install config")
+	}
+	// Invalid settings rejected, previous config retained.
+	if err := tm.Retune(DLBConfig{Strategy: DLBWorkSteal, NVictim: 0, NSteal: 1, TInterval: 10}); err == nil {
+		t.Fatal("invalid retune accepted")
+	}
+	if tm.cfg.DLB.NVictim != 1 {
+		t.Fatal("failed retune clobbered settings")
+	}
+	// Back to static.
+	if err := tm.Retune(DLBConfig{}); err != nil {
+		t.Fatal(err)
+	}
+	if tm.dlbOn {
+		t.Fatal("static retune left DLB on")
+	}
+	// Retune on GOMP teams must fail (DLB needs XQueue).
+	gomp := MustTeam(Preset("gomp", 2))
+	if err := gomp.Retune(DLBConfig{Strategy: DLBWorkSteal, NVictim: 1, NSteal: 1, TInterval: 10}); err == nil {
+		t.Fatal("DLB on GOMP accepted")
+	}
+}
+
+func TestRetuneDuringRegionFails(t *testing.T) {
+	tm := MustTeam(Preset("xgomptb", 2))
+	var err error
+	tm.Run(func(w *Worker) {
+		if w.ID() == 0 {
+			err = tm.Retune(DLBConfig{Strategy: DLBWorkSteal, NVictim: 1, NSteal: 1, TInterval: 10, PLocal: 1})
+		}
+	})
+	if err == nil {
+		t.Fatal("Retune inside a region accepted")
+	}
+}
+
+func TestAutoTuneCoarseWorkload(t *testing.T) {
+	tm := MustTeam(Preset("xgomptb", 4))
+	coarse := func(w *Worker) {
+		for i := 0; i < 50; i++ {
+			w.Spawn(func(*Worker) { simnuma.Spin(2_000_000) }) // ~ms tasks
+		}
+	}
+	cfg, m, err := tm.AutoTune(coarse)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Tasks != 50 {
+		t.Fatalf("probe measured %d tasks, want 50", m.Tasks)
+	}
+	if m.MeanTask < 100*time.Microsecond {
+		t.Fatalf("mean task %v too small for the coarse workload", m.MeanTask)
+	}
+	if cfg.Strategy != DLBRedirectPush {
+		t.Errorf("coarse workload tuned to %v, want NA-RP", cfg.Strategy)
+	}
+	if tm.cfg.DLB != cfg {
+		t.Error("tuned config not installed")
+	}
+	// The tuned team still runs correctly.
+	var got int
+	tm.Run(func(w *Worker) { got = taskFib(w, 10) })
+	if got != serialFib(10) {
+		t.Error("tuned team computes wrong results")
+	}
+}
+
+func TestAutoTuneFineWorkload(t *testing.T) {
+	tm := MustTeam(Preset("xgomptb", 4))
+	fine := func(w *Worker) {
+		for i := 0; i < 20000; i++ {
+			w.Spawn(func(*Worker) {})
+		}
+	}
+	cfg, m, err := tm.AutoTune(fine)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The measured mean task duration is load-dependent (it includes
+	// scheduler overhead and machine noise), so the hard contract is
+	// internal consistency: the installed config must be exactly the
+	// guideline for what was measured.
+	if want := GuidelineFor(m.MeanTask, tm.Topology().Zones); cfg != want {
+		t.Fatalf("installed %+v, guideline for %v is %+v", cfg, m.MeanTask, want)
+	}
+	// Empty task bodies stay well under the NA-RP threshold even with
+	// heavy overhead, so the strategy should be work stealing.
+	if m.MeanTask < 500*time.Microsecond && cfg.Strategy != DLBWorkSteal {
+		t.Errorf("fine workload (mean %v) tuned to %v, want NA-WS", m.MeanTask, cfg.Strategy)
+	}
+}
+
+func TestAutoTuneRequiresXQueue(t *testing.T) {
+	tm := MustTeam(Preset("gomp", 2))
+	if _, _, err := tm.AutoTune(func(*Worker) {}); err == nil {
+		t.Fatal("AutoTune on GOMP accepted")
+	}
+}
+
+func TestAutoTuneEmptyProbeFails(t *testing.T) {
+	tm := MustTeam(Preset("xgomptb", 2))
+	if _, _, err := tm.AutoTune(func(*Worker) {}); err == nil {
+		t.Fatal("empty probe accepted")
+	}
+}

@@ -1,0 +1,187 @@
+package core
+
+import "sync/atomic"
+
+// barrier is the end-of-region team barrier. Workers call enter once, then
+// poll done while the team's barrier-wait loop keeps executing tasks; done
+// returns true when the barrier has released. active notifies the barrier
+// that the worker found a task while waiting (the tree barrier un-gathers).
+type barrier interface {
+	enter(w int)
+	done(w int) bool
+	active(w int)
+	reset()
+}
+
+// lockBarrier is GOMP's centralized team barrier: arrival count and release
+// decision live behind a lock that every poll must take, the contention
+// pattern the paper attributes GOMP's barrier cost to (the same actively
+// spinning lock model as the GOMP scheduler). Release requires all workers
+// to have arrived and the task counter to be quiescent.
+type lockBarrier struct {
+	counter  taskCounter
+	n        int
+	mu       spinMutex
+	arrived  int
+	released bool
+}
+
+func newLockBarrier(n int, c taskCounter) *lockBarrier {
+	return &lockBarrier{counter: c, n: n}
+}
+
+func (b *lockBarrier) enter(int) {
+	b.mu.Lock()
+	b.arrived++
+	b.mu.Unlock()
+}
+
+func (b *lockBarrier) done(int) bool {
+	b.mu.Lock()
+	if !b.released && b.arrived == b.n && b.counter.quiescent() {
+		b.released = true
+	}
+	d := b.released
+	b.mu.Unlock()
+	return d
+}
+
+func (b *lockBarrier) active(int) {}
+
+func (b *lockBarrier) reset() {
+	b.mu.Lock()
+	b.arrived = 0
+	b.released = false
+	b.mu.Unlock()
+}
+
+// atomicBarrier is the XGOMP centralized barrier: an atomic arrival counter
+// and a released flag, released when everyone arrived and the (atomic
+// global) task counter reads zero. No locks, but the shared counters are
+// RMW hot spots at scale.
+type atomicBarrier struct {
+	counter  taskCounter
+	n        int32
+	arrived  atomic.Int32
+	released atomic.Bool
+}
+
+func newAtomicBarrier(n int, c taskCounter) *atomicBarrier {
+	return &atomicBarrier{counter: c, n: int32(n)}
+}
+
+func (b *atomicBarrier) enter(int) { b.arrived.Add(1) }
+
+func (b *atomicBarrier) done(int) bool {
+	if b.released.Load() {
+		return true
+	}
+	if b.arrived.Load() == b.n && b.counter.quiescent() {
+		// Several workers may decide concurrently; the store is idempotent.
+		b.released.Store(true)
+		return true
+	}
+	return false
+}
+
+func (b *atomicBarrier) active(int) {}
+
+func (b *atomicBarrier) reset() {
+	b.arrived.Store(0)
+	b.released.Store(false)
+}
+
+// treeBarrier is the paper's hybrid distributed tree barrier (§III-B).
+// Workers form a binary tree (parent(i) = (i-1)/2). Gathering is lock-free:
+// a worker whose children subtrees are gathered and whose own queues are
+// empty publishes a complete flag that only its parent reads — one
+// single-writer cell per edge, no shared hot line. The root then validates
+// global quiescence with the distributed task counters and releases with a
+// lock-less broadcast: each worker, on seeing its own release flag, stores
+// its children's release flags with plain atomic stores and exits.
+//
+// Complete flags may go stale when a late push re-activates a gathered
+// worker; that is safe because release is gated on counter.quiescent(),
+// which cannot report true while any task exists (DESIGN.md §6).
+type treeBarrier struct {
+	counter taskCounter
+	sched   scheduler
+	n       int
+	nodes   []treeNode
+}
+
+type treeNode struct {
+	entered  atomic.Bool
+	complete atomic.Bool // written by owner, read by parent
+	release  atomic.Bool // written by parent, read by owner
+	_        [7]uint64
+}
+
+func newTreeBarrier(n int, c taskCounter, s scheduler) *treeBarrier {
+	return &treeBarrier{counter: c, sched: s, n: n, nodes: make([]treeNode, n)}
+}
+
+func (b *treeBarrier) children(w int) (int, int) {
+	l, r := 2*w+1, 2*w+2
+	if l >= b.n {
+		l = -1
+	}
+	if r >= b.n {
+		r = -1
+	}
+	return l, r
+}
+
+func (b *treeBarrier) childrenComplete(w int) bool {
+	l, r := b.children(w)
+	if l >= 0 && !b.nodes[l].complete.Load() {
+		return false
+	}
+	if r >= 0 && !b.nodes[r].complete.Load() {
+		return false
+	}
+	return true
+}
+
+func (b *treeBarrier) releaseChildren(w int) {
+	l, r := b.children(w)
+	if l >= 0 {
+		b.nodes[l].release.Store(true)
+	}
+	if r >= 0 {
+		b.nodes[r].release.Store(true)
+	}
+}
+
+func (b *treeBarrier) enter(w int) { b.nodes[w].entered.Store(true) }
+
+func (b *treeBarrier) done(w int) bool {
+	nd := &b.nodes[w]
+	if nd.release.Load() {
+		// Lock-less broadcast down the tree, then exit.
+		b.releaseChildren(w)
+		return true
+	}
+	// Gather: subtree complete ⇒ every worker in it entered and was idle
+	// with empty queues when it published its flag.
+	if !nd.complete.Load() && b.childrenComplete(w) && b.sched.empty(w) {
+		nd.complete.Store(true)
+	}
+	if w == 0 && nd.complete.Load() && b.counter.quiescent() {
+		b.releaseChildren(0)
+		return true
+	}
+	return false
+}
+
+// active un-gathers a worker that found a task while waiting. Ancestors'
+// stale flags are tolerated; see the type comment.
+func (b *treeBarrier) active(w int) { b.nodes[w].complete.Store(false) }
+
+func (b *treeBarrier) reset() {
+	for i := range b.nodes {
+		b.nodes[i].entered.Store(false)
+		b.nodes[i].complete.Store(false)
+		b.nodes[i].release.Store(false)
+	}
+}

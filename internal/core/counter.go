@@ -1,0 +1,76 @@
+package core
+
+import "sync/atomic"
+
+// taskCounter tracks how many explicit tasks exist (created but whose body
+// has not finished). The team barrier uses quiescent as its termination
+// signal: once every worker has entered the barrier, quiescent() == true
+// implies no task exists anywhere and none can appear, because tasks are
+// only created from running task bodies.
+type taskCounter interface {
+	// created records that worker w created a task. Called before the
+	// task becomes visible to any queue.
+	created(w int)
+	// finished records that worker w finished executing a task body.
+	finished(w int)
+	// quiescent reports whether all created tasks have finished. It may
+	// be called concurrently with created/finished; a true result is only
+	// meaningful once all workers are inside the barrier.
+	quiescent() bool
+}
+
+// atomicCounter is the XGOMP model: a single shared atomic counter,
+// incremented and decremented with RMW operations on every task — exactly
+// the per-task hardware synchronization XGOMPTB is designed to remove.
+type atomicCounter struct {
+	n atomic.Int64
+}
+
+func (c *atomicCounter) created(int)     { c.n.Add(1) }
+func (c *atomicCounter) finished(int)    { c.n.Add(-1) }
+func (c *atomicCounter) quiescent() bool { return c.n.Load() == 0 }
+
+// distCounter is the XGOMPTB model: per-worker created/finished cells, each
+// written only by its owning worker with plain atomic stores (no RMW, no
+// shared contended cache line).
+//
+// quiescent sums all finished cells first and all created cells second.
+// Both kinds of cell are monotone, so sumFinished <= finished(t1) <=
+// created(t2) <= sumCreated for any moment t1 before t2 between the scans;
+// equality therefore proves that at the moment the finished scan completed,
+// every created task had finished (see DESIGN.md §6).
+type distCounter struct {
+	cells []countCell
+}
+
+type countCell struct {
+	created  atomic.Uint64
+	finished atomic.Uint64
+	_        [6]uint64 // pad to a cache line
+}
+
+func newDistCounter(workers int) *distCounter {
+	return &distCounter{cells: make([]countCell, workers)}
+}
+
+func (c *distCounter) created(w int) {
+	cell := &c.cells[w].created
+	cell.Store(cell.Load() + 1) // single writer: load+store, no RMW
+}
+
+func (c *distCounter) finished(w int) {
+	cell := &c.cells[w].finished
+	cell.Store(cell.Load() + 1)
+}
+
+func (c *distCounter) quiescent() bool {
+	var fin uint64
+	for i := range c.cells {
+		fin += c.cells[i].finished.Load()
+	}
+	var cre uint64
+	for i := range c.cells {
+		cre += c.cells[i].created.Load()
+	}
+	return fin == cre
+}

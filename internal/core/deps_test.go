@@ -1,0 +1,216 @@
+package core
+
+import (
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// Writer → readers → writer chains must serialize in dependence order even
+// though they are spawned back to back.
+func TestDepsOrderingChain(t *testing.T) {
+	for _, preset := range []string{"xgomptb", "xgomptb+naws", "gomp", "lomp"} {
+		t.Run(preset, func(t *testing.T) {
+			tm := MustTeam(Preset(preset, 4))
+			var x int // the datum the depend clauses protect
+			var log []int
+			var mu spinMutex
+			record := func(v int) {
+				mu.Lock()
+				log = append(log, v)
+				mu.Unlock()
+			}
+			runWithTimeout(t, 30*time.Second, preset, func() {
+				tm.Run(func(w *Worker) {
+					w.SpawnDeps(func(*Worker) { x = 1; record(1) }, Out(&x))
+					w.SpawnDeps(func(*Worker) {
+						if x != 1 {
+							t.Errorf("reader saw x=%d, want 1", x)
+						}
+						record(2)
+					}, In(&x))
+					w.SpawnDeps(func(*Worker) {
+						if x != 1 {
+							t.Errorf("second reader saw x=%d, want 1", x)
+						}
+						record(3)
+					}, In(&x))
+					w.SpawnDeps(func(*Worker) { x = 2; record(4) }, Out(&x))
+					w.SpawnDeps(func(*Worker) {
+						if x != 2 {
+							t.Errorf("final reader saw x=%d, want 2", x)
+						}
+						record(5)
+					}, In(&x))
+					w.TaskWait()
+				})
+			})
+			if len(log) != 5 {
+				t.Fatalf("ran %d tasks, want 5", len(log))
+			}
+			pos := make(map[int]int)
+			for i, v := range log {
+				pos[v] = i
+			}
+			// Writer 1 before readers 2,3; readers before writer 4; 4 before 5.
+			if !(pos[1] < pos[2] && pos[1] < pos[3] && pos[2] < pos[4] && pos[3] < pos[4] && pos[4] < pos[5]) {
+				t.Fatalf("dependence order violated: %v", log)
+			}
+		})
+	}
+}
+
+// Readers with only In deps on the same location may run in parallel; the
+// test just checks they all run and complete.
+func TestDepsParallelReaders(t *testing.T) {
+	tm := MustTeam(Preset("xgomptb", 4))
+	var x int
+	var readers atomic.Int32
+	runWithTimeout(t, 30*time.Second, "readers", func() {
+		tm.Run(func(w *Worker) {
+			w.SpawnDeps(func(*Worker) { x = 7 }, Out(&x))
+			for i := 0; i < 50; i++ {
+				w.SpawnDeps(func(*Worker) {
+					if x == 7 {
+						readers.Add(1)
+					}
+				}, In(&x))
+			}
+			w.TaskWait()
+		})
+	})
+	if readers.Load() != 50 {
+		t.Fatalf("%d readers saw the write, want 50", readers.Load())
+	}
+}
+
+// Independent locations must not serialize against each other: tasks on
+// key B run regardless of a slow writer on key A.
+func TestDepsIndependentKeys(t *testing.T) {
+	tm := MustTeam(Preset("xgomptb", 4))
+	var a, b int
+	var bDone atomic.Bool
+	runWithTimeout(t, 30*time.Second, "keys", func() {
+		tm.Run(func(w *Worker) {
+			w.SpawnDeps(func(*Worker) {
+				time.Sleep(20 * time.Millisecond)
+				a = 1
+			}, Out(&a))
+			w.SpawnDeps(func(*Worker) {
+				b = 1
+				bDone.Store(true)
+			}, Out(&b))
+			// Wait for b's task without waiting for a's.
+			deadline := time.Now().Add(10 * time.Second)
+			for !bDone.Load() {
+				if time.Now().After(deadline) {
+					t.Error("independent task starved behind unrelated writer")
+					return
+				}
+				w.Yield()
+			}
+			w.TaskWait()
+		})
+	})
+	if a != 1 || b != 1 {
+		t.Fatalf("a=%d b=%d, want 1 1", a, b)
+	}
+}
+
+// A dataflow diamond: two producers, one consumer with InOut on both.
+func TestDepsDiamond(t *testing.T) {
+	tm := MustTeam(Preset("xgomptb+narp", 4))
+	var left, right, sum int
+	runWithTimeout(t, 30*time.Second, "diamond", func() {
+		tm.Run(func(w *Worker) {
+			w.SpawnDeps(func(*Worker) { left = 20 }, Out(&left))
+			w.SpawnDeps(func(*Worker) { right = 22 }, Out(&right))
+			w.SpawnDeps(func(*Worker) { sum = left + right }, In(&left), In(&right), Out(&sum))
+			w.SpawnDeps(func(*Worker) {
+				if sum != 42 {
+					t.Errorf("sum = %d before consumer ran", sum)
+				}
+			}, In(&sum))
+			w.TaskWait()
+		})
+	})
+	if sum != 42 {
+		t.Fatalf("sum = %d, want 42", sum)
+	}
+}
+
+// SpawnDeps with no clauses degrades to Spawn.
+func TestDepsEmpty(t *testing.T) {
+	tm := MustTeam(Preset("xgomptb", 2))
+	var ran atomic.Bool
+	runWithTimeout(t, 30*time.Second, "empty", func() {
+		tm.Run(func(w *Worker) {
+			w.SpawnDeps(func(*Worker) { ran.Store(true) })
+			w.TaskWait()
+		})
+	})
+	if !ran.Load() {
+		t.Fatal("task never ran")
+	}
+}
+
+// Stress: a pipeline over many locations, repeated across regions, under
+// the work-stealing DLB. Order within each location must hold.
+func TestDepsPipelineStress(t *testing.T) {
+	tm := MustTeam(Preset("xgomptb+naws", 4))
+	const lanes, stages = 16, 30
+	runWithTimeout(t, 60*time.Second, "pipeline", func() {
+		for region := 0; region < 3; region++ {
+			counters := make([]int, lanes)
+			keys := make([]int, lanes) // distinct addresses as keys
+			tm.Run(func(w *Worker) {
+				for s := 0; s < stages; s++ {
+					s := s
+					for l := 0; l < lanes; l++ {
+						l := l
+						w.SpawnDeps(func(*Worker) {
+							if counters[l] != s {
+								t.Errorf("lane %d stage %d saw counter %d", l, s, counters[l])
+							}
+							counters[l]++
+						}, InOut(&keys[l]))
+					}
+				}
+				w.TaskWait()
+			})
+			for l, c := range counters {
+				if c != stages {
+					t.Fatalf("region %d lane %d advanced %d/%d stages", region, l, c, stages)
+				}
+			}
+		}
+	})
+}
+
+// Nested parents each get their own dependence scope: the same key in two
+// sibling subtrees must not interfere.
+func TestDepsScopedToParent(t *testing.T) {
+	tm := MustTeam(Preset("xgomptb", 4))
+	var sharedKey int
+	var inner atomic.Int32
+	runWithTimeout(t, 30*time.Second, "scope", func() {
+		tm.Run(func(w *Worker) {
+			for p := 0; p < 4; p++ {
+				w.Spawn(func(w *Worker) {
+					local := 0
+					w.SpawnDeps(func(*Worker) { local = 1 }, Out(&sharedKey))
+					w.SpawnDeps(func(*Worker) {
+						if local == 1 {
+							inner.Add(1)
+						}
+					}, In(&sharedKey))
+					w.TaskWait()
+				})
+			}
+			w.TaskWait()
+		})
+	})
+	if inner.Load() != 4 {
+		t.Fatalf("%d scoped chains ordered correctly, want 4", inner.Load())
+	}
+}

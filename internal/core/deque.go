@@ -1,0 +1,85 @@
+package core
+
+import "sync/atomic"
+
+// clDeque is a bounded Chase–Lev work-stealing deque: the owner pushes and
+// pops at the bottom without synchronization beyond atomic loads/stores,
+// while thieves steal from the top with a compare-and-swap. This is the
+// lock-free substrate our LOMP model uses — deliberately *lock-free* rather
+// than lock-less, because the paper contrasts LLVM's CAS-based queues with
+// XQueue's CAS-free design.
+//
+// Go's sync/atomic operations are sequentially consistent, which subsumes
+// the fences required by the weak-memory formulations of this algorithm.
+type clDeque struct {
+	top    atomic.Int64 // next index to steal; thieves CAS this
+	_      [7]uint64
+	bottom atomic.Int64 // next index for the owner to push
+	_      [7]uint64
+	mask   int64
+	buf    []atomic.Pointer[Task]
+}
+
+func newCLDeque(capacity int) *clDeque {
+	if capacity < 2 || capacity&(capacity-1) != 0 {
+		panic("core: deque capacity must be a power of two >= 2")
+	}
+	return &clDeque{
+		mask: int64(capacity - 1),
+		buf:  make([]atomic.Pointer[Task], capacity),
+	}
+}
+
+// pushBottom appends t for the owner, reporting false when the deque is
+// full (caller executes the task immediately).
+func (d *clDeque) pushBottom(t *Task) bool {
+	b := d.bottom.Load()
+	tp := d.top.Load()
+	if b-tp > d.mask {
+		return false // full
+	}
+	d.buf[b&d.mask].Store(t)
+	d.bottom.Store(b + 1)
+	return true
+}
+
+// popBottom removes the most recently pushed task for the owner.
+func (d *clDeque) popBottom() *Task {
+	b := d.bottom.Load() - 1
+	d.bottom.Store(b)
+	tp := d.top.Load()
+	if tp > b {
+		// Empty: restore bottom.
+		d.bottom.Store(tp)
+		return nil
+	}
+	t := d.buf[b&d.mask].Load()
+	if tp == b {
+		// Last element: race with thieves for it.
+		if !d.top.CompareAndSwap(tp, tp+1) {
+			t = nil // a thief won
+		}
+		d.bottom.Store(tp + 1)
+	}
+	return t
+}
+
+// stealTop removes the oldest task on behalf of a thief, returning nil when
+// the deque is empty or the steal lost a race.
+func (d *clDeque) stealTop() *Task {
+	tp := d.top.Load()
+	b := d.bottom.Load()
+	if tp >= b {
+		return nil
+	}
+	t := d.buf[tp&d.mask].Load()
+	if !d.top.CompareAndSwap(tp, tp+1) {
+		return nil
+	}
+	return t
+}
+
+// emptyApprox reports whether the deque looks empty.
+func (d *clDeque) emptyApprox() bool {
+	return d.top.Load() >= d.bottom.Load()
+}

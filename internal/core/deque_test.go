@@ -1,0 +1,133 @@
+package core
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestDequeLIFOOwner(t *testing.T) {
+	d := newCLDeque(16)
+	ts := make([]Task, 3)
+	for i := range ts {
+		if !d.pushBottom(&ts[i]) {
+			t.Fatalf("push %d failed", i)
+		}
+	}
+	// Owner pops newest first.
+	for i := 2; i >= 0; i-- {
+		if got := d.popBottom(); got != &ts[i] {
+			t.Fatalf("popBottom returned wrong task at %d", i)
+		}
+	}
+	if d.popBottom() != nil {
+		t.Fatal("pop from empty deque")
+	}
+}
+
+func TestDequeStealFIFO(t *testing.T) {
+	d := newCLDeque(16)
+	ts := make([]Task, 3)
+	for i := range ts {
+		d.pushBottom(&ts[i])
+	}
+	// Thieves take oldest first.
+	for i := 0; i < 3; i++ {
+		if got := d.stealTop(); got != &ts[i] {
+			t.Fatalf("stealTop returned wrong task at %d", i)
+		}
+	}
+	if d.stealTop() != nil {
+		t.Fatal("steal from empty deque")
+	}
+}
+
+func TestDequeFull(t *testing.T) {
+	d := newCLDeque(4)
+	ts := make([]Task, 5)
+	for i := 0; i < 4; i++ {
+		if !d.pushBottom(&ts[i]) {
+			t.Fatalf("push %d failed before capacity", i)
+		}
+	}
+	if d.pushBottom(&ts[4]) {
+		t.Fatal("push beyond capacity succeeded")
+	}
+	d.stealTop()
+	if !d.pushBottom(&ts[4]) {
+		t.Fatal("push failed after steal freed a slot")
+	}
+}
+
+func TestDequeCapacityValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("bad capacity did not panic")
+		}
+	}()
+	newCLDeque(3)
+}
+
+// Owner pops and concurrent thieves must deliver every task exactly once.
+func TestDequeConcurrentExactlyOnce(t *testing.T) {
+	const n = 100000
+	const thieves = 3
+	d := newCLDeque(1024)
+	tasks := make([]Task, n)
+	seen := make([]atomic.Int32, n)
+	index := make(map[*Task]int, n)
+	for i := range tasks {
+		index[&tasks[i]] = i
+	}
+	var wg sync.WaitGroup
+	var produced atomic.Int64
+	var consumed atomic.Int64
+
+	// Owner: interleave pushes and pops.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		i := 0
+		for i < n {
+			if d.pushBottom(&tasks[i]) {
+				produced.Add(1)
+				i++
+			} else if got := d.popBottom(); got != nil {
+				seen[index[got]].Add(1)
+				consumed.Add(1)
+			}
+			if i%7 == 0 {
+				if got := d.popBottom(); got != nil {
+					seen[index[got]].Add(1)
+					consumed.Add(1)
+				}
+			}
+		}
+		for {
+			got := d.popBottom()
+			if got == nil {
+				break
+			}
+			seen[index[got]].Add(1)
+			consumed.Add(1)
+		}
+	}()
+	for k := 0; k < thieves; k++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for consumed.Load() < n {
+				if got := d.stealTop(); got != nil {
+					seen[index[got]].Add(1)
+					consumed.Add(1)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	for i := range seen {
+		if got := seen[i].Load(); got != 1 {
+			t.Fatalf("task %d delivered %d times", i, got)
+		}
+	}
+}

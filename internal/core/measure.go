@@ -1,0 +1,92 @@
+package core
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Exported micro-measurement helpers for the harness's mechanism
+// experiments (cmd/benchall -exp ext-mech). They quantify, on the host at
+// hand, the scaling behaviour the paper's design decisions are about:
+// hand-off throughput through each queue substrate and the cost of task
+// counting with shared RMW versus distributed single-writer cells.
+
+// MeasureSubstrate drives one push/pop pair per worker through the given
+// substrate for roughly duration d and returns aggregate operations per
+// second (one op = one push + one pop).
+func MeasureSubstrate(kind Sched, workers int, d time.Duration) float64 {
+	var s scheduler
+	switch kind {
+	case SchedGOMP:
+		s = newGompSched()
+	case SchedLOMP:
+		s = newLompSched(workers, 1024, 1)
+	case SchedXQueue:
+		s = newXQSched(workers, 1024)
+	default:
+		panic("core: MeasureSubstrate: unknown substrate")
+	}
+	var total atomic.Int64
+	var stop atomic.Bool
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			var t Task
+			ops := int64(0)
+			for !stop.Load() {
+				for i := 0; i < 512; i++ {
+					if _, ok := s.push(w, &t); !ok {
+						s.pop(w)
+						s.push(w, &t)
+					}
+					s.pop(w)
+				}
+				ops += 512
+			}
+			total.Add(ops)
+		}(w)
+	}
+	time.Sleep(d)
+	stop.Store(true)
+	wg.Wait()
+	return float64(total.Load()) / d.Seconds()
+}
+
+// MeasureCounter measures created+finished pair throughput per second for
+// the distributed (single-writer cells) or shared-atomic task counter.
+func MeasureCounter(distributed bool, workers int, d time.Duration) float64 {
+	var c taskCounter
+	if distributed {
+		c = newDistCounter(workers)
+	} else {
+		c = &atomicCounter{}
+	}
+	var total atomic.Int64
+	var stop atomic.Bool
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			ops := int64(0)
+			for !stop.Load() {
+				for i := 0; i < 1024; i++ {
+					c.created(w)
+					c.finished(w)
+				}
+				ops += 1024
+			}
+			total.Add(ops)
+		}(w)
+	}
+	time.Sleep(d)
+	stop.Store(true)
+	wg.Wait()
+	if !c.quiescent() {
+		panic("core: MeasureCounter lost updates")
+	}
+	return float64(total.Load()) / d.Seconds()
+}

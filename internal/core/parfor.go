@@ -1,0 +1,44 @@
+package core
+
+// Loop constructs: the "higher-level parallel constructs such as loops
+// translated into fine-granularity tasks" the paper's introduction
+// describes. ForRange is the OpenMP taskloop analogue — the iteration
+// space is chunked by a grain size, one task per chunk, joined before
+// returning; grain directly sets task granularity, the quantity all of
+// the paper's tuning guidance is expressed in (batch size in Fig. 8,
+// task size in Figs. 9/10).
+
+// ForRange runs body over [0, n) split into chunks of at most grain
+// iterations, one task per chunk, and waits for all of them. body receives
+// the executing worker and its half-open range. It panics if grain < 1.
+func (w *Worker) ForRange(n, grain int, body func(w *Worker, lo, hi int)) {
+	if grain < 1 {
+		panic("core: ForRange grain must be >= 1")
+	}
+	if n <= 0 {
+		return
+	}
+	if n <= grain {
+		body(w, 0, n)
+		return
+	}
+	for lo := 0; lo < n; lo += grain {
+		hi := lo + grain
+		if hi > n {
+			hi = n
+		}
+		lo, hi := lo, hi
+		w.Spawn(func(w *Worker) { body(w, lo, hi) })
+	}
+	w.TaskWait()
+}
+
+// For runs body for every i in [0, n) with one task per grain-sized chunk
+// and waits for completion.
+func (w *Worker) For(n, grain int, body func(w *Worker, i int)) {
+	w.ForRange(n, grain, func(w *Worker, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			body(w, i)
+		}
+	})
+}

@@ -1,0 +1,102 @@
+package core
+
+import (
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestForRangeCoversExactly(t *testing.T) {
+	tm := MustTeam(Preset("xgomptb", 4))
+	for _, n := range []int{0, 1, 7, 100, 1000} {
+		for _, grain := range []int{1, 3, 64, 2000} {
+			hits := make([]atomic.Int32, n+1)
+			runWithTimeout(t, 30*time.Second, "forrange", func() {
+				tm.Run(func(w *Worker) {
+					w.ForRange(n, grain, func(_ *Worker, lo, hi int) {
+						if lo < 0 || hi > n || lo >= hi {
+							t.Errorf("bad range [%d,%d) for n=%d", lo, hi, n)
+							return
+						}
+						for i := lo; i < hi; i++ {
+							hits[i].Add(1)
+						}
+					})
+				})
+			})
+			for i := 0; i < n; i++ {
+				if got := hits[i].Load(); got != 1 {
+					t.Fatalf("n=%d grain=%d: index %d visited %d times", n, grain, i, got)
+				}
+			}
+		}
+	}
+}
+
+func TestForPerIndex(t *testing.T) {
+	tm := MustTeam(Preset("xgomptb+naws", 4))
+	const n = 500
+	var sum atomic.Int64
+	runWithTimeout(t, 30*time.Second, "for", func() {
+		tm.Run(func(w *Worker) {
+			w.For(n, 16, func(_ *Worker, i int) {
+				sum.Add(int64(i))
+			})
+		})
+	})
+	if want := int64(n * (n - 1) / 2); sum.Load() != want {
+		t.Fatalf("sum = %d, want %d", sum.Load(), want)
+	}
+}
+
+func TestForRangeGrainValidation(t *testing.T) {
+	tm := MustTeam(Preset("xgomptb", 1))
+	w := tm.workers[0]
+	w.beginRegion() // give the call a task context outside a region
+	defer func() {
+		if recover() == nil {
+			t.Fatal("grain 0 did not panic")
+		}
+	}()
+	w.ForRange(10, 0, func(*Worker, int, int) {})
+}
+
+// Property: for arbitrary (n, grain), every index is visited exactly once
+// and ranges are within bounds.
+func TestForRangeProperty(t *testing.T) {
+	tm := MustTeam(Preset("xgomptb", 2))
+	f := func(nRaw, grainRaw uint16) bool {
+		n := int(nRaw % 2000)
+		grain := int(grainRaw%128) + 1
+		var count atomic.Int64
+		tm.Run(func(w *Worker) {
+			w.ForRange(n, grain, func(_ *Worker, lo, hi int) {
+				count.Add(int64(hi - lo))
+			})
+		})
+		return count.Load() == int64(n)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+// ForRange nests (a 2-D loop), the blocked-matrix pattern.
+func TestForRangeNested(t *testing.T) {
+	tm := MustTeam(Preset("xgomptb", 4))
+	const n = 32
+	var cells atomic.Int64
+	runWithTimeout(t, 30*time.Second, "nested", func() {
+		tm.Run(func(w *Worker) {
+			w.ForRange(n, 8, func(w *Worker, rlo, rhi int) {
+				w.ForRange(n, 8, func(_ *Worker, clo, chi int) {
+					cells.Add(int64((rhi - rlo) * (chi - clo)))
+				})
+			})
+		})
+	})
+	if cells.Load() != n*n {
+		t.Fatalf("covered %d cells, want %d", cells.Load(), n*n)
+	}
+}

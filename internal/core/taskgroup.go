@@ -1,0 +1,63 @@
+package core
+
+import (
+	"runtime"
+	"sync/atomic"
+
+	"repro/internal/prof"
+)
+
+// TaskGroup is the OpenMP taskgroup construct: unlike TaskWait, which
+// joins only the current task's direct children, a taskgroup joins every
+// task created inside its body *and all of their descendants*. Tasks
+// inherit the innermost active group of their creator, so the counter
+// covers the whole subtree; nested taskgroups compose because the inner
+// wait completes before the enclosing body does.
+type taskGroup struct {
+	refs atomic.Int32
+}
+
+// TaskGroup runs body and then blocks until every task spawned within it
+// (transitively) has completed, executing other queued tasks while
+// waiting — a scheduling point, like TaskWait.
+func (w *Worker) TaskGroup(body TaskFunc) {
+	g := &taskGroup{}
+	prev := w.cur.group
+	w.cur.group = g
+	body(w)
+	w.cur.group = prev
+
+	if g.refs.Load() == 0 {
+		return
+	}
+	th := w.prof
+	th.Begin(prof.EvTaskWait)
+	w.waitFor(func() bool { return g.refs.Load() == 0 })
+	th.End(prof.EvTaskWait)
+}
+
+// waitFor is the shared scheduling-point loop: execute queued tasks, run
+// the thief protocol while idle, and yield under oversubscription, until
+// done reports true or the region aborts.
+func (w *Worker) waitFor(done func() bool) {
+	tm := w.team
+	spins := 0
+	for !done() {
+		if tm.aborted.Load() {
+			return
+		}
+		if t := tm.sched.pop(w.id); t != nil {
+			tm.execute(w, t)
+			spins = 0
+			continue
+		}
+		if tm.dlbOn {
+			tm.thiefStep(w)
+		}
+		spins++
+		if spins > stallSpins {
+			runtime.Gosched()
+			spins = 0
+		}
+	}
+}

@@ -1,0 +1,129 @@
+package core
+
+import (
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TaskGroup must wait for descendants, where TaskWait would return after
+// direct children only.
+func TestTaskGroupWaitsForDescendants(t *testing.T) {
+	tm := MustTeam(Preset("xgomptb", 4))
+	var leaves atomic.Int64
+	runWithTimeout(t, 30*time.Second, "group", func() {
+		tm.Run(func(w *Worker) {
+			w.TaskGroup(func(w *Worker) {
+				for i := 0; i < 8; i++ {
+					w.Spawn(func(w *Worker) {
+						// Grandchildren, deliberately NOT joined by the child.
+						for j := 0; j < 8; j++ {
+							w.Spawn(func(w *Worker) {
+								time.Sleep(time.Millisecond)
+								w.Spawn(func(*Worker) { leaves.Add(1) })
+							})
+						}
+					})
+				}
+			})
+			// All 64 great-grandchildren must be done here.
+			if got := leaves.Load(); got != 64 {
+				t.Errorf("TaskGroup returned with %d/64 descendants done", got)
+			}
+		})
+	})
+	if leaves.Load() != 64 {
+		t.Fatalf("%d leaves, want 64", leaves.Load())
+	}
+}
+
+// Contrast case documenting the semantics: TaskWait alone does NOT join
+// grandchildren (they finish by the region barrier instead).
+func TestTaskWaitJoinsOnlyChildren(t *testing.T) {
+	tm := MustTeam(Preset("xgomptb", 4))
+	var grandchildDone atomic.Bool
+	var observedAtWait atomic.Bool
+	runWithTimeout(t, 30*time.Second, "contrast", func() {
+		tm.Run(func(w *Worker) {
+			w.Spawn(func(w *Worker) {
+				w.Spawn(func(*Worker) {
+					time.Sleep(20 * time.Millisecond)
+					grandchildDone.Store(true)
+				})
+				// Child returns immediately; grandchild still pending.
+			})
+			w.TaskWait()
+			observedAtWait.Store(grandchildDone.Load())
+		})
+	})
+	if !grandchildDone.Load() {
+		t.Fatal("grandchild never ran (barrier broken)")
+	}
+	if observedAtWait.Load() {
+		t.Skip("grandchild won the race; semantics not distinguishable this run")
+	}
+}
+
+func TestTaskGroupEmpty(t *testing.T) {
+	tm := MustTeam(Preset("xgomptb", 2))
+	runWithTimeout(t, 30*time.Second, "empty", func() {
+		tm.Run(func(w *Worker) {
+			w.TaskGroup(func(*Worker) {})
+		})
+	})
+}
+
+// Nested groups: the inner group joins its own subtree before the outer
+// body continues; the outer group joins everything.
+func TestTaskGroupNested(t *testing.T) {
+	tm := MustTeam(Preset("xgomptb+naws", 4))
+	var innerDone, outerTotal atomic.Int64
+	runWithTimeout(t, 30*time.Second, "nested", func() {
+		tm.Run(func(w *Worker) {
+			w.TaskGroup(func(w *Worker) {
+				w.Spawn(func(*Worker) { outerTotal.Add(1) })
+				w.TaskGroup(func(w *Worker) {
+					for i := 0; i < 16; i++ {
+						w.Spawn(func(*Worker) {
+							time.Sleep(time.Millisecond)
+							innerDone.Add(1)
+						})
+					}
+				})
+				if got := innerDone.Load(); got != 16 {
+					t.Errorf("inner TaskGroup returned with %d/16 done", got)
+				}
+				w.Spawn(func(*Worker) { outerTotal.Add(1) })
+			})
+			if got := outerTotal.Load(); got != 2 {
+				t.Errorf("outer TaskGroup returned with %d/2 done", got)
+			}
+		})
+	})
+}
+
+// Groups work across every preset and compose with deps and loops.
+func TestTaskGroupAcrossPresets(t *testing.T) {
+	for _, preset := range []string{"gomp", "lomp", "xgomp", "xgomptb+narp"} {
+		t.Run(preset, func(t *testing.T) {
+			tm := MustTeam(Preset(preset, 4))
+			var n atomic.Int64
+			runWithTimeout(t, 30*time.Second, preset, func() {
+				tm.Run(func(w *Worker) {
+					w.TaskGroup(func(w *Worker) {
+						w.ForRange(100, 8, func(_ *Worker, lo, hi int) {
+							n.Add(int64(hi - lo))
+						})
+						var key int
+						for i := 0; i < 10; i++ {
+							w.SpawnDeps(func(*Worker) { n.Add(1) }, InOut(&key))
+						}
+					})
+					if got := n.Load(); got != 110 {
+						t.Errorf("group returned with %d/110 done", got)
+					}
+				})
+			})
+		})
+	}
+}

@@ -1,0 +1,308 @@
+package core
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/alloc"
+	"repro/internal/numa"
+	"repro/internal/prof"
+	"repro/internal/rng"
+)
+
+// Team is a fixed set of workers executing parallel regions, the analogue
+// of an OpenMP thread team. A Team is reusable: Run and Parallel may be
+// called any number of times, sequentially.
+type Team struct {
+	cfg     Config
+	n       int
+	top     numa.Topology
+	sched   scheduler
+	counter taskCounter
+	bar     barrier
+	alloc   alloc.Allocator[Task]
+	profile *prof.Profile
+	workers []*Worker
+	// remotes[z] lists the workers outside zone z (victim selection).
+	remotes [][]int
+	dlbOn   bool
+	running bool
+
+	// aborted is raised when a task body panics; scheduling loops observe
+	// it and unwind so the region can terminate.
+	aborted atomic.Bool
+	// panicMu/panicVal capture the first panic for re-raising in Run.
+	panicMu  sync.Mutex
+	panicVal any
+	poisoned bool
+}
+
+// NewTeam validates cfg and assembles the runtime it describes.
+func NewTeam(cfg Config) (*Team, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	tm := &Team{cfg: cfg, n: cfg.Workers, top: cfg.Topology}
+	tm.dlbOn = cfg.DLB.Strategy != DLBNone
+
+	switch cfg.Sched {
+	case SchedGOMP:
+		gs := newGompSched()
+		tm.sched = gs
+		// GOMP keeps the task count behind the same global lock.
+		tm.counter = gs
+	case SchedLOMP:
+		tm.sched = newLompSched(cfg.Workers, cfg.QueueSize, cfg.Seed)
+	case SchedXQueue:
+		tm.sched = newXQSched(cfg.Workers, cfg.QueueSize)
+	default:
+		return nil, fmt.Errorf("core: unknown scheduler %v", cfg.Sched)
+	}
+
+	if tm.counter == nil {
+		switch cfg.Barrier {
+		case BarrierTree:
+			tm.counter = newDistCounter(cfg.Workers)
+		default:
+			tm.counter = &atomicCounter{}
+		}
+	}
+
+	switch cfg.Barrier {
+	case BarrierCentralLock:
+		tm.bar = newLockBarrier(cfg.Workers, tm.counter)
+	case BarrierCentralAtomic:
+		tm.bar = newAtomicBarrier(cfg.Workers, tm.counter)
+	case BarrierTree:
+		tm.bar = newTreeBarrier(cfg.Workers, tm.counter, tm.sched)
+	default:
+		return nil, fmt.Errorf("core: unknown barrier %v", cfg.Barrier)
+	}
+
+	switch cfg.Alloc {
+	case AllocContended:
+		tm.alloc = alloc.NewContended[Task]()
+	case AllocMultiLevel:
+		tm.alloc = alloc.NewMultiLevel[Task](cfg.Workers)
+	default:
+		return nil, fmt.Errorf("core: unknown allocator %v", cfg.Alloc)
+	}
+
+	tm.profile = prof.New(cfg.Workers, cfg.Profile)
+	tm.workers = make([]*Worker, cfg.Workers)
+	for i := range tm.workers {
+		w := &Worker{
+			id:            i,
+			zone:          tm.top.ZoneOf(i),
+			team:          tm,
+			rng:           rng.New(uint64(cfg.Seed)*0x2545f4914f6cdd1d + uint64(i)),
+			prof:          tm.profile.Thread(i),
+			redirectThief: -1,
+		}
+		w.round.Store(1) // the protocol's round numbers start at 1
+		tm.workers[i] = w
+	}
+	tm.remotes = make([][]int, tm.top.Zones)
+	for z := 0; z < tm.top.Zones; z++ {
+		for w := 0; w < tm.n; w++ {
+			if tm.top.ZoneOf(w) != z {
+				tm.remotes[z] = append(tm.remotes[z], w)
+			}
+		}
+	}
+	return tm, nil
+}
+
+// MustTeam is NewTeam, panicking on configuration errors. Intended for
+// tests, examples, and benchmark harnesses with static configurations.
+func MustTeam(cfg Config) *Team {
+	tm, err := NewTeam(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return tm
+}
+
+// Workers returns the team size.
+func (tm *Team) Workers() int { return tm.n }
+
+// Config returns the validated configuration the team runs with.
+func (tm *Team) Config() Config { return tm.cfg }
+
+// Topology returns the team's NUMA topology.
+func (tm *Team) Topology() numa.Topology { return tm.top }
+
+// Profile returns the team's profiler (counters are always collected; the
+// event timeline only when Config.Profile was set).
+func (tm *Team) Profile() *prof.Profile { return tm.profile }
+
+// AllocStats reports the task-allocator path counters.
+func (tm *Team) AllocStats() alloc.Stats { return tm.alloc.Stats() }
+
+// Run opens a parallel region in which worker 0 executes f while all other
+// workers proceed straight to task execution and the team barrier — the
+// OpenMP "parallel + single" idiom every BOTS benchmark uses. Run returns
+// when every task created in the region has completed.
+func (tm *Team) Run(f TaskFunc) { tm.region(f, false) }
+
+// Parallel opens an SPMD region: every worker executes f, then joins the
+// team barrier. Equivalent to an OpenMP parallel region body.
+func (tm *Team) Parallel(f TaskFunc) { tm.region(f, true) }
+
+func (tm *Team) region(f TaskFunc, spmd bool) {
+	if tm.running {
+		panic("core: nested or concurrent parallel regions on one team")
+	}
+	if tm.poisoned {
+		panic("core: team unusable after a task panic (queues and counters are inconsistent); build a new team")
+	}
+	tm.running = true
+	tm.bar.reset()
+	var wg sync.WaitGroup
+	wg.Add(tm.n)
+	for _, w := range tm.workers {
+		go func(w *Worker) {
+			defer wg.Done()
+			defer func() {
+				if r := recover(); r != nil {
+					tm.recordPanic(r)
+				}
+			}()
+			if tm.cfg.Pin {
+				runtime.LockOSThread()
+				defer runtime.UnlockOSThread()
+			}
+			w.beginRegion()
+			if spmd || w.id == 0 {
+				w.prof.Begin(prof.EvTask)
+				f(w)
+				w.prof.End(prof.EvTask)
+			}
+			tm.barrierWait(w)
+		}(w)
+	}
+	wg.Wait()
+	tm.running = false
+	if tm.aborted.Load() {
+		tm.poisoned = true
+		tm.panicMu.Lock()
+		r := tm.panicVal
+		tm.panicMu.Unlock()
+		panic(r)
+	}
+}
+
+// recordPanic captures the first panic value and aborts the region so
+// every worker's scheduling loop unwinds.
+func (tm *Team) recordPanic(r any) {
+	tm.panicMu.Lock()
+	if tm.panicVal == nil {
+		tm.panicVal = r
+	}
+	tm.panicMu.Unlock()
+	tm.aborted.Store(true)
+}
+
+// execute runs task t on worker w: a scheduling point (the worker becomes a
+// victim), the body, completion accounting, and descriptor recycling.
+func (tm *Team) execute(w *Worker, t *Task) {
+	w.timeoutCtr = 0 // no longer idle
+	if tm.dlbOn {
+		tm.victimCheck(w)
+	}
+	th := w.prof
+	th.Begin(prof.EvTask)
+	prev := w.cur
+	w.cur = t
+	t.fn(w)
+	w.cur = prev
+	th.End(prof.EvTask)
+
+	tm.counter.finished(w.id)
+	if t.group != nil {
+		t.group.refs.Add(-1)
+	}
+	if t.deps != nil {
+		tm.completeDeps(w, t)
+	}
+	th.Inc(prof.CntTasksExecuted)
+	switch tm.top.Classify(int(t.creator), w.id) {
+	case numa.Self:
+		th.Inc(prof.CntTasksSelf)
+	case numa.Local:
+		th.Inc(prof.CntTasksLocal)
+	default:
+		th.Inc(prof.CntTasksRemote)
+	}
+	if t.refs.Add(-1) == 0 {
+		tm.cascade(w, t)
+	}
+}
+
+// cascade recycles a fully completed task and propagates completion to
+// ancestors whose last outstanding reference this was.
+func (tm *Team) cascade(w *Worker, t *Task) {
+	for {
+		p := t.parent
+		if !t.implicit && !t.noRecycle {
+			t.fn = nil
+			t.parent = nil
+			t.deps = nil
+			tm.alloc.Put(w.id, t)
+		}
+		if p == nil {
+			return
+		}
+		if p.refs.Add(-1) != 0 {
+			return
+		}
+		t = p
+	}
+}
+
+// barrierWait is the end-of-region scheduling loop: keep executing tasks,
+// run the thief protocol while idle, and poll the barrier until it
+// releases.
+func (tm *Team) barrierWait(w *Worker) {
+	th := w.prof
+	th.Begin(prof.EvBarrier)
+	tm.bar.enter(w.id)
+	spins := 0
+	stalling := false
+	for {
+		if tm.aborted.Load() {
+			break // a task panicked; the region is unwinding
+		}
+		if t := tm.sched.pop(w.id); t != nil {
+			if stalling {
+				th.End(prof.EvStall)
+				stalling = false
+			}
+			tm.bar.active(w.id)
+			tm.execute(w, t)
+			spins = 0
+			continue
+		}
+		if tm.bar.done(w.id) {
+			break
+		}
+		if tm.dlbOn {
+			tm.thiefStep(w)
+		}
+		if !stalling {
+			th.Begin(prof.EvStall)
+			stalling = true
+		}
+		spins++
+		if spins > stallSpins {
+			runtime.Gosched()
+			spins = 0
+		}
+	}
+	if stalling {
+		th.End(prof.EvStall)
+	}
+	th.End(prof.EvBarrier)
+}

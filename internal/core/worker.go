@@ -1,0 +1,131 @@
+package core
+
+import (
+	"sync/atomic"
+
+	"repro/internal/prof"
+	"repro/internal/rng"
+)
+
+// stallSpins is how many empty polls a worker makes before yielding the OS
+// thread. Teams larger than GOMAXPROCS rely on the yield for progress.
+const stallSpins = 64
+
+// Worker is one member of a Team. A Worker's methods must only be called
+// from inside a task body running on that worker (the runtime passes the
+// correct *Worker to every TaskFunc).
+type Worker struct {
+	id   int
+	zone int
+	team *Team
+	rng  rng.State
+	prof *prof.Thread
+
+	// cur is the task whose body is currently running on this worker.
+	cur *Task
+	// implicit is the per-region root task (one per worker, never recycled).
+	implicit Task
+
+	// Lock-less messaging cells (§IV-B); padded against false sharing.
+	round   atomic.Uint64
+	_       [7]uint64
+	request atomic.Uint64
+	_pad2   [7]uint64
+
+	// Thief state (owner-only).
+	timeoutCtr int
+	// Victim state for NA-RP (owner-only).
+	redirectThief int
+	redirectLeft  int
+	redirectedAny bool
+	handlingReq   bool
+}
+
+// ID returns the worker's id in [0, Team.Workers()).
+func (w *Worker) ID() int { return w.id }
+
+// Zone returns the worker's NUMA zone.
+func (w *Worker) Zone() int { return w.zone }
+
+// Team returns the team this worker belongs to.
+func (w *Worker) Team() *Team { return w.team }
+
+// beginRegion resets per-region worker state and installs a fresh implicit
+// root task.
+func (w *Worker) beginRegion() {
+	w.implicit.reset(nil, nil, int32(w.id), 0)
+	w.implicit.implicit = true
+	w.cur = &w.implicit
+	w.timeoutCtr = 0
+	w.redirectThief = -1
+	w.redirectLeft = 0
+	w.redirectedAny = false
+	w.handlingReq = false
+}
+
+// Spawn creates a task executing fn as a child of the current task. The
+// task may run on any worker; fn receives the worker that runs it. Spawn
+// never blocks: if the destination queue is full the task runs immediately
+// on this worker (XQueue's overflow rule).
+func (w *Worker) Spawn(fn TaskFunc) { w.spawn(fn, 0) }
+
+// SpawnPriority is Spawn with a GOMP queue priority; higher priorities
+// dequeue first under SchedGOMP and are ignored by the relaxed-order
+// substrates.
+func (w *Worker) SpawnPriority(priority int, fn TaskFunc) {
+	w.spawn(fn, int32(priority))
+}
+
+func (w *Worker) spawn(fn TaskFunc, priority int32) {
+	tm := w.team
+	th := w.prof
+	th.Begin(prof.EvTaskCreate)
+	t := tm.alloc.Get(w.id)
+	t.reset(fn, w.cur, int32(w.id), priority)
+	if g := w.cur.group; g != nil {
+		t.group = g
+		g.refs.Add(1)
+	}
+	w.cur.refs.Add(1)
+	tm.counter.created(w.id)
+	th.Inc(prof.CntTasksCreated)
+
+	placed := false
+	if w.redirectThief >= 0 { // NA-RP redirect armed
+		placed = w.tryRedirect(t)
+	}
+	if !placed {
+		if _, ok := tm.sched.push(w.id, t); ok {
+			th.Inc(prof.CntStaticPush)
+			placed = true
+		}
+	}
+	th.End(prof.EvTaskCreate)
+	if !placed {
+		th.Inc(prof.CntImmExec)
+		tm.execute(w, t)
+	}
+}
+
+// TaskWait blocks until all children spawned by the current task have
+// completed (including their descendants), executing other queued tasks
+// while it waits — a scheduling point, as in OpenMP.
+func (w *Worker) TaskWait() {
+	cur := w.cur
+	if cur.refs.Load() <= 1 {
+		return
+	}
+	th := w.prof
+	th.Begin(prof.EvTaskWait)
+	w.waitFor(func() bool { return cur.refs.Load() <= 1 })
+	th.End(prof.EvTaskWait)
+}
+
+// Yield is an explicit scheduling point: it executes at most one queued
+// task if one is available and returns. It lets long-running tasks
+// participate in load balancing, like OpenMP's taskyield.
+func (w *Worker) Yield() {
+	if t := w.team.sched.pop(w.id); t != nil {
+		w.team.execute(w, t)
+	}
+}

@@ -1,0 +1,133 @@
+package posp
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"repro/internal/blake3"
+)
+
+// Plot persistence. Proof-of-Space is a storage-bound protocol — plots
+// are generated once and farmed from disk (§VII: "cryptographic puzzles
+// are recorded in a persistent storage medium, later organized in order
+// to be efficiently retrieved"). The format is a fixed header followed by
+// per-bucket runs of 32-byte records (28-byte hash + 4-byte nonce, the
+// paper's puzzle layout), with a BLAKE3 integrity tag over the payload.
+
+// plotMagic identifies the file format.
+var plotMagic = [8]byte{'X', 'O', 'M', 'P', 'P', 'O', 'S', '1'}
+
+// WriteTo serializes the plot. It returns the number of bytes written.
+func (p *Plot) WriteTo(w io.Writer) (int64, error) {
+	bw := bufio.NewWriter(w)
+	h := blake3.New()
+	out := io.MultiWriter(bw, h)
+
+	var n int64
+	write := func(data []byte) error {
+		m, err := out.Write(data)
+		n += int64(m)
+		return err
+	}
+	if err := write(plotMagic[:]); err != nil {
+		return n, err
+	}
+	var hdr [8]byte
+	binary.LittleEndian.PutUint32(hdr[:4], uint32(p.K))
+	if err := write(hdr[:4]); err != nil {
+		return n, err
+	}
+	if err := write(p.Seed[:]); err != nil {
+		return n, err
+	}
+	for b := range p.buckets {
+		var cnt [4]byte
+		binary.LittleEndian.PutUint32(cnt[:], uint32(len(p.buckets[b])))
+		if err := write(cnt[:]); err != nil {
+			return n, err
+		}
+		for i := range p.buckets[b] {
+			pz := &p.buckets[b][i]
+			if err := write(pz.Hash[:]); err != nil {
+				return n, err
+			}
+			var nonce [4]byte
+			binary.LittleEndian.PutUint32(nonce[:], pz.Nonce)
+			if err := write(nonce[:]); err != nil {
+				return n, err
+			}
+		}
+	}
+	tag := h.Sum256()
+	if _, err := bw.Write(tag[:]); err != nil {
+		return n, err
+	}
+	n += int64(len(tag))
+	return n, bw.Flush()
+}
+
+// ReadPlot parses a plot written by WriteTo, verifying the integrity tag
+// and the structural invariants (bucket prefixes, sortedness).
+func ReadPlot(r io.Reader) (*Plot, error) {
+	br := bufio.NewReader(r)
+	h := blake3.New()
+	in := io.TeeReader(br, h)
+
+	var magic [8]byte
+	if _, err := io.ReadFull(in, magic[:]); err != nil {
+		return nil, fmt.Errorf("posp: read header: %w", err)
+	}
+	if magic != plotMagic {
+		return nil, fmt.Errorf("posp: not a plot file (magic %q)", magic[:])
+	}
+	var kBuf [4]byte
+	if _, err := io.ReadFull(in, kBuf[:]); err != nil {
+		return nil, fmt.Errorf("posp: read k: %w", err)
+	}
+	k := int(binary.LittleEndian.Uint32(kBuf[:]))
+	if k < 8 || k > 32 {
+		return nil, fmt.Errorf("posp: implausible k=%d", k)
+	}
+	p := &Plot{K: k}
+	if _, err := io.ReadFull(in, p.Seed[:]); err != nil {
+		return nil, fmt.Errorf("posp: read seed: %w", err)
+	}
+	capPerBucket := (1 << k) / 256
+	for b := 0; b < 256; b++ {
+		var cnt [4]byte
+		if _, err := io.ReadFull(in, cnt[:]); err != nil {
+			return nil, fmt.Errorf("posp: read bucket %d count: %w", b, err)
+		}
+		count := int(binary.LittleEndian.Uint32(cnt[:]))
+		if count > capPerBucket {
+			return nil, fmt.Errorf("posp: bucket %d count %d exceeds capacity %d", b, count, capPerBucket)
+		}
+		bucket := make([]Puzzle, count)
+		for i := range bucket {
+			if _, err := io.ReadFull(in, bucket[i].Hash[:]); err != nil {
+				return nil, fmt.Errorf("posp: read bucket %d entry %d: %w", b, i, err)
+			}
+			var nonce [4]byte
+			if _, err := io.ReadFull(in, nonce[:]); err != nil {
+				return nil, fmt.Errorf("posp: read bucket %d nonce %d: %w", b, i, err)
+			}
+			bucket[i].Nonce = binary.LittleEndian.Uint32(nonce[:])
+		}
+		p.buckets[b] = bucket
+	}
+	want := h.Sum256()
+	var tag [32]byte
+	if _, err := io.ReadFull(br, tag[:]); err != nil {
+		return nil, fmt.Errorf("posp: read integrity tag: %w", err)
+	}
+	if tag != want {
+		return nil, fmt.Errorf("posp: integrity tag mismatch (corrupt plot)")
+	}
+	p.Hashes = 1 << k
+	if err := p.Check(); err != nil {
+		return nil, fmt.Errorf("posp: loaded plot invalid: %w", err)
+	}
+	return p, nil
+}

@@ -1,0 +1,102 @@
+package posp
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+)
+
+func makePlot(t *testing.T, k int) *Plot {
+	t.Helper()
+	tm := core.MustTeam(core.Preset("xgomptb", 2))
+	p, err := Generate(tm, k, 64, testSeed())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestPlotRoundTrip(t *testing.T) {
+	p := makePlot(t, 10)
+	var buf bytes.Buffer
+	n, err := p.WriteTo(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != int64(buf.Len()) {
+		t.Errorf("WriteTo reported %d bytes, wrote %d", n, buf.Len())
+	}
+	got, err := ReadPlot(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.K != p.K || got.Seed != p.Seed || got.Size() != p.Size() {
+		t.Fatalf("header mismatch: k=%d size=%d vs k=%d size=%d", got.K, got.Size(), p.K, p.Size())
+	}
+	for b := 0; b < 256; b++ {
+		orig, load := p.Bucket(b), got.Bucket(b)
+		if len(orig) != len(load) {
+			t.Fatalf("bucket %d: %d vs %d entries", b, len(orig), len(load))
+		}
+		for i := range orig {
+			if orig[i] != load[i] {
+				t.Fatalf("bucket %d entry %d differs", b, i)
+			}
+		}
+	}
+	// A loaded plot can farm.
+	var challenge [32]byte
+	challenge[0] = 42
+	if proof, ok := got.Prove(challenge); ok {
+		if err := got.VerifyProof(challenge, proof); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestReadPlotRejectsCorruption(t *testing.T) {
+	p := makePlot(t, 10)
+	var buf bytes.Buffer
+	if _, err := p.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	pristine := buf.Bytes()
+
+	// Flip one payload byte: the integrity tag must catch it.
+	for _, offset := range []int{50, len(pristine) / 2, len(pristine) - 40} {
+		corrupt := append([]byte(nil), pristine...)
+		corrupt[offset] ^= 0x01
+		if _, err := ReadPlot(bytes.NewReader(corrupt)); err == nil {
+			t.Errorf("corruption at offset %d accepted", offset)
+		}
+	}
+	// Truncation.
+	if _, err := ReadPlot(bytes.NewReader(pristine[:len(pristine)/3])); err == nil {
+		t.Error("truncated plot accepted")
+	}
+	// Wrong magic.
+	bad := append([]byte(nil), pristine...)
+	bad[0] = 'Z'
+	if _, err := ReadPlot(bytes.NewReader(bad)); err == nil || !strings.Contains(err.Error(), "magic") {
+		t.Errorf("bad magic gave %v", err)
+	}
+	// Garbage.
+	if _, err := ReadPlot(strings.NewReader("not a plot at all")); err == nil {
+		t.Error("garbage accepted")
+	}
+}
+
+func TestReadPlotRejectsImplausibleHeader(t *testing.T) {
+	p := makePlot(t, 10)
+	var buf bytes.Buffer
+	if _, err := p.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	data[8] = 200 // k = 200
+	if _, err := ReadPlot(bytes.NewReader(data)); err == nil {
+		t.Error("implausible k accepted")
+	}
+}

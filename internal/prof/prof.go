@@ -1,0 +1,426 @@
+// Package prof implements the per-thread software profiling tools from
+// Section V of the paper: a timeline of runtime events (TASK, GOMP_TASK,
+// TASKWAIT, BARRIER, STALL) and a set of per-thread statistical counters
+// (task locality, static pushes, immediate executions, and the dynamic
+// load-balancing request/steal counters).
+//
+// The paper timestamps events with the rdtscp cycle counter; this package
+// uses Go's monotonic clock (time.Since against a per-profile base), which
+// has the same monotonicity contract at nanosecond resolution. Counters are
+// thread-local and always on — they are single writer and cost one
+// uncontended add. The event timeline allocates memory per event and is
+// therefore opt-in, exactly like the paper's perf_record instrumentation.
+package prof
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"time"
+)
+
+// Event identifies a timeline event class (paper §V).
+type Event uint8
+
+const (
+	// EvTask is time spent executing a task body (TASK).
+	EvTask Event = iota
+	// EvTaskCreate is time spent creating/allocating tasks (GOMP_TASK).
+	EvTaskCreate
+	// EvTaskWait is time spent inside a taskwait scheduling point (TASKWAIT).
+	EvTaskWait
+	// EvBarrier is time spent inside the team barrier (BARRIER).
+	EvBarrier
+	// EvStall is time spent idle, polling empty queues (STALL).
+	EvStall
+	// NumEvents is the number of event classes.
+	NumEvents
+)
+
+var eventNames = [NumEvents]string{"TASK", "GOMP_TASK", "TASKWAIT", "BARRIER", "STALL"}
+
+// String returns the paper's name for the event class.
+func (e Event) String() string {
+	if int(e) < len(eventNames) {
+		return eventNames[e]
+	}
+	return fmt.Sprintf("EVENT(%d)", int(e))
+}
+
+// Counter identifies a per-thread statistical counter (paper §V).
+type Counter int
+
+const (
+	// CntTasksSelf counts tasks executed by the thread that created them.
+	CntTasksSelf Counter = iota
+	// CntTasksLocal counts tasks executed in the NUMA zone that created them.
+	CntTasksLocal
+	// CntTasksRemote counts tasks executed in a different NUMA zone.
+	CntTasksRemote
+	// CntStaticPush counts tasks placed by the static load balancer.
+	CntStaticPush
+	// CntImmExec counts tasks executed immediately because the target queue
+	// was full.
+	CntImmExec
+	// CntReqSent counts steal requests sent by this thread as a thief.
+	CntReqSent
+	// CntReqHandled counts requests this thread handled as a victim.
+	CntReqHandled
+	// CntReqHasSteal counts handled requests that moved at least one task.
+	CntReqHasSteal
+	// CntReqSrcEmpty counts handled requests that failed because the
+	// victim's queues were empty.
+	CntReqSrcEmpty
+	// CntReqTargetFull counts handled requests that stopped because the
+	// thief's queue was full.
+	CntReqTargetFull
+	// CntTasksStolen counts tasks migrated to this thread's benefit as a
+	// thief (stolen or redirected), attributed to the victim that moved them.
+	CntTasksStolen
+	// CntStolenLocal counts stolen tasks whose thief was NUMA-local to the
+	// victim.
+	CntStolenLocal
+	// CntStolenRemote counts stolen tasks whose thief was NUMA-remote.
+	CntStolenRemote
+	// CntTasksCreated counts tasks created by this thread.
+	CntTasksCreated
+	// CntTasksExecuted counts tasks executed by this thread.
+	CntTasksExecuted
+	// NumCounters is the number of counters.
+	NumCounters
+)
+
+var counterNames = [NumCounters]string{
+	"NTASKS_SELF", "NTASKS_LOCAL", "NTASKS_REMOTE",
+	"NTASKS_STATIC_PUSH", "NTASKS_IMM_EXEC",
+	"NREQ_SENT", "NREQ_HANDLED", "NREQ_HAS_STEAL",
+	"NREQ_SRC_EMPTY", "NREQ_TARGET_FULL",
+	"NTASKS_STOLEN", "NSTOLEN_LOCAL", "NSTOLEN_REMOTE",
+	"NTASKS_CREATED", "NTASKS_EXECUTED",
+}
+
+// String returns the paper's name for the counter.
+func (c Counter) String() string {
+	if c >= 0 && int(c) < len(counterNames) {
+		return counterNames[c]
+	}
+	return fmt.Sprintf("COUNTER(%d)", int(c))
+}
+
+// Record is one closed timeline segment. Nested events split their
+// enclosing event into multiple segments; all segments of one logical
+// Begin/End pair share a Span id (unique per thread), so consumers can
+// reassemble logical events from fragments.
+type Record struct {
+	Ev    Event `json:"ev"`
+	Start int64 `json:"start"` // nanoseconds since profile base
+	End   int64 `json:"end"`
+	Span  int64 `json:"span"`
+}
+
+// Thread holds the profiling state owned by a single worker. All methods
+// are single-writer: only the owning worker may call them.
+type Thread struct {
+	id       int
+	timeline bool
+	base     time.Time
+	events   []Record
+	counters [NumCounters]uint64
+	// depth tracks nested open events so nested task execution (a task run
+	// from inside taskwait) attributes time to the innermost event only.
+	open    []openEvent
+	spanSeq int64
+	_       [64]byte // pad to keep adjacent Thread structs off one cache line
+}
+
+type openEvent struct {
+	ev    Event
+	start int64
+	span  int64
+}
+
+// Profile owns one Thread per worker.
+type Profile struct {
+	base     time.Time
+	timeline bool
+	threads  []*Thread
+}
+
+// New returns a Profile for workers threads. When timeline is false the
+// event-recording methods become cheap no-ops and only counters are kept.
+func New(workers int, timeline bool) *Profile {
+	p := &Profile{base: time.Now(), timeline: timeline}
+	p.threads = make([]*Thread, workers)
+	for i := range p.threads {
+		p.threads[i] = &Thread{id: i, timeline: timeline, base: p.base}
+	}
+	return p
+}
+
+// Timeline reports whether event recording is enabled.
+func (p *Profile) Timeline() bool { return p.timeline }
+
+// Thread returns the profiling state of worker w.
+func (p *Profile) Thread(w int) *Thread { return p.threads[w] }
+
+// Workers returns the number of threads covered.
+func (p *Profile) Workers() int { return len(p.threads) }
+
+// now returns nanoseconds since the profile base.
+func (t *Thread) now() int64 { return int64(time.Since(t.base)) }
+
+// Begin opens an event of class ev. Events nest: while a nested event is
+// open, time accrues to the nested event, and the outer event resumes when
+// the nested one ends. Begin/End pairs must be properly nested.
+func (t *Thread) Begin(ev Event) {
+	if !t.timeline {
+		return
+	}
+	now := t.now()
+	if n := len(t.open); n > 0 {
+		// Close the current segment of the outer event.
+		cur := &t.open[n-1]
+		if now > cur.start {
+			t.events = append(t.events, Record{Ev: cur.ev, Start: cur.start, End: now, Span: cur.span})
+		}
+		cur.start = now // outer resumes from here when inner ends
+	}
+	t.spanSeq++
+	t.open = append(t.open, openEvent{ev: ev, start: now, span: t.spanSeq})
+}
+
+// End closes the innermost open event, which must be of class ev.
+func (t *Thread) End(ev Event) {
+	if !t.timeline {
+		return
+	}
+	n := len(t.open)
+	if n == 0 {
+		panic("prof: End without Begin")
+	}
+	cur := t.open[n-1]
+	if cur.ev != ev {
+		panic(fmt.Sprintf("prof: End(%v) does not match open %v", ev, cur.ev))
+	}
+	now := t.now()
+	if now > cur.start {
+		t.events = append(t.events, Record{Ev: cur.ev, Start: cur.start, End: now, Span: cur.span})
+	}
+	t.open = t.open[:n-1]
+	if n > 1 {
+		t.open[n-2].start = now // outer event resumes
+	}
+}
+
+// Add increments counter c by n.
+func (t *Thread) Add(c Counter, n uint64) { t.counters[c] += n }
+
+// Inc increments counter c by one.
+func (t *Thread) Inc(c Counter) { t.counters[c]++ }
+
+// Counter returns the current value of counter c.
+func (t *Thread) Counter(c Counter) uint64 { return t.counters[c] }
+
+// Events returns the closed timeline records. The slice is owned by the
+// Thread; callers must not modify it.
+func (t *Thread) Events() []Record { return t.events }
+
+// Totals sums the time per event class over the closed records.
+func (t *Thread) Totals() [NumEvents]int64 {
+	var out [NumEvents]int64
+	for _, r := range t.events {
+		out[r.Ev] += r.End - r.Start
+	}
+	return out
+}
+
+// Sum returns the total of counter c across all threads.
+func (p *Profile) Sum(c Counter) uint64 {
+	var s uint64
+	for _, t := range p.threads {
+		s += t.counters[c]
+	}
+	return s
+}
+
+// Snapshot is the serializable form of a Profile, produced by Dump and
+// consumed by Load (the paper's xomp_perflog_dump API).
+type Snapshot struct {
+	Workers  int                   `json:"workers"`
+	Timeline bool                  `json:"timeline"`
+	Counters [][NumCounters]uint64 `json:"counters"`
+	Events   [][]Record            `json:"events,omitempty"`
+}
+
+// Snapshot captures the current state.
+func (p *Profile) Snapshot() Snapshot {
+	s := Snapshot{Workers: len(p.threads), Timeline: p.timeline}
+	s.Counters = make([][NumCounters]uint64, len(p.threads))
+	s.Events = make([][]Record, len(p.threads))
+	for i, t := range p.threads {
+		s.Counters[i] = t.counters
+		s.Events[i] = t.events
+	}
+	return s
+}
+
+// Dump writes the profile as JSON, mirroring the paper's
+// xomp_perflog_dump file format role.
+func (p *Profile) Dump(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	if err := enc.Encode(p.Snapshot()); err != nil {
+		return fmt.Errorf("prof: dump: %w", err)
+	}
+	return bw.Flush()
+}
+
+// Load parses a profile dump produced by Dump.
+func Load(r io.Reader) (Snapshot, error) {
+	var s Snapshot
+	dec := json.NewDecoder(bufio.NewReader(r))
+	if err := dec.Decode(&s); err != nil {
+		return Snapshot{}, fmt.Errorf("prof: load: %w", err)
+	}
+	if len(s.Counters) != s.Workers {
+		return Snapshot{}, fmt.Errorf("prof: load: %d counter rows for %d workers", len(s.Counters), s.Workers)
+	}
+	return s, nil
+}
+
+// TimelineSummary renders the snapshot as an ASCII version of the paper's
+// Fig. 3 "Timeline Summary": one row per thread, a stacked bar showing the
+// share of time in each event class, scaled to width columns.
+func (s Snapshot) TimelineSummary(w io.Writer, width int) error {
+	if width < 10 {
+		width = 10
+	}
+	glyph := [NumEvents]byte{'#', '+', 'w', 'B', '.'}
+	var legend strings.Builder
+	for ev := Event(0); ev < NumEvents; ev++ {
+		fmt.Fprintf(&legend, "%c=%s ", glyph[ev], ev)
+	}
+	if _, err := fmt.Fprintf(w, "Timeline Summary (%s)\n", strings.TrimSpace(legend.String())); err != nil {
+		return err
+	}
+	var max int64
+	perThread := make([][NumEvents]int64, s.Workers)
+	for i := 0; i < s.Workers; i++ {
+		var tot [NumEvents]int64
+		var sum int64
+		for _, r := range s.Events[i] {
+			tot[r.Ev] += r.End - r.Start
+		}
+		for _, v := range tot {
+			sum += v
+		}
+		perThread[i] = tot
+		if sum > max {
+			max = sum
+		}
+	}
+	if max == 0 {
+		max = 1
+	}
+	for i := 0; i < s.Workers; i++ {
+		var bar []byte
+		for ev := Event(0); ev < NumEvents; ev++ {
+			n := int(perThread[i][ev] * int64(width) / max)
+			for j := 0; j < n; j++ {
+				bar = append(bar, glyph[ev])
+			}
+		}
+		if _, err := fmt.Fprintf(w, "T%03d |%-*s|\n", i, width, string(bar)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// TaskCountSummary renders the snapshot as an ASCII version of Fig. 3's
+// "Task Count Summary": per-thread created and executed task counts with
+// min/max annotations.
+func (s Snapshot) TaskCountSummary(w io.Writer, width int) error {
+	if width < 10 {
+		width = 10
+	}
+	var max uint64
+	for i := 0; i < s.Workers; i++ {
+		c := s.Counters[i][CntTasksCreated]
+		e := s.Counters[i][CntTasksExecuted]
+		if c > max {
+			max = c
+		}
+		if e > max {
+			max = e
+		}
+	}
+	if max == 0 {
+		max = 1
+	}
+	var total uint64
+	for i := 0; i < s.Workers; i++ {
+		total += s.Counters[i][CntTasksExecuted]
+	}
+	if _, err := fmt.Fprintf(w, "Task Count Summary (tasks executed=%d; +=created #=executed)\n", total); err != nil {
+		return err
+	}
+	for i := 0; i < s.Workers; i++ {
+		c := int(s.Counters[i][CntTasksCreated] * uint64(width) / max)
+		e := int(s.Counters[i][CntTasksExecuted] * uint64(width) / max)
+		if _, err := fmt.Fprintf(w, "T%03d |%-*s| |%-*s|\n",
+			i, width, strings.Repeat("+", c), width, strings.Repeat("#", e)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ImbalanceRatio returns max/mean of per-thread executed-task counts — a
+// scalar version of the imbalance Fig. 3 visualizes. It returns 0 when no
+// tasks ran.
+func (s Snapshot) ImbalanceRatio() float64 {
+	if s.Workers == 0 {
+		return 0
+	}
+	var total, max uint64
+	for i := 0; i < s.Workers; i++ {
+		e := s.Counters[i][CntTasksExecuted]
+		total += e
+		if e > max {
+			max = e
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	mean := float64(total) / float64(s.Workers)
+	return float64(max) / mean
+}
+
+// UtilizationRatio returns min/max of per-thread utilized time (TASK +
+// GOMP_TASK), the utilization-imbalance scalar for the timeline summary.
+// It returns 1 when the timeline is empty.
+func (s Snapshot) UtilizationRatio() float64 {
+	var utils []float64
+	for i := 0; i < s.Workers; i++ {
+		var u int64
+		for _, r := range s.Events[i] {
+			if r.Ev == EvTask || r.Ev == EvTaskCreate {
+				u += r.End - r.Start
+			}
+		}
+		utils = append(utils, float64(u))
+	}
+	if len(utils) == 0 {
+		return 1
+	}
+	sort.Float64s(utils)
+	if utils[len(utils)-1] == 0 {
+		return 1
+	}
+	return utils[0] / utils[len(utils)-1]
+}

@@ -1,0 +1,58 @@
+package prof
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// ExportTraceEvents writes the snapshot's timeline in the Chrome
+// trace-event format (the JSON array form), loadable in chrome://tracing
+// or Perfetto. Each worker becomes a thread; each timeline record becomes
+// a complete ("X") event with microsecond timestamps. This complements
+// the paper's ASCII summaries with an interactive view of the same data.
+func (s Snapshot) ExportTraceEvents(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString("[\n"); err != nil {
+		return err
+	}
+	type traceEvent struct {
+		Name string  `json:"name"`
+		Ph   string  `json:"ph"`
+		TS   float64 `json:"ts"`  // microseconds
+		Dur  float64 `json:"dur"` // microseconds
+		PID  int     `json:"pid"`
+		TID  int     `json:"tid"`
+	}
+	first := true
+	for tid := 0; tid < s.Workers; tid++ {
+		for _, r := range s.Events[tid] {
+			if !first {
+				if _, err := bw.WriteString(",\n"); err != nil {
+					return err
+				}
+			}
+			first = false
+			ev := traceEvent{
+				Name: r.Ev.String(),
+				Ph:   "X",
+				TS:   float64(r.Start) / 1e3,
+				Dur:  float64(r.End-r.Start) / 1e3,
+				PID:  1,
+				TID:  tid,
+			}
+			data, err := json.Marshal(ev)
+			if err != nil {
+				return fmt.Errorf("prof: trace export: %w", err)
+			}
+			if _, err := bw.Write(data); err != nil {
+				return err
+			}
+		}
+	}
+	if _, err := bw.WriteString("\n]\n"); err != nil {
+		return err
+	}
+	return bw.Flush()
+}

@@ -1,0 +1,76 @@
+package prof
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+	"time"
+)
+
+func TestExportTraceEvents(t *testing.T) {
+	p := New(2, true)
+	th := p.Thread(0)
+	th.Begin(EvTask)
+	time.Sleep(time.Millisecond)
+	th.End(EvTask)
+	th.Begin(EvBarrier)
+	th.End(EvBarrier)
+	p.Thread(1).Begin(EvStall)
+	p.Thread(1).End(EvStall)
+
+	var buf bytes.Buffer
+	if err := p.Snapshot().ExportTraceEvents(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var events []struct {
+		Name string  `json:"name"`
+		Ph   string  `json:"ph"`
+		TS   float64 `json:"ts"`
+		Dur  float64 `json:"dur"`
+		TID  int     `json:"tid"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &events); err != nil {
+		t.Fatalf("trace output is not valid JSON: %v\n%s", err, buf.String())
+	}
+	if len(events) < 2 {
+		t.Fatalf("exported %d events", len(events))
+	}
+	names := map[string]bool{}
+	for _, e := range events {
+		if e.Ph != "X" {
+			t.Errorf("phase %q, want X", e.Ph)
+		}
+		if e.TS < 0 || e.Dur < 0 {
+			t.Errorf("negative timestamp in %+v", e)
+		}
+		if e.TID < 0 || e.TID > 1 {
+			t.Errorf("bad tid %d", e.TID)
+		}
+		names[e.Name] = true
+	}
+	for _, want := range []string{"TASK", "BARRIER", "STALL"} {
+		if !names[want] {
+			t.Errorf("missing %s event", want)
+		}
+	}
+	// The 1ms task must be ~1000µs.
+	for _, e := range events {
+		if e.Name == "TASK" && (e.Dur < 500 || e.Dur > 100000) {
+			t.Errorf("TASK duration %vµs implausible for a 1ms sleep", e.Dur)
+		}
+	}
+}
+
+func TestExportTraceEventsEmpty(t *testing.T) {
+	var buf bytes.Buffer
+	if err := New(1, true).Snapshot().ExportTraceEvents(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var events []any
+	if err := json.Unmarshal(buf.Bytes(), &events); err != nil {
+		t.Fatalf("empty trace invalid: %v", err)
+	}
+	if len(events) != 0 {
+		t.Fatalf("expected empty array, got %d events", len(events))
+	}
+}

@@ -1,0 +1,159 @@
+// Package replay implements trace-driven what-if analysis: it takes a
+// profile dump recorded by the §V profiling tools, extracts the task-size
+// distribution per thread, and replays an equivalent synthetic workload
+// under alternative runtime and DLB configurations. This turns one
+// profiled production run into an offline parameter search — the workflow
+// the paper's §VIII tuning guidance implies, automated.
+//
+// Approximation note: timeline records attribute task durations to the
+// *executing* thread; replay respawns each thread's executed tasks from
+// the same-indexed worker. When the original run already balanced well
+// this matches creation patterns closely; when it did not, replay
+// reproduces the post-balancing distribution, which is the conservative
+// choice for comparing balancers.
+package replay
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/prof"
+	"repro/internal/simnuma"
+)
+
+// Trace is a replayable task-size workload extracted from a profile.
+type Trace struct {
+	// sizes[w] holds the spin-unit size of each task thread w executed.
+	sizes [][]int
+	// TotalTasks is the number of tasks in the trace.
+	TotalTasks int
+}
+
+// FromSnapshot extracts TASK durations from a snapshot with timeline data.
+func FromSnapshot(s prof.Snapshot) (*Trace, error) {
+	if !s.Timeline {
+		return nil, fmt.Errorf("replay: snapshot has no timeline (record with profiling enabled)")
+	}
+	unitsPerNS := simnuma.UnitsPerMicrosecond() / 1000
+	tr := &Trace{sizes: make([][]int, s.Workers)}
+	for w := 0; w < s.Workers; w++ {
+		// Reassemble logical tasks from fragments: segments of one task
+		// share a span id (nested spawns split the enclosing TASK).
+		perSpan := map[int64]int64{}
+		for _, r := range s.Events[w] {
+			if r.Ev != prof.EvTask {
+				continue
+			}
+			perSpan[r.Span] += r.End - r.Start
+		}
+		for _, ns := range perSpan {
+			units := int(float64(ns) * unitsPerNS)
+			if units < 1 {
+				units = 1
+			}
+			tr.sizes[w] = append(tr.sizes[w], units)
+			tr.TotalTasks++
+		}
+	}
+	if tr.TotalTasks == 0 {
+		return nil, fmt.Errorf("replay: no TASK events in snapshot")
+	}
+	return tr, nil
+}
+
+// Workers returns the number of threads in the original trace.
+func (t *Trace) Workers() int { return len(t.sizes) }
+
+// MeanTaskUnits returns the mean task size in spin units.
+func (t *Trace) MeanTaskUnits() float64 {
+	var total int64
+	for _, row := range t.sizes {
+		for _, s := range row {
+			total += int64(s)
+		}
+	}
+	if t.TotalTasks == 0 {
+		return 0
+	}
+	return float64(total) / float64(t.TotalTasks)
+}
+
+// Replay runs the trace once on the team and returns the wall time. Trace
+// threads map onto team workers modulo the team size.
+func (t *Trace) Replay(tm *core.Team) time.Duration {
+	n := tm.Workers()
+	// Pre-bin the trace rows onto team workers.
+	perWorker := make([][]int, n)
+	for w, row := range t.sizes {
+		dst := w % n
+		perWorker[dst] = append(perWorker[dst], row...)
+	}
+	start := time.Now()
+	tm.Parallel(func(w *core.Worker) {
+		for _, size := range perWorker[w.ID()] {
+			size := size
+			w.Spawn(func(*core.Worker) { simnuma.Spin(size) })
+		}
+	})
+	return time.Since(start)
+}
+
+// Candidate is one configuration to evaluate.
+type Candidate struct {
+	// Name labels the candidate in results.
+	Name string
+	// DLB is applied to an xgomptb team (the paper's base runtime).
+	DLB core.DLBConfig
+}
+
+// DefaultCandidates returns static balancing, both strategies at default
+// settings, and the Table-IV guideline for the trace's mean task size.
+func DefaultCandidates(tr *Trace, zones int) []Candidate {
+	meanNS := tr.MeanTaskUnits() * 1000 / simnuma.UnitsPerMicrosecond()
+	guide := core.GuidelineFor(time.Duration(meanNS)*time.Nanosecond, zones)
+	return []Candidate{
+		{Name: "static", DLB: core.DLBConfig{}},
+		{Name: "narp-default", DLB: core.DefaultDLB(core.DLBRedirectPush)},
+		{Name: "naws-default", DLB: core.DefaultDLB(core.DLBWorkSteal)},
+		{Name: "guideline", DLB: guide},
+	}
+}
+
+// Result is one candidate's measured replay performance.
+type Result struct {
+	Candidate Candidate
+	Mean      time.Duration
+	Best      time.Duration
+}
+
+// Evaluate replays the trace reps times per candidate on fresh teams
+// built from base (whose DLB field is overridden), returning results
+// sorted fastest-first by mean.
+func Evaluate(tr *Trace, base core.Config, candidates []Candidate, reps int) ([]Result, error) {
+	if reps < 1 {
+		reps = 1
+	}
+	out := make([]Result, 0, len(candidates))
+	for _, c := range candidates {
+		cfg := base
+		cfg.DLB = c.DLB
+		tm, err := core.NewTeam(cfg)
+		if err != nil {
+			return nil, fmt.Errorf("replay: candidate %s: %w", c.Name, err)
+		}
+		var total, best time.Duration
+		best = 1<<63 - 1
+		for i := 0; i < reps; i++ {
+			d := tr.Replay(tm)
+			total += d
+			if d < best {
+				best = d
+			}
+		}
+		out = append(out, Result{Candidate: c, Mean: total / time.Duration(reps), Best: best})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Mean < out[j].Mean })
+	return out, nil
+}

@@ -1,0 +1,145 @@
+package replay
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/numa"
+	"repro/internal/prof"
+)
+
+// record produces a snapshot by actually running a workload profiled.
+func record(t *testing.T, tasks int, size int) prof.Snapshot {
+	t.Helper()
+	cfg := core.Preset("xgomptb", 2)
+	cfg.Profile = true
+	tm := core.MustTeam(cfg)
+	tm.Run(func(w *core.Worker) {
+		for i := 0; i < tasks; i++ {
+			w.Spawn(func(*core.Worker) {
+				x := 0
+				for j := 0; j < size; j++ {
+					x += j
+				}
+				_ = x
+			})
+		}
+	})
+	return tm.Profile().Snapshot()
+}
+
+func TestFromSnapshot(t *testing.T) {
+	snap := record(t, 200, 1000)
+	tr, err := FromSnapshot(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The 200 spawned tasks appear; the implicit region body is also a
+	// TASK record, so allow a small surplus.
+	if tr.TotalTasks < 200 || tr.TotalTasks > 210 {
+		t.Fatalf("trace holds %d tasks, want ~200", tr.TotalTasks)
+	}
+	if tr.MeanTaskUnits() <= 0 {
+		t.Fatal("non-positive mean task size")
+	}
+	if tr.Workers() != 2 {
+		t.Fatalf("trace workers = %d", tr.Workers())
+	}
+}
+
+func TestFromSnapshotRejectsNoTimeline(t *testing.T) {
+	p := prof.New(2, false)
+	if _, err := FromSnapshot(p.Snapshot()); err == nil {
+		t.Fatal("timeline-less snapshot accepted")
+	}
+	empty := prof.New(2, true)
+	if _, err := FromSnapshot(empty.Snapshot()); err == nil {
+		t.Fatal("empty timeline accepted")
+	}
+}
+
+func TestReplayRuns(t *testing.T) {
+	snap := record(t, 100, 500)
+	tr, err := FromSnapshot(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tm := core.MustTeam(core.Preset("xgomptb", 4))
+	d := tr.Replay(tm)
+	if d <= 0 {
+		t.Fatal("replay reported non-positive duration")
+	}
+	// All trace tasks re-executed (plus 4 SPMD bodies don't count as
+	// spawned tasks).
+	if got := tm.Profile().Sum(prof.CntTasksExecuted); got != uint64(tr.TotalTasks) {
+		t.Fatalf("replay executed %d tasks, trace has %d", got, tr.TotalTasks)
+	}
+}
+
+func TestEvaluateRanksCandidates(t *testing.T) {
+	snap := record(t, 150, 2000)
+	tr, err := FromSnapshot(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := core.Preset("xgomptb", 4)
+	base.Topology = numa.Synthetic(4, 2)
+	cands := DefaultCandidates(tr, 2)
+	if len(cands) != 4 {
+		t.Fatalf("%d candidates", len(cands))
+	}
+	results, err := Evaluate(tr, base, cands, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 4 {
+		t.Fatalf("%d results", len(results))
+	}
+	for i := 1; i < len(results); i++ {
+		if results[i].Mean < results[i-1].Mean {
+			t.Fatal("results not sorted by mean")
+		}
+	}
+	for _, r := range results {
+		if r.Best > r.Mean {
+			t.Errorf("%s: best %v > mean %v", r.Candidate.Name, r.Best, r.Mean)
+		}
+		if r.Mean <= 0 {
+			t.Errorf("%s: non-positive mean", r.Candidate.Name)
+		}
+	}
+}
+
+func TestEvaluateRejectsBadConfig(t *testing.T) {
+	snap := record(t, 10, 100)
+	tr, _ := FromSnapshot(snap)
+	base := core.Preset("gomp", 2) // DLB requires XQueue → must error
+	_, err := Evaluate(tr, base, []Candidate{
+		{Name: "bad", DLB: core.DefaultDLB(core.DLBWorkSteal)},
+	}, 1)
+	if err == nil {
+		t.Fatal("invalid candidate accepted")
+	}
+}
+
+func TestReplayMapsExtraTraceWorkers(t *testing.T) {
+	snap := record(t, 60, 300)
+	tr, err := FromSnapshot(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Replay a 2-thread trace on a 1-worker team: everything must land on
+	// worker 0 and still run to completion.
+	tm := core.MustTeam(core.Preset("xgomptb", 1))
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		tr.Replay(tm)
+	}()
+	select {
+	case <-done:
+	case <-time.After(60 * time.Second):
+		t.Fatal("replay on smaller team hung")
+	}
+}

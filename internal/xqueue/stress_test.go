@@ -1,0 +1,122 @@
+package xqueue
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// Migration stress: consumers also act as NA-WS victims, popping from
+// their own row and pushing into another worker's queue (the exact access
+// pattern doWorkSteal performs). Every item must still be delivered
+// exactly once.
+func TestMigrationPreservesExactlyOnce(t *testing.T) {
+	const (
+		n       = 4
+		perProd = 20000
+	)
+	x := New[int64](n, 128)
+	var delivered atomic.Int64
+	seen := make([]atomic.Int32, n*perProd)
+
+	var wg sync.WaitGroup
+	for w := 0; w < n; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			items := make([]int64, perProd)
+			produced := 0
+			rng := uint64(w)*2654435761 + 1
+			for delivered.Load() < int64(n*perProd) {
+				if produced < perProd {
+					items[produced] = int64(w*perProd + produced)
+					if _, ok := x.Push(w, &items[produced]); !ok {
+						seen[items[produced]].Add(1)
+						delivered.Add(1)
+					}
+					produced++
+				}
+				// Sometimes migrate own queued work to a random other
+				// worker instead of consuming it (victim behaviour).
+				rng ^= rng << 13
+				rng ^= rng >> 7
+				rng ^= rng << 17
+				if rng%4 == 0 {
+					if v := x.Pop(w); v != nil {
+						thief := int(rng/4) % n
+						if thief == w || !x.PushTo(w, thief, v) {
+							seen[*v].Add(1)
+							delivered.Add(1)
+						}
+					}
+					continue
+				}
+				if v := x.Pop(w); v != nil {
+					seen[*v].Add(1)
+					delivered.Add(1)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	for i := range seen {
+		if got := seen[i].Load(); got != 1 {
+			t.Fatalf("item %d delivered %d times", i, got)
+		}
+	}
+}
+
+// Single-worker matrices must behave as a plain SPSC self-queue.
+func TestSingleWorkerMatrix(t *testing.T) {
+	x := New[int](1, 8)
+	v := 5
+	for i := 0; i < 100; i++ {
+		if _, ok := x.Push(0, &v); !ok {
+			t.Fatal("push failed on empty self-queue")
+		}
+		if x.Pop(0) == nil {
+			t.Fatal("pop failed")
+		}
+	}
+	if !x.Empty(0) {
+		t.Fatal("matrix not empty after drain")
+	}
+}
+
+// Capacity-2 queues (the minimum) under full MPMC churn.
+func TestMinimumCapacityChurn(t *testing.T) {
+	const n = 3
+	x := New[int64](n, 2)
+	var delivered atomic.Int64
+	const perProd = 5000
+	seen := make([]atomic.Int32, n*perProd)
+	var wg sync.WaitGroup
+	for w := 0; w < n; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			items := make([]int64, perProd)
+			produced := 0
+			for delivered.Load() < int64(n*perProd) {
+				if produced < perProd {
+					items[produced] = int64(w*perProd + produced)
+					if _, ok := x.Push(w, &items[produced]); !ok {
+						seen[items[produced]].Add(1)
+						delivered.Add(1)
+					}
+					produced++
+				}
+				if v := x.Pop(w); v != nil {
+					seen[*v].Add(1)
+					delivered.Add(1)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	for i := range seen {
+		if got := seen[i].Load(); got != 1 {
+			t.Fatalf("item %d delivered %d times", i, got)
+		}
+	}
+}

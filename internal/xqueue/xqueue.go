@@ -1,0 +1,148 @@
+// Package xqueue implements XQueue, the lock-less relaxed-order MPMC
+// queuing fabric from the paper (§II-B, Fig. 2).
+//
+// For a team of N workers, worker i owns N single-producer single-consumer
+// B-queues: one master queue that i both produces to and consumes from, and
+// one auxiliary queue per other worker j, to which only j produces and only
+// i consumes. Every (producer, consumer) pair therefore has a dedicated
+// SPSC channel and no queue ever sees two producers or two consumers —
+// MPMC behaviour emerges from the matrix, not from shared synchronization.
+//
+// Placement is the paper's static load balancer: each producer round-robins
+// over the N consumers starting with itself; when the chosen queue is full
+// the producer signals the caller to execute the task immediately instead
+// of retrying elsewhere. Consumption prefers the master queue and then
+// scans the auxiliary queues.
+package xqueue
+
+import "repro/internal/bqueue"
+
+type pad64 [8]uint64
+
+// cursor is a per-worker round-robin position, padded so that the cursors
+// of adjacent workers do not share a cache line.
+type cursor struct {
+	v int
+	_ pad64
+}
+
+// XQueue is the queue matrix for a fixed team of workers. Methods taking a
+// producer index must be called only from that worker; methods taking a
+// consumer index only from that worker.
+type XQueue[T any] struct {
+	n int
+	// qs[consumer][producer]: producer writes, consumer reads.
+	qs [][]*bqueue.Queue[T]
+	// pushCur[p]: next round-robin offset for producer p (producer-owned).
+	pushCur []cursor
+	// scanCur[c]: next auxiliary producer to scan for consumer c
+	// (consumer-owned).
+	scanCur []cursor
+}
+
+// New builds the matrix for workers workers with per-queue capacity
+// capacity (a power of two, >= 2). Memory is O(workers² × capacity).
+func New[T any](workers, capacity int) *XQueue[T] {
+	if workers <= 0 {
+		panic("xqueue: workers must be positive")
+	}
+	x := &XQueue[T]{
+		n:       workers,
+		qs:      make([][]*bqueue.Queue[T], workers),
+		pushCur: make([]cursor, workers),
+		scanCur: make([]cursor, workers),
+	}
+	for c := 0; c < workers; c++ {
+		x.qs[c] = make([]*bqueue.Queue[T], workers)
+		for p := 0; p < workers; p++ {
+			x.qs[c][p] = bqueue.New[T](capacity)
+		}
+	}
+	return x
+}
+
+// Workers returns the team size N.
+func (x *XQueue[T]) Workers() int { return x.n }
+
+// Push places v with the static round-robin balancer on behalf of producer
+// p. It returns the chosen consumer and whether the enqueue succeeded; on
+// ok == false (chosen queue full) the caller must execute v immediately,
+// per the paper's overflow rule.
+func (x *XQueue[T]) Push(p int, v *T) (target int, ok bool) {
+	cur := &x.pushCur[p]
+	target = p + cur.v
+	if target >= x.n {
+		target -= x.n
+	}
+	cur.v++
+	if cur.v == x.n {
+		cur.v = 0
+	}
+	return target, x.qs[target][p].Enqueue(v)
+}
+
+// PushTo enqueues v into consumer c's queue owned by producer p, reporting
+// success. This is the directed placement used by the DLB strategies: a
+// victim redirects or migrates tasks straight into the thief's queue while
+// preserving the single-producer discipline.
+func (x *XQueue[T]) PushTo(p, c int, v *T) bool {
+	return x.qs[c][p].Enqueue(v)
+}
+
+// Pop dequeues the next task for consumer c: the master queue first, then
+// the auxiliary queues in a rotating scan so no producer is starved. It
+// returns nil when every queue appears empty.
+func (x *XQueue[T]) Pop(c int) *T {
+	row := x.qs[c]
+	if v := row[c].Dequeue(); v != nil {
+		return v
+	}
+	cur := &x.scanCur[c]
+	p := cur.v
+	for i := 0; i < x.n; i++ {
+		if p >= x.n {
+			p = 0
+		}
+		if p != c {
+			if v := row[p].Dequeue(); v != nil {
+				// Resume at the same producer next time to drain it in
+				// batches before moving on.
+				cur.v = p
+				return v
+			}
+		}
+		p++
+	}
+	return nil
+}
+
+// Empty reports whether all of consumer c's queues currently look empty.
+// Consumer-only; a true result can race with concurrent pushes, which is
+// inherent and tolerated by the barrier's authoritative quiescence check.
+func (x *XQueue[T]) Empty(c int) bool {
+	for _, q := range x.qs[c] {
+		if !q.Empty() {
+			return false
+		}
+	}
+	return true
+}
+
+// TargetFull reports whether producer p's queue into consumer c would
+// reject an enqueue right now. Producer-only (for p).
+func (x *XQueue[T]) TargetFull(p, c int) bool {
+	return x.qs[c][p].ProbeFull()
+}
+
+// Drain removes and returns all items reachable by consumer c. It is a
+// test/teardown helper and must only run when producers are quiescent.
+func (x *XQueue[T]) Drain(c int) []*T {
+	var out []*T
+	for {
+		v := x.Pop(c)
+		if v == nil {
+			return out
+		}
+		out = append(out, v)
+	}
+}

@@ -1,0 +1,152 @@
+package xomp
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
+)
+
+// Environment-driven configuration, the analogue of OMP_NUM_THREADS /
+// OMP_WAIT_POLICY ergonomics. FromEnv builds a Config from:
+//
+//	XOMP_RUNTIME    preset name (default "xgomptb"); see Preset
+//	XOMP_WORKERS    team size (default runtime.NumCPU())
+//	XOMP_ZONES      synthetic NUMA zones (default: detected)
+//	XOMP_QUEUE      per-queue capacity, power of two
+//	XOMP_PROFILE    "1"/"true" to record the event timeline
+//	XOMP_PIN        "1"/"true" to lock workers to OS threads
+//	XOMP_DLB        "narp" or "naws" to force a DLB strategy
+//	XOMP_NVICTIM, XOMP_NSTEAL, XOMP_TINTERVAL, XOMP_PLOCAL
+//	                DLB tunables (§IV-E), applied when XOMP_DLB is set
+//
+// Unset variables keep preset defaults; malformed values return an error
+// naming the offending variable.
+func FromEnv() (Config, error) {
+	preset := envStr("XOMP_RUNTIME", "xgomptb")
+	workers, err := envInt("XOMP_WORKERS", runtime.NumCPU())
+	if err != nil {
+		return Config{}, err
+	}
+	valid := false
+	for _, name := range PresetNames() {
+		if name == preset {
+			valid = true
+			break
+		}
+	}
+	if !valid {
+		return Config{}, fmt.Errorf("xomp: XOMP_RUNTIME=%q is not a preset (%s)",
+			preset, strings.Join(PresetNames(), ", "))
+	}
+	cfg := Preset(preset, workers)
+
+	if zones, err := envInt("XOMP_ZONES", 0); err != nil {
+		return Config{}, err
+	} else if zones > 0 {
+		cfg.Topology = SyntheticTopology(workers, zones)
+	}
+	if q, err := envInt("XOMP_QUEUE", 0); err != nil {
+		return Config{}, err
+	} else if q > 0 {
+		cfg.QueueSize = q
+	}
+	if b, err := envBool("XOMP_PROFILE"); err != nil {
+		return Config{}, err
+	} else if b {
+		cfg.Profile = true
+	}
+	if b, err := envBool("XOMP_PIN"); err != nil {
+		return Config{}, err
+	} else if b {
+		cfg.Pin = true
+	}
+
+	switch d := envStr("XOMP_DLB", ""); d {
+	case "":
+	case "narp":
+		cfg.DLB = DefaultDLB(DLBRedirectPush)
+	case "naws":
+		cfg.DLB = DefaultDLB(DLBWorkSteal)
+	default:
+		return Config{}, fmt.Errorf("xomp: XOMP_DLB=%q must be narp or naws", d)
+	}
+	if cfg.DLB.Strategy != DLBNone {
+		if v, err := envInt("XOMP_NVICTIM", cfg.DLB.NVictim); err != nil {
+			return Config{}, err
+		} else {
+			cfg.DLB.NVictim = v
+		}
+		if v, err := envInt("XOMP_NSTEAL", cfg.DLB.NSteal); err != nil {
+			return Config{}, err
+		} else {
+			cfg.DLB.NSteal = v
+		}
+		if v, err := envInt("XOMP_TINTERVAL", cfg.DLB.TInterval); err != nil {
+			return Config{}, err
+		} else {
+			cfg.DLB.TInterval = v
+		}
+		if v, err := envFloat("XOMP_PLOCAL", cfg.DLB.PLocal); err != nil {
+			return Config{}, err
+		} else {
+			cfg.DLB.PLocal = v
+		}
+	}
+	return cfg, nil
+}
+
+// TeamFromEnv is FromEnv followed by NewTeam.
+func TeamFromEnv() (*Team, error) {
+	cfg, err := FromEnv()
+	if err != nil {
+		return nil, err
+	}
+	return NewTeam(cfg)
+}
+
+func envStr(key, def string) string {
+	if v, ok := os.LookupEnv(key); ok && v != "" {
+		return v
+	}
+	return def
+}
+
+func envInt(key string, def int) (int, error) {
+	v, ok := os.LookupEnv(key)
+	if !ok || v == "" {
+		return def, nil
+	}
+	n, err := strconv.Atoi(v)
+	if err != nil {
+		return 0, fmt.Errorf("xomp: %s=%q is not an integer", key, v)
+	}
+	return n, nil
+}
+
+func envFloat(key string, def float64) (float64, error) {
+	v, ok := os.LookupEnv(key)
+	if !ok || v == "" {
+		return def, nil
+	}
+	f, err := strconv.ParseFloat(v, 64)
+	if err != nil {
+		return 0, fmt.Errorf("xomp: %s=%q is not a number", key, v)
+	}
+	return f, nil
+}
+
+func envBool(key string) (bool, error) {
+	v, ok := os.LookupEnv(key)
+	if !ok || v == "" {
+		return false, nil
+	}
+	switch strings.ToLower(v) {
+	case "1", "true", "yes", "on":
+		return true, nil
+	case "0", "false", "no", "off":
+		return false, nil
+	}
+	return false, fmt.Errorf("xomp: %s=%q is not a boolean", key, v)
+}

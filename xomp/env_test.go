@@ -1,0 +1,100 @@
+package xomp_test
+
+import (
+	"testing"
+
+	"repro/xomp"
+)
+
+func TestFromEnvDefaults(t *testing.T) {
+	cfg, err := xomp.FromEnv()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Workers <= 0 {
+		t.Fatalf("workers = %d", cfg.Workers)
+	}
+	if cfg.Sched != xomp.SchedXQueue || cfg.Barrier != xomp.BarrierTree {
+		t.Fatalf("default preset not xgomptb: %+v", cfg)
+	}
+}
+
+func TestFromEnvOverrides(t *testing.T) {
+	t.Setenv("XOMP_RUNTIME", "xgomptb+naws")
+	t.Setenv("XOMP_WORKERS", "6")
+	t.Setenv("XOMP_ZONES", "3")
+	t.Setenv("XOMP_QUEUE", "64")
+	t.Setenv("XOMP_PROFILE", "true")
+	t.Setenv("XOMP_PIN", "0")
+	t.Setenv("XOMP_NSTEAL", "7")
+	t.Setenv("XOMP_PLOCAL", "0.25")
+
+	cfg, err := xomp.FromEnv()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Workers != 6 || cfg.QueueSize != 64 || !cfg.Profile || cfg.Pin {
+		t.Fatalf("overrides lost: %+v", cfg)
+	}
+	if cfg.Topology.Zones != 3 {
+		t.Fatalf("zones = %d", cfg.Topology.Zones)
+	}
+	if cfg.DLB.Strategy != xomp.DLBWorkSteal || cfg.DLB.NSteal != 7 || cfg.DLB.PLocal != 0.25 {
+		t.Fatalf("DLB overrides lost: %+v", cfg.DLB)
+	}
+	team, err := xomp.NewTeam(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ran bool
+	team.Run(func(*xomp.Worker) { ran = true })
+	if !ran {
+		t.Fatal("env-configured team did not run")
+	}
+}
+
+func TestFromEnvDLBSelection(t *testing.T) {
+	t.Setenv("XOMP_DLB", "narp")
+	cfg, err := xomp.FromEnv()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.DLB.Strategy != xomp.DLBRedirectPush {
+		t.Fatalf("strategy = %v", cfg.DLB.Strategy)
+	}
+}
+
+func TestFromEnvErrors(t *testing.T) {
+	cases := map[string]string{
+		"XOMP_RUNTIME":   "nonsense",
+		"XOMP_WORKERS":   "many",
+		"XOMP_QUEUE":     "2.5",
+		"XOMP_PROFILE":   "maybe",
+		"XOMP_DLB":       "magic",
+		"XOMP_PLOCAL":    "high",
+		"XOMP_NVICTIM":   "x",
+		"XOMP_TINTERVAL": "soon",
+	}
+	for key, bad := range cases {
+		t.Run(key, func(t *testing.T) {
+			if key == "XOMP_PLOCAL" || key == "XOMP_NVICTIM" || key == "XOMP_TINTERVAL" {
+				t.Setenv("XOMP_DLB", "naws") // tunables only parsed with DLB on
+			}
+			t.Setenv(key, bad)
+			if _, err := xomp.FromEnv(); err == nil {
+				t.Fatalf("%s=%q accepted", key, bad)
+			}
+		})
+	}
+}
+
+func TestTeamFromEnv(t *testing.T) {
+	t.Setenv("XOMP_WORKERS", "2")
+	team, err := xomp.TeamFromEnv()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if team.Workers() != 2 {
+		t.Fatalf("workers = %d", team.Workers())
+	}
+}

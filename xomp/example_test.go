@@ -1,0 +1,94 @@
+package xomp_test
+
+import (
+	"fmt"
+
+	"repro/xomp"
+)
+
+// The basic pattern: a team, a region, recursive tasks, taskwait.
+func Example() {
+	team := xomp.MustTeam(xomp.Preset("xgomptb", 4))
+	var fib func(w *xomp.Worker, n int) int
+	fib = func(w *xomp.Worker, n int) int {
+		if n < 2 {
+			return n
+		}
+		var a int
+		w.Spawn(func(w *xomp.Worker) { a = fib(w, n-1) })
+		b := fib(w, n-2)
+		w.TaskWait()
+		return a + b
+	}
+	var result int
+	team.Run(func(w *xomp.Worker) { result = fib(w, 20) })
+	fmt.Println(result)
+	// Output: 6765
+}
+
+// Taskloops chunk an iteration space into tasks and join them.
+func ExampleWorker_ForRange() {
+	team := xomp.MustTeam(xomp.Preset("xgomptb+naws", 4))
+	data := make([]int, 1000)
+	team.Run(func(w *xomp.Worker) {
+		w.ForRange(len(data), 64, func(_ *xomp.Worker, lo, hi int) {
+			for i := lo; i < hi; i++ {
+				data[i] = i * i
+			}
+		})
+	})
+	fmt.Println(data[31], data[999])
+	// Output: 961 998001
+}
+
+// Depend clauses order sibling tasks through the data they touch, like
+// OpenMP depend(in/out).
+func ExampleWorker_SpawnDeps() {
+	team := xomp.MustTeam(xomp.Preset("xgomptb", 4))
+	var x, y int
+	team.Run(func(w *xomp.Worker) {
+		w.SpawnDeps(func(*xomp.Worker) { x = 21 }, xomp.Out(&x))
+		w.SpawnDeps(func(*xomp.Worker) { y = 2 * x }, xomp.In(&x), xomp.Out(&y))
+		w.TaskWait()
+	})
+	fmt.Println(y)
+	// Output: 42
+}
+
+// TaskGroup joins a whole subtree of tasks, not just direct children.
+func ExampleWorker_TaskGroup() {
+	team := xomp.MustTeam(xomp.Preset("xgomptb", 4))
+	total := make(chan int, 64)
+	team.Run(func(w *xomp.Worker) {
+		w.TaskGroup(func(w *xomp.Worker) {
+			for i := 0; i < 4; i++ {
+				w.Spawn(func(w *xomp.Worker) {
+					// Grandchildren not joined by the child itself.
+					for j := 0; j < 4; j++ {
+						w.Spawn(func(*xomp.Worker) { total <- 1 })
+					}
+				})
+			}
+		})
+		// All 16 grandchildren are done here.
+		fmt.Println(len(total))
+	})
+	// Output: 16
+}
+
+// Teams are tunable: probe a workload once, then run with the settings
+// the paper's Table IV prescribes for its granularity.
+func ExampleTeam_AutoTune() {
+	team := xomp.MustTeam(xomp.Preset("xgomptb", 4))
+	workload := func(w *xomp.Worker) {
+		for i := 0; i < 5000; i++ {
+			w.Spawn(func(*xomp.Worker) {})
+		}
+	}
+	cfg, _, err := team.AutoTune(workload)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(cfg.Strategy)
+	// Output: na-ws
+}

@@ -1,0 +1,163 @@
+// Package xomp is the public API of this repository: a task-parallel
+// runtime for Go reproducing "Optimizing Fine-Grained Parallelism Through
+// Dynamic Load Balancing on Multi-Socket Many-Core Systems" (IPDPS 2025).
+//
+// The runtime executes OpenMP-style parallel regions over a fixed team of
+// workers. Tasks are spawned with Worker.Spawn and joined with
+// Worker.TaskWait; the region ends with an implicit team barrier. The
+// composition of queueing substrate, barrier, allocator, and dynamic load
+// balancer is chosen by Config, and Preset names the compositions the paper
+// evaluates:
+//
+//	gomp          GNU OpenMP model: global task lock + priority queue,
+//	              centralized lock barrier, contended allocator.
+//	lomp          LLVM OpenMP model: lock-free work-stealing deques,
+//	              atomic centralized barrier, multi-level allocator.
+//	xlomp         XQueue in the LOMP configuration.
+//	xgomp         XQueue + atomic global task counter (paper §III-A).
+//	xgomptb       XQueue + hybrid distributed tree barrier (§III-B).
+//	xgomptb+narp  xgomptb + NUMA-aware redirect push (§IV-C).
+//	xgomptb+naws  xgomptb + NUMA-aware work stealing (§IV-D).
+//
+// # Quick start
+//
+//	team := xomp.MustTeam(xomp.Preset("xgomptb", runtime.NumCPU()))
+//	var fib func(w *xomp.Worker, n int) int
+//	fib = func(w *xomp.Worker, n int) int {
+//		if n < 2 {
+//			return n
+//		}
+//		var a int
+//		w.Spawn(func(w *xomp.Worker) { a = fib(w, n-1) })
+//		b := fib(w, n-2)
+//		w.TaskWait()
+//		return a + b
+//	}
+//	var result int
+//	team.Run(func(w *xomp.Worker) { result = fib(w, 30) })
+//
+// Team.Run is the OpenMP "parallel + single" idiom (worker 0 produces the
+// root tasks); Team.Parallel is a full SPMD region. Teams are reusable
+// across regions, and Team.Profile exposes the paper's per-thread profiling
+// tools (§V).
+package xomp
+
+import (
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/numa"
+)
+
+// Worker is a team member; task bodies receive the worker executing them
+// and use it to spawn children and wait for them. See core.Worker.
+type Worker = core.Worker
+
+// TaskFunc is a task body.
+type TaskFunc = core.TaskFunc
+
+// Team is a fixed set of workers executing parallel regions.
+type Team = core.Team
+
+// Config assembles a runtime; see the field docs in package core.
+type Config = core.Config
+
+// DLBConfig carries the dynamic-load-balancing tunables Nvictim, Nsteal,
+// Tinterval and Plocal from §IV-E of the paper.
+type DLBConfig = core.DLBConfig
+
+// Substrate selectors; see the constants below.
+type (
+	// Sched selects the task-queue substrate.
+	Sched = core.Sched
+	// Barrier selects the team-barrier implementation.
+	Barrier = core.Barrier
+	// Alloc selects the task-descriptor allocation model.
+	Alloc = core.Alloc
+	// DLBStrategy selects the dynamic load balancing strategy.
+	DLBStrategy = core.DLBStrategy
+)
+
+// Scheduler substrates.
+const (
+	SchedGOMP   = core.SchedGOMP
+	SchedLOMP   = core.SchedLOMP
+	SchedXQueue = core.SchedXQueue
+)
+
+// Barrier implementations.
+const (
+	BarrierCentralLock   = core.BarrierCentralLock
+	BarrierCentralAtomic = core.BarrierCentralAtomic
+	BarrierTree          = core.BarrierTree
+)
+
+// Allocation models.
+const (
+	AllocContended  = core.AllocContended
+	AllocMultiLevel = core.AllocMultiLevel
+)
+
+// DLB strategies.
+const (
+	DLBNone         = core.DLBNone
+	DLBRedirectPush = core.DLBRedirectPush
+	DLBWorkSteal    = core.DLBWorkSteal
+)
+
+// NewTeam validates cfg and assembles the runtime it describes.
+func NewTeam(cfg Config) (*Team, error) { return core.NewTeam(cfg) }
+
+// MustTeam is NewTeam, panicking on configuration errors.
+func MustTeam(cfg Config) *Team { return core.MustTeam(cfg) }
+
+// Preset returns the configuration of one of the paper's named runtimes
+// for the given team size; see the package comment for the names.
+func Preset(name string, workers int) Config { return core.Preset(name, workers) }
+
+// PresetNames lists the preset names in the order the paper introduces
+// them.
+func PresetNames() []string { return core.PresetNames() }
+
+// DefaultDLB returns mid-range DLB settings for the given strategy, the
+// starting point of the paper's parameter sweeps.
+func DefaultDLB(s DLBStrategy) DLBConfig { return core.DefaultDLB(s) }
+
+// Dep is a task depend clause (OpenMP depend(in/out/inout)); build them
+// with In, Out, and InOut and pass them to Worker.SpawnDeps to order
+// sibling tasks by the data they touch.
+type Dep = core.Dep
+
+// DepMode is a depend clause's access mode.
+type DepMode = core.DepMode
+
+// Depend clause constructors. The key is conventionally the address of
+// the protected datum (any comparable value works).
+func In(key any) Dep    { return core.In(key) }
+func Out(key any) Dep   { return core.Out(key) }
+func InOut(key any) Dep { return core.InOut(key) }
+
+// Measurement is what Team.AutoTune observed while probing a workload.
+type Measurement = core.Measurement
+
+// GuidelineFor maps a mean task duration to the DLB settings the paper's
+// Table IV recommends for that granularity class.
+func GuidelineFor(meanTask time.Duration, zones int) DLBConfig {
+	return core.GuidelineFor(meanTask, zones)
+}
+
+// Topology maps workers onto NUMA zones; assign one to Config.Topology to
+// override detection.
+type Topology = numa.Topology
+
+// SyntheticTopology distributes workers over zones in contiguous blocks
+// (close affinity), the layout the paper's experiments use.
+func SyntheticTopology(workers, zones int) Topology {
+	return numa.Synthetic(workers, zones)
+}
+
+// DetectTopology returns the host topology when detectable (Linux sysfs)
+// and a single-zone layout otherwise.
+func DetectTopology(workers int) Topology {
+	return numa.Detect(workers)
+}
