@@ -10,6 +10,8 @@ package repro_test
 
 import (
 	"fmt"
+	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -353,6 +355,72 @@ func BenchmarkTable4(b *testing.B) {
 		b.Run(c.name, func(b *testing.B) {
 			synthCell(b, c.strat, c.size, c.steal)
 		})
+	}
+}
+
+// BenchmarkPoolThroughput measures the job-server layer: jobs/sec through
+// one shared serving team as a function of preset and concurrent submitter
+// count. Each job is a mixed BOTS task tree (fib, sort, nqueens cycling),
+// submitted back-to-back by every submitter, so the benchmark exercises
+// admission, adoption, cross-job interleaving in the shared substrate, and
+// per-job quiescence detection — the whole Submit/Wait path rather than a
+// single region.
+func BenchmarkPoolThroughput(b *testing.B) {
+	mix := []string{"fib", "sort", "nqueens"}
+	for _, preset := range []string{"gomp", "lomp", "xgomptb", "xgomptb+naws"} {
+		for _, submitters := range []int{1, 4, 8} {
+			b.Run(fmt.Sprintf("%s/sub%d", preset, submitters), func(b *testing.B) {
+				cfg := xomp.Preset(preset, benchWorkers)
+				cfg.Topology = numa.Synthetic(benchWorkers, 2)
+				pool := xomp.MustPool(cfg)
+				// One app instance per submitter and mix entry, built before
+				// the clock starts: a submitter has at most one job in
+				// flight and RunTask re-initializes per-run state, so
+				// instances are safely reused across iterations.
+				apps := make([][]bots.Benchmark, submitters)
+				for s := range apps {
+					apps[s] = make([]bots.Benchmark, len(mix))
+					for m, name := range mix {
+						apps[s][m] = bots.MustNew(name, bots.ScaleTest)
+					}
+				}
+				var next atomic.Int64
+				b.ResetTimer()
+				start := time.Now()
+				var wg sync.WaitGroup
+				for s := 0; s < submitters; s++ {
+					wg.Add(1)
+					go func(s int) {
+						defer wg.Done()
+						for {
+							i := int(next.Add(1)) - 1
+							if i >= b.N {
+								return
+							}
+							app := apps[s][i%len(mix)]
+							j, err := pool.Submit(app.RunTask)
+							if err != nil {
+								b.Error(err)
+								return
+							}
+							if err := j.Wait(); err != nil {
+								b.Error(err)
+								return
+							}
+						}
+					}(s)
+				}
+				wg.Wait()
+				elapsed := time.Since(start)
+				b.StopTimer()
+				if err := pool.Close(); err != nil {
+					b.Fatal(err)
+				}
+				if elapsed > 0 {
+					b.ReportMetric(float64(b.N)/elapsed.Seconds(), "jobs/sec")
+				}
+			})
+		}
 	}
 }
 

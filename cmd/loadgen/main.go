@@ -1,0 +1,186 @@
+// Command loadgen drives a shared task service (xomp.Pool) with concurrent
+// submitters over a mix of BOTS workloads — the traffic shape a job-server
+// runtime must sustain: many independent clients, heterogeneous task trees,
+// one persistent worker team.
+//
+// Each submitter goroutine submits jobs back-to-back, cycling through the
+// workload mix; every job is verified against its application's sequential
+// reference. The report covers throughput (jobs/sec), per-application
+// counts, and queue-delay/run-time statistics from the per-job profile.
+//
+// Usage:
+//
+//	loadgen -runtime xgomptb+naws -workers 8 -submitters 8 -jobs 20
+//	loadgen -mix fib,sort,nqueens -scale test -backlog 4 -v
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/bots"
+	"repro/internal/numa"
+	"repro/xomp"
+)
+
+func main() {
+	var (
+		preset     = flag.String("runtime", "xgomptb", "runtime preset: "+strings.Join(xomp.PresetNames(), "|"))
+		workers    = flag.Int("workers", 4, "team size")
+		zones      = flag.Int("zones", 2, "synthetic NUMA zones")
+		submitters = flag.Int("submitters", 4, "concurrent submitter goroutines")
+		jobs       = flag.Int("jobs", 8, "jobs per submitter")
+		mix        = flag.String("mix", "fib,sort,nqueens", "comma-separated BOTS apps to cycle through")
+		scale      = flag.String("scale", "test", "input scale: test|small|medium|large")
+		backlog    = flag.Int("backlog", 0, "admission queue capacity (0 = 4x workers)")
+		noVerify   = flag.Bool("noverify", false, "skip per-job result verification")
+		verbose    = flag.Bool("v", false, "log every job")
+	)
+	flag.Parse()
+
+	sc, err := parseScale(*scale)
+	if err != nil {
+		fatal(err)
+	}
+	names := strings.Split(*mix, ",")
+	for i, name := range names {
+		names[i] = strings.TrimSpace(name)
+	}
+
+	// One benchmark instance per submitter and mix entry, built before the
+	// clock starts so jobs/sec measures the task service, not sequential
+	// input generation. A submitter has at most one job in flight and
+	// RunTask re-initializes per-run state, so reuse across jobs is safe.
+	apps := make([][]bots.Benchmark, *submitters)
+	for s := range apps {
+		apps[s] = make([]bots.Benchmark, len(names))
+		for m, name := range names {
+			b, err := bots.New(name, sc)
+			if err != nil {
+				fatal(err)
+			}
+			apps[s][m] = b
+		}
+	}
+
+	cfg := xomp.Preset(*preset, *workers)
+	cfg.Topology = numa.Synthetic(*workers, *zones)
+	cfg.Backlog = *backlog
+	pool, err := xomp.NewPool(cfg)
+	if err != nil {
+		fatal(err)
+	}
+
+	fmt.Printf("loadgen: %d submitters x %d jobs, mix [%s] at scale %s, on %s (%d workers, %d zones)\n",
+		*submitters, *jobs, strings.Join(names, " "), sc, *preset, *workers, *zones)
+
+	var (
+		wg       sync.WaitGroup
+		failures atomic.Int64
+		perApp   sync.Map // app name -> *atomic.Int64
+	)
+	count := func(app string) {
+		v, _ := perApp.LoadOrStore(app, new(atomic.Int64))
+		v.(*atomic.Int64).Add(1)
+	}
+
+	start := time.Now()
+	for s := 0; s < *submitters; s++ {
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			for k := 0; k < *jobs; k++ {
+				m := (s + k) % len(names)
+				name := names[m]
+				b := apps[s][m]
+				j, err := pool.Submit(b.RunTask)
+				if err != nil {
+					fmt.Fprintf(os.Stderr, "submitter %d: submit %s: %v\n", s, name, err)
+					failures.Add(1)
+					return
+				}
+				if err := j.Wait(); err != nil {
+					fmt.Fprintf(os.Stderr, "submitter %d: job %d (%s): %v\n", s, j.ID(), name, err)
+					failures.Add(1)
+					continue
+				}
+				if !*noVerify {
+					if err := b.Verify(); err != nil {
+						fmt.Fprintf(os.Stderr, "submitter %d: verify %s: %v\n", s, name, err)
+						failures.Add(1)
+						continue
+					}
+				}
+				count(name)
+				if *verbose {
+					fmt.Printf("submitter %d: job %d %s (%s) ok: queue %v run %v on worker %d\n",
+						s, j.ID(), name, b.Params(), j.QueueDelay().Round(time.Microsecond),
+						j.RunTime().Round(time.Microsecond), j.Worker())
+				}
+			}
+		}(s)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	if err := pool.Close(); err != nil {
+		fatal(err)
+	}
+
+	total := *submitters * *jobs
+	fmt.Printf("\n%d jobs in %v: %.1f jobs/sec\n", total, elapsed.Round(time.Millisecond),
+		float64(total)/elapsed.Seconds())
+	perApp.Range(func(k, v any) bool {
+		fmt.Printf("  %-10s %d ok\n", k, v.(*atomic.Int64).Load())
+		return true
+	})
+
+	recs := pool.Team().Profile().Jobs()
+	if len(recs) > 0 {
+		queue := make([]time.Duration, 0, len(recs))
+		run := make([]time.Duration, 0, len(recs))
+		for _, r := range recs {
+			queue = append(queue, r.QueueDelay())
+			run = append(run, r.RunTime())
+		}
+		fmt.Printf("queue delay: %s\nrun time:    %s\n", distString(queue), distString(run))
+	}
+	if n := failures.Load(); n > 0 {
+		fmt.Fprintf(os.Stderr, "%d job(s) failed\n", n)
+		os.Exit(1)
+	}
+}
+
+// distString summarizes a duration sample as min/median/p95/max.
+func distString(d []time.Duration) string {
+	sort.Slice(d, func(i, j int) bool { return d[i] < d[j] })
+	pick := func(q float64) time.Duration {
+		i := int(q * float64(len(d)-1))
+		return d[i].Round(time.Microsecond)
+	}
+	return fmt.Sprintf("min %v  median %v  p95 %v  max %v", pick(0), pick(0.5), pick(0.95), pick(1))
+}
+
+func parseScale(s string) (bots.Scale, error) {
+	switch s {
+	case "test":
+		return bots.ScaleTest, nil
+	case "small":
+		return bots.ScaleSmall, nil
+	case "medium":
+		return bots.ScaleMedium, nil
+	case "large":
+		return bots.ScaleLarge, nil
+	}
+	return 0, fmt.Errorf("unknown scale %q (test|small|medium|large)", s)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "loadgen:", err)
+	os.Exit(1)
+}

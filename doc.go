@@ -7,6 +7,14 @@
 // application, and a harness that regenerates every table and figure of
 // the paper's evaluation.
 //
+// Beyond one-region-at-a-time execution, the runtime doubles as a shared
+// task service: xomp.Pool keeps one persistent worker team running and
+// accepts concurrent job submissions from many goroutines, with per-job
+// quiescence detection, panic isolation, bounded-backlog admission, and
+// per-job profiling. cmd/loadgen drives it with mixed BOTS traffic, and
+// BenchmarkPoolThroughput in bench_test.go measures jobs/sec by preset and
+// submitter count.
+//
 // The public API lives in repro/xomp; see README.md for a tour and
 // DESIGN.md for the system inventory. The root package exists to host the
 // repository-level benchmark suite (bench_test.go), which has one

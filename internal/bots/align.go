@@ -146,6 +146,25 @@ func (a *Align) RunParallel(tm *core.Team) {
 	a.ran = true
 }
 
+// RunTask implements TaskRunner: the same computation as one job body.
+func (a *Align) RunTask(w *core.Worker) {
+	n := len(a.seqs)
+	for i := range a.scores {
+		a.scores[i] = 0
+	}
+	w.TaskGroup(func(w *core.Worker) {
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				i, j := i, j
+				w.Spawn(func(*core.Worker) {
+					a.scores[i*n+j] = swScore(a.seqs[i], a.seqs[j], a.gapOpen, a.gapExtend)
+				})
+			}
+		}
+	})
+	a.ran = true
+}
+
 // RunSequential implements Benchmark.
 func (a *Align) RunSequential() {
 	n := len(a.seqs)

@@ -58,12 +58,44 @@ type Benchmark interface {
 	Params() string
 	// RunParallel executes the task-parallel version on the team.
 	RunParallel(tm *core.Team)
+	// RunTask executes the task-parallel version as a single task body on
+	// an already-running team — the job-body form for a shared task
+	// service (see TaskRunner).
+	RunTask(w *core.Worker)
 	// RunSequential executes the reference implementation.
 	RunSequential()
 	// Verify checks the most recent RunParallel result against the
 	// sequential reference and application invariants.
 	Verify() error
 }
+
+// TaskRunner is implemented by every benchmark in this package: RunTask
+// executes the whole parallel phase (input preparation included) as a
+// single task body on an already-running team. This is how a benchmark
+// runs as one job on a shared task service (xomp.Pool) — or nested inside
+// a larger region — instead of owning a region via RunParallel. RunTask
+// joins its task subtree with a taskgroup, so results are final and Verify
+// is valid as soon as RunTask returns.
+//
+// Instances are stateful: use one Benchmark value per in-flight job.
+type TaskRunner interface {
+	RunTask(w *core.Worker)
+}
+
+// Every benchmark doubles as a job body for the shared task service.
+var (
+	_ TaskRunner = (*Fib)(nil)
+	_ TaskRunner = (*NQueens)(nil)
+	_ TaskRunner = (*FFT)(nil)
+	_ TaskRunner = (*Floorplan)(nil)
+	_ TaskRunner = (*Health)(nil)
+	_ TaskRunner = (*UTS)(nil)
+	_ TaskRunner = (*Strassen)(nil)
+	_ TaskRunner = (*Sort)(nil)
+	_ TaskRunner = (*Align)(nil)
+	_ TaskRunner = (*FibCutoff)(nil)
+	_ TaskRunner = (*NQueensCutoff)(nil)
+)
 
 // Names lists the applications in the paper's figure order.
 var Names = []string{

@@ -40,6 +40,14 @@ func (f *FibCutoff) RunParallel(tm *core.Team) {
 	f.ran = true
 }
 
+// RunTask implements TaskRunner: the same computation as one job body.
+func (f *FibCutoff) RunTask(w *core.Worker) {
+	w.TaskGroup(func(w *core.Worker) {
+		f.result = fibCutoffTask(w, f.n, f.cutoff)
+	})
+	f.ran = true
+}
+
 func fibCutoffTask(w *core.Worker, n, cutoff int) uint64 {
 	if n < 2 {
 		return uint64(n)
@@ -83,6 +91,14 @@ func (q *NQueensCutoff) Params() string { return fmt.Sprintf("n=%d cutoff=%d", q
 // RunParallel implements Benchmark.
 func (q *NQueensCutoff) RunParallel(tm *core.Team) {
 	tm.Run(func(w *core.Worker) {
+		q.result = queensCutoffTask(w, q.n, 0, make([]int8, q.n), q.cutoff)
+	})
+	q.ran = true
+}
+
+// RunTask implements TaskRunner: the same computation as one job body.
+func (q *NQueensCutoff) RunTask(w *core.Worker) {
+	w.TaskGroup(func(w *core.Worker) {
 		q.result = queensCutoffTask(w, q.n, 0, make([]int8, q.n), q.cutoff)
 	})
 	q.ran = true

@@ -97,6 +97,13 @@ func (f *FFT) RunParallel(tm *core.Team) {
 	f.ran = true
 }
 
+// RunTask implements TaskRunner: the same computation as one job body.
+func (f *FFT) RunTask(w *core.Worker) {
+	copy(f.data, f.input)
+	w.TaskGroup(func(w *core.Worker) { f.fftRec(w, f.data, f.scratch, 1) })
+	f.ran = true
+}
+
 // RunSequential implements Benchmark.
 func (f *FFT) RunSequential() {
 	tmp := make([]complex128, f.n)

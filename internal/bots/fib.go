@@ -36,6 +36,12 @@ func (f *Fib) RunParallel(tm *core.Team) {
 	f.ran = true
 }
 
+// RunTask implements TaskRunner: the same computation as one job body.
+func (f *Fib) RunTask(w *core.Worker) {
+	w.TaskGroup(func(w *core.Worker) { f.result = fibTask(w, f.n) })
+	f.ran = true
+}
+
 func fibTask(w *core.Worker, n int) uint64 {
 	if n < 2 {
 		return uint64(n)

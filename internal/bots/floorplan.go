@@ -169,6 +169,14 @@ func (f *Floorplan) RunParallel(tm *core.Team) {
 	f.ran = true
 }
 
+// RunTask implements TaskRunner: the same computation as one job body.
+func (f *Floorplan) RunTask(w *core.Worker) {
+	f.best.Store(int64(f.boardMax) * int64(f.boardMax) * 4)
+	w.TaskGroup(func(w *core.Worker) { f.solveTask(w, nil, 0) })
+	f.parallel = f.best.Load()
+	f.ran = true
+}
+
 // RunSequential implements Benchmark.
 func (f *Floorplan) RunSequential() {
 	f.best.Store(int64(f.boardMax) * int64(f.boardMax) * 4)

@@ -197,6 +197,18 @@ func (h *Health) RunParallel(tm *core.Team) {
 	h.ran = true
 }
 
+// RunTask implements TaskRunner: the same computation as one job body.
+func (h *Health) RunTask(w *core.Worker) {
+	h.root.reset()
+	w.TaskGroup(func(w *core.Worker) {
+		for s := 0; s < h.steps; s++ {
+			stepTask(w, h.root, s)
+		}
+	})
+	h.parallel = collect(h.root)
+	h.ran = true
+}
+
 // RunSequential implements Benchmark.
 func (h *Health) RunSequential() {
 	h.root.reset()

@@ -96,6 +96,14 @@ func (q *NQueens) RunParallel(tm *core.Team) {
 	q.ran = true
 }
 
+// RunTask implements TaskRunner: the same computation as one job body.
+func (q *NQueens) RunTask(w *core.Worker) {
+	w.TaskGroup(func(w *core.Worker) {
+		q.result = queensTask(w, q.n, 0, make([]int8, q.n))
+	})
+	q.ran = true
+}
+
 // RunSequential implements Benchmark.
 func (q *NQueens) RunSequential() { _ = queensSeq(q.n, 0, make([]int8, q.n)) }
 

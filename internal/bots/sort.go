@@ -192,6 +192,13 @@ func (s *Sort) RunParallel(tm *core.Team) {
 	s.ran = true
 }
 
+// RunTask implements TaskRunner: the same computation as one job body.
+func (s *Sort) RunTask(w *core.Worker) {
+	copy(s.data, s.input)
+	w.TaskGroup(func(w *core.Worker) { s.parSort(w, s.data, s.scratch) })
+	s.ran = true
+}
+
 // RunSequential implements Benchmark.
 func (s *Sort) RunSequential() {
 	tmp := make([]int32, s.n)

@@ -163,6 +163,15 @@ func (s *Strassen) RunParallel(tm *core.Team) {
 	s.ran = true
 }
 
+// RunTask implements TaskRunner: the same computation as one job body.
+func (s *Strassen) RunTask(w *core.Worker) {
+	a := mat{d: s.a, stride: s.n, n: s.n}
+	b := mat{d: s.b, stride: s.n, n: s.n}
+	c := mat{d: s.c, stride: s.n, n: s.n}
+	w.TaskGroup(func(w *core.Worker) { s.strassenTask(w, a, b, c) })
+	s.ran = true
+}
+
 // RunSequential implements Benchmark.
 func (s *Strassen) RunSequential() {
 	a := mat{d: s.a, stride: s.n, n: s.n}

@@ -115,6 +115,15 @@ func (u *UTS) RunParallel(tm *core.Team) {
 	u.ran = true
 }
 
+// RunTask implements TaskRunner: the same computation as one job body.
+func (u *UTS) RunTask(w *core.Worker) {
+	root := rootDescriptor(u.seed)
+	w.TaskGroup(func(w *core.Worker) {
+		u.parallel = u.countTask(w, root, 0)
+	})
+	u.ran = true
+}
+
 // RunSequential implements Benchmark.
 func (u *UTS) RunSequential() { _ = u.countSeq(rootDescriptor(u.seed), 0) }
 

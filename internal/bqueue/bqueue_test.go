@@ -1,9 +1,11 @@
 package bqueue
 
 import (
+	"runtime"
 	"sync"
 	"testing"
 	"testing/quick"
+	"time"
 )
 
 func TestNewValidatesCapacity(t *testing.T) {
@@ -152,6 +154,12 @@ func TestFIFOModelProperty(t *testing.T) {
 
 // Concurrent SPSC stress: one producer, one consumer, every item delivered
 // exactly once in order. Run with -race to validate the memory ordering.
+//
+// The spin loops yield on failure: the queue is non-blocking, so a full or
+// empty result means the peer must run before this side can progress. On
+// GOMAXPROCS=1 an unyielding spin starves the peer for a whole scheduling
+// quantum (the runtime's own idle loops yield the same way; see
+// core.stallSpins).
 func TestConcurrentSPSC(t *testing.T) {
 	const n = 200000
 	q := New[int](256)
@@ -163,6 +171,7 @@ func TestConcurrentSPSC(t *testing.T) {
 		for i := 0; i < n; i++ {
 			vals[i] = i
 			for !q.Enqueue(&vals[i]) {
+				runtime.Gosched()
 			}
 		}
 	}()
@@ -172,6 +181,7 @@ func TestConcurrentSPSC(t *testing.T) {
 		for i := 0; i < n; {
 			v := q.Dequeue()
 			if v == nil {
+				runtime.Gosched()
 				continue
 			}
 			if *v != i && firstErr == nil {
@@ -205,12 +215,14 @@ func TestPayloadVisibility(t *testing.T) {
 		for i := 0; i < n; i++ {
 			p := &payload{a: i, b: 2 * i, c: 3 * i}
 			for !q.Enqueue(p) {
+				runtime.Gosched()
 			}
 		}
 	}()
 	for i := 0; i < n; {
 		p := q.Dequeue()
 		if p == nil {
+			runtime.Gosched()
 			continue
 		}
 		if p.a != i || p.b != 2*i || p.c != 3*i {
@@ -221,27 +233,48 @@ func TestPayloadVisibility(t *testing.T) {
 	<-done
 }
 
+// TestTinyCapacityConcurrent exercises the batch clamp (batch = 1 at
+// capacity 2, batch = 2 at capacity 4) under a concurrent producer and
+// consumer. This test used to livelock the whole package for its 600s
+// timeout: neither spin loop yielded, so on a single-CPU host each
+// goroutine burned its full scheduling quantum against a ring that holds
+// at most two items before the other side could run. The explicit stall
+// deadline — extended on progress, so it bounds how long the stream may
+// stop rather than the test's total runtime — makes any regression fail
+// in seconds instead of stalling CI.
 func TestTinyCapacityConcurrent(t *testing.T) {
-	// Capacity 2 exercises the batch clamp (batch = 1).
-	q := New[int](2)
-	const n = 50000
-	vals := make([]int, n)
-	go func() {
-		for i := 0; i < n; i++ {
-			vals[i] = i
-			for !q.Enqueue(&vals[i]) {
+	const stallLimit = 30 * time.Second
+	for _, capacity := range []int{2, 4} {
+		q := New[int](capacity)
+		const n = 50000
+		vals := make([]int, n)
+		deadline := time.Now().Add(stallLimit)
+		go func() {
+			for i := 0; i < n; i++ {
+				vals[i] = i
+				for !q.Enqueue(&vals[i]) {
+					runtime.Gosched()
+				}
+			}
+		}()
+		for i := 0; i < n; {
+			v := q.Dequeue()
+			if v == nil {
+				if time.Now().After(deadline) {
+					t.Fatalf("capacity %d: stalled, no dequeue for %v at %d/%d items",
+						capacity, stallLimit, i, n)
+				}
+				runtime.Gosched()
+				continue
+			}
+			if *v != i {
+				t.Fatalf("capacity %d: order broken at %d: got %d", capacity, i, *v)
+			}
+			i++
+			if i%1024 == 0 {
+				deadline = time.Now().Add(stallLimit)
 			}
 		}
-	}()
-	for i := 0; i < n; {
-		v := q.Dequeue()
-		if v == nil {
-			continue
-		}
-		if *v != i {
-			t.Fatalf("order broken at %d: got %d", i, *v)
-		}
-		i++
 	}
 }
 

@@ -1,6 +1,7 @@
 package bqueue
 
 import (
+	"runtime"
 	"testing"
 )
 
@@ -59,12 +60,14 @@ func TestLamportConcurrentSPSC(t *testing.T) {
 		for i := 0; i < n; i++ {
 			vals[i] = i
 			for !q.Enqueue(&vals[i]) {
+				runtime.Gosched() // non-blocking queue: the peer must run first
 			}
 		}
 	}()
 	for i := 0; i < n; {
 		v := q.Dequeue()
 		if v == nil {
+			runtime.Gosched()
 			continue
 		}
 		if *v != i {

@@ -28,10 +28,16 @@ type Measurement struct {
 }
 
 // Retune replaces the team's DLB configuration. It must be called between
-// parallel regions, never while one is running.
+// parallel regions, never while one is running or while the team is
+// serving jobs (serving workers read the DLB settings continuously).
 func (tm *Team) Retune(d DLBConfig) error {
-	if tm.running {
+	tm.lifeMu.Lock()
+	defer tm.lifeMu.Unlock()
+	if tm.running.Load() {
 		return fmt.Errorf("core: Retune during a parallel region")
+	}
+	if svc := tm.svc.Load(); svc != nil && !svc.done.Load() {
+		return fmt.Errorf("core: Retune on a serving team (Close the service first)")
 	}
 	probe := tm.cfg
 	probe.DLB = d

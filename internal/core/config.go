@@ -150,6 +150,10 @@ type Config struct {
 	// QueueSize is the per-SPSC-queue capacity for XQueue and the deque
 	// capacity for LOMP; a power of two. 0 → 256.
 	QueueSize int
+	// Backlog is the admission-queue capacity of the task-service mode
+	// (Serve/Submit): how many submitted jobs may wait for adoption before
+	// Submit blocks, the service's backpressure bound. 0 → 4×Workers.
+	Backlog int
 	// Profile enables the event timeline (counters are always on).
 	Profile bool
 	// Pin locks each worker goroutine to an OS thread for the duration of
@@ -205,6 +209,12 @@ func (c *Config) validate() error {
 	}
 	if c.QueueSize < 2 || c.QueueSize&(c.QueueSize-1) != 0 {
 		return fmt.Errorf("core: QueueSize must be a power of two >= 2, got %d", c.QueueSize)
+	}
+	if c.Backlog < 0 {
+		return fmt.Errorf("core: Backlog must be >= 0, got %d", c.Backlog)
+	}
+	if c.Backlog == 0 {
+		c.Backlog = 4 * c.Workers
 	}
 	if c.Topology.Workers == 0 {
 		c.Topology = numa.Detect(c.Workers)

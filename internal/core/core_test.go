@@ -363,7 +363,7 @@ func TestPresetUnknownPanics(t *testing.T) {
 
 func TestNestedRegionPanics(t *testing.T) {
 	tm := MustTeam(Preset("xgomptb", 2))
-	tm.running = true // simulate a region in flight
+	tm.running.Store(true) // simulate a region in flight
 	defer func() {
 		if recover() == nil {
 			t.Fatal("nested region did not panic")

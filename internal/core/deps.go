@@ -183,6 +183,7 @@ func (w *Worker) SpawnDeps(fn TaskFunc, deps ...Dep) {
 		t.group = g
 		g.refs.Add(1)
 	}
+	t.job = w.cur.job
 	w.cur.refs.Add(1)
 	tm.counter.created(w.id)
 	th.Inc(prof.CntTasksCreated)

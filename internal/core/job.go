@@ -1,0 +1,118 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Job is the handle to one unit of work submitted to a serving Team (see
+// Team.Serve and Team.Submit). A job is an independent root task plus every
+// task it transitively spawns; many jobs coexist on one team, interleaved
+// task-by-task across the shared XQueue/LOMP/GOMP substrate.
+//
+// Unlike a parallel region, which detects termination with the team-wide
+// barrier and task counters, a job carries its own quiescence detection:
+// the root task's reference count covers the job's whole task subtree
+// (children decrement their parent only when their own subtree completes),
+// so the job is done exactly when the root's count reaches zero — no
+// barrier, and no coordination with other jobs in flight.
+//
+// Panics are captured per job: a panicking task body fails its job, cancels
+// the job's remaining task bodies, and surfaces the panic value from Wait
+// as a *PanicError. Other jobs and the team itself are unaffected.
+type Job struct {
+	tm   *Team
+	id   int64
+	root Task
+	done chan struct{}
+
+	// failed is raised by the first panicking task; later tasks of this
+	// job skip their bodies (cancellation) but keep completion accounting,
+	// so the job still quiesces.
+	failed     atomic.Bool
+	panicMu    sync.Mutex
+	panicVal   any
+	panicStack []byte
+
+	// Profiling fields: the adopting worker and nanosecond timestamps on
+	// the team profile's clock. worker/startNS are written by the adopter
+	// before the root runs; endNS by the completing worker. The atomic
+	// wrapper types guarantee the alignment 64-bit atomics need on 32-bit
+	// platforms.
+	worker   atomic.Int32
+	submitNS int64 // written before the job is published; read-only after
+	startNS  atomic.Int64
+	endNS    atomic.Int64
+}
+
+// PanicError is the error Job.Wait returns when one of the job's task
+// bodies panicked; Value is the recovered panic value of the first panic
+// and Stack the goroutine stack captured at its recovery point, locating
+// the faulty task body (the panic is recovered per task, so the process
+// stack region mode would have left behind does not exist here).
+type PanicError struct {
+	Value any
+	Stack []byte
+}
+
+// Error implements error.
+func (e *PanicError) Error() string { return fmt.Sprintf("core: job task panicked: %v", e.Value) }
+
+// ID returns the job's submission sequence number on its team (1-based).
+func (j *Job) ID() int64 { return j.id }
+
+// Done returns a channel closed when the job's task subtree has quiesced.
+func (j *Job) Done() <-chan struct{} { return j.done }
+
+// Wait blocks until every task of the job has completed. It returns nil on
+// success and a *PanicError when any of the job's task bodies panicked.
+func (j *Job) Wait() error {
+	<-j.done
+	return j.Err()
+}
+
+// Err returns the job's failure, or nil if the job succeeded or is still
+// in flight.
+func (j *Job) Err() error {
+	select {
+	case <-j.done:
+	default:
+		return nil
+	}
+	j.panicMu.Lock()
+	r, stack := j.panicVal, j.panicStack
+	j.panicMu.Unlock()
+	if r != nil {
+		return &PanicError{Value: r, Stack: stack}
+	}
+	return nil
+}
+
+// Worker returns the worker that adopted the job's root task, or -1 while
+// the job is still queued.
+func (j *Job) Worker() int { return int(j.worker.Load()) }
+
+// QueueDelay returns how long the job waited in the admission queue before
+// a worker adopted it. Valid once the job has started.
+func (j *Job) QueueDelay() time.Duration {
+	return time.Duration(j.startNS.Load() - j.submitNS)
+}
+
+// RunTime returns the time from adoption to quiescence. Valid after Wait.
+func (j *Job) RunTime() time.Duration {
+	return time.Duration(j.endNS.Load() - j.startNS.Load())
+}
+
+// recordPanic captures the first panic value and its stack and fails the
+// job, cancelling its remaining task bodies.
+func (j *Job) recordPanic(r any, stack []byte) {
+	j.panicMu.Lock()
+	if j.panicVal == nil {
+		j.panicVal = r
+		j.panicStack = stack
+	}
+	j.panicMu.Unlock()
+	j.failed.Store(true)
+}

@@ -1,0 +1,288 @@
+package core
+
+import (
+	"errors"
+	"runtime"
+	"runtime/debug"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/prof"
+)
+
+// Task-service mode: instead of executing one parallel region at a time,
+// the team's workers run persistently and serve independent jobs submitted
+// by any number of client goroutines. A bounded admission queue provides
+// backpressure; per-job quiescence detection (Job.root's reference count)
+// replaces the team barrier, which this mode needs only conceptually for
+// startup/shutdown — startup is the worker launch, shutdown is Close's
+// drain-then-join.
+
+// ErrClosed is returned by Submit once Close has begun on the team.
+var ErrClosed = errors.New("core: task service closed")
+
+const (
+	// parkSpins is how many consecutive empty polls a serving worker makes
+	// before it starts sleeping between polls, so long-idle services stay
+	// off the CPU instead of spinning indefinitely like a region barrier.
+	parkSpins = 1 << 12
+	// parkSleepMin/Max bound the poll period of a parked worker: the sleep
+	// starts at Min and doubles toward Max while idleness continues, so a
+	// long-idle pool converges to ~Max-period wakeups per worker while the
+	// first job after an idle spell still starts within ~Max. Polling (not
+	// a blocking receive) is required because DLB victims push tasks
+	// directly into a sleeping thief's queues, which only the owner polls.
+	parkSleepMin = 50 * time.Microsecond
+	parkSleepMax = 2 * time.Millisecond
+)
+
+// service is the per-Serve state of a team in task-service mode.
+type service struct {
+	// submit is the bounded admission queue. Any worker may receive from
+	// it, which keeps the SPSC discipline of the queueing substrates: a
+	// root task enters a worker's domain only on that worker's goroutine.
+	submit chan *Task
+
+	// mu guards the admission/drain state below.
+	mu     sync.Mutex
+	cond   *sync.Cond // signalled when active drops to zero
+	active int64      // jobs submitted but not yet quiesced
+	closed bool       // Submit rejects once set
+
+	// stop tells workers to exit; set only after every job quiesced, so
+	// queues are empty when workers observe it. done is raised once all
+	// workers have actually exited — only then may a new Serve or a
+	// parallel region reuse the substrate (SPSC discipline: never two
+	// goroutines behind one worker id).
+	stop atomic.Bool
+	done atomic.Bool
+	wg   sync.WaitGroup
+}
+
+// Serve switches the team into task-service mode: all workers start and
+// remain available to execute jobs submitted with Submit until Close. A
+// serving team must not open parallel regions (Run/Parallel panic); after
+// Close the team may serve again or run regions.
+func (tm *Team) Serve() error {
+	tm.lifeMu.Lock()
+	defer tm.lifeMu.Unlock()
+	if tm.running.Load() {
+		return errors.New("core: Serve during an open parallel region")
+	}
+	if tm.poisoned {
+		return errors.New("core: team unusable after a region panic; build a new team")
+	}
+	if old := tm.svc.Load(); old != nil && !old.done.Load() {
+		return errors.New("core: team is already serving")
+	}
+	svc := &service{submit: make(chan *Task, tm.cfg.Backlog)}
+	svc.cond = sync.NewCond(&svc.mu)
+	tm.svc.Store(svc)
+	svc.wg.Add(tm.n)
+	for _, w := range tm.workers {
+		go tm.serve(svc, w)
+	}
+	return nil
+}
+
+// Submit enqueues fn as a new job's root task and returns the job handle.
+// It blocks while the admission queue is full (backpressure) and returns
+// ErrClosed once Close has begun. Submit is safe for concurrent use from
+// any goroutine *outside* the team; task bodies must use Worker.Spawn, not
+// Submit — a worker blocked on a full admission queue cannot help drain it.
+func (tm *Team) Submit(fn TaskFunc) (*Job, error) {
+	svc := tm.svc.Load()
+	if svc == nil {
+		return nil, errors.New("core: team is not serving; call Serve first")
+	}
+	if fn == nil {
+		return nil, errors.New("core: Submit(nil)")
+	}
+	j := &Job{tm: tm, done: make(chan struct{})}
+	j.worker.Store(-1)
+	j.root.reset(fn, nil, 0, 0)
+	j.root.noRecycle = true // the root outlives the region; never pool it
+	j.root.job = j
+
+	svc.mu.Lock()
+	if svc.closed {
+		svc.mu.Unlock()
+		return nil, ErrClosed
+	}
+	svc.active++
+	j.id = tm.jobSeq.Add(1)
+	svc.mu.Unlock()
+
+	j.submitNS = tm.profile.Now()
+	svc.submit <- &j.root
+	return j, nil
+}
+
+// Close stops admission, waits for every submitted job to quiesce, then
+// stops the workers and joins them. Concurrent and repeated Close calls
+// are safe: all of them return nil after the service has fully stopped.
+// The stopped service stays attached so a later Submit still reports
+// ErrClosed (not "never served") until the next Serve.
+//
+// Like Submit, Close must be called from outside the team's task bodies:
+// it waits for every active job, so a task calling Close waits for its
+// own job and deadlocks.
+func (tm *Team) Close() error {
+	// Admission is cut before taking lifeMu so a Close racing a stream of
+	// submitters cannot chase an ever-growing backlog, then the lifecycle
+	// lock serializes the actual teardown with Serve and regions.
+	svc := tm.svc.Load()
+	if svc == nil {
+		return errors.New("core: team is not serving")
+	}
+	svc.mu.Lock()
+	svc.closed = true
+	for svc.active > 0 {
+		svc.cond.Wait()
+	}
+	svc.mu.Unlock()
+	tm.lifeMu.Lock()
+	defer tm.lifeMu.Unlock()
+	if svc.done.Load() {
+		return nil // another Close finished the teardown
+	}
+	svc.stop.Store(true)
+	svc.wg.Wait()
+	svc.done.Store(true)
+	return nil
+}
+
+// Serving reports whether the team is currently in task-service mode.
+func (tm *Team) Serving() bool {
+	svc := tm.svc.Load()
+	return svc != nil && !svc.done.Load()
+}
+
+// jobDone retires one job from the admission accounting.
+func (svc *service) jobDone() {
+	svc.mu.Lock()
+	svc.active--
+	if svc.active == 0 {
+		svc.cond.Broadcast()
+	}
+	svc.mu.Unlock()
+}
+
+// serve is one worker's service loop — the persistent analogue of the
+// region barrier-wait loop: execute queued tasks, adopt newly submitted
+// jobs when idle, run the thief protocol, and park after a long idle spell.
+func (tm *Team) serve(svc *service, w *Worker) {
+	defer svc.wg.Done()
+	if tm.cfg.Pin {
+		runtime.LockOSThread()
+		defer runtime.UnlockOSThread()
+	}
+	w.beginRegion()
+	th := w.prof
+	spins, idle := 0, 0
+	sleep := parkSleepMin
+	stalling := false
+	for {
+		if t := tm.sched.pop(w.id); t != nil {
+			if stalling {
+				th.End(prof.EvStall)
+				stalling = false
+			}
+			tm.execute(w, t)
+			spins, idle, sleep = 0, 0, parkSleepMin
+			continue
+		}
+		select {
+		case t := <-svc.submit:
+			if stalling {
+				th.End(prof.EvStall)
+				stalling = false
+			}
+			tm.adopt(w, t)
+			spins, idle, sleep = 0, 0, parkSleepMin
+			continue
+		default:
+		}
+		if svc.stop.Load() {
+			if stalling {
+				th.End(prof.EvStall)
+			}
+			return
+		}
+		if tm.dlbOn {
+			tm.thiefStep(w)
+		}
+		if !stalling {
+			th.Begin(prof.EvStall)
+			stalling = true
+		}
+		spins++
+		idle++
+		if idle > parkSpins {
+			time.Sleep(sleep)
+			if sleep < parkSleepMax {
+				sleep *= 2
+			}
+		} else if spins > stallSpins {
+			runtime.Gosched()
+			spins = 0
+		}
+	}
+}
+
+// adopt makes worker w the entry point of a submitted job: the worker
+// becomes the root task's creator for locality accounting, counts the task
+// into the (single-writer) task counters, and executes it. The root's
+// children are then distributed by the normal static balancer and DLB.
+func (tm *Team) adopt(w *Worker, t *Task) {
+	j := t.job
+	t.creator = int32(w.id)
+	j.worker.Store(int32(w.id))
+	j.startNS.Store(tm.profile.Now())
+	w.prof.Inc(prof.CntJobsAdopted)
+	// Mirror spawn's accounting so NTASKS_CREATED and NTASKS_EXECUTED
+	// stay balanced across service-mode profiles.
+	w.prof.Inc(prof.CntTasksCreated)
+	tm.counter.created(w.id)
+	tm.execute(w, t)
+}
+
+// finishJob publishes a job's completion. It runs on whichever worker drove
+// the root task's reference count to zero (see cascade).
+func (tm *Team) finishJob(j *Job) {
+	j.endNS.Store(tm.profile.Now())
+	tm.profile.RecordJob(prof.JobRecord{
+		ID:       j.id,
+		Worker:   int(j.worker.Load()),
+		Submit:   j.submitNS,
+		Start:    j.startNS.Load(),
+		End:      j.endNS.Load(),
+		Panicked: j.failed.Load(),
+	})
+	close(j.done)
+	if svc := tm.svc.Load(); svc != nil {
+		svc.jobDone()
+	}
+}
+
+// runJobTask executes a job task's body with per-job panic isolation: a
+// panic is recorded on the job — failing it and cancelling its remaining
+// task bodies — instead of poisoning the team, and the profiling timeline
+// unwinds to this frame so the worker keeps serving. Bodies of an already
+// failed job are skipped; completion accounting still runs in execute, so
+// the job quiesces and Wait returns.
+func (tm *Team) runJobTask(w *Worker, t *Task, j *Job) {
+	if j.failed.Load() {
+		w.prof.Inc(prof.CntTasksCancelled)
+		return
+	}
+	depth := w.prof.OpenDepth()
+	defer func() {
+		if r := recover(); r != nil {
+			j.recordPanic(r, debug.Stack())
+			w.prof.UnwindTo(depth)
+		}
+	}()
+	t.fn(w)
+}

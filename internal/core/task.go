@@ -45,6 +45,11 @@ type Task struct {
 	// group is the innermost taskgroup this task belongs to (inherited
 	// from the creator), or nil.
 	group *taskGroup
+	// job is the submitted job this task belongs to (inherited from the
+	// creator), or nil for tasks of a classic parallel region. Job tasks
+	// get per-job panic isolation and cancellation; the job's root task is
+	// &job.root, whose completion quiesces the job.
+	job *Job
 	// deps is the dependence state: as a parent, the sibling-ordering
 	// table; as a predecessor, the done flag and successor list. Nil for
 	// tasks not involved in depend clauses.
@@ -65,6 +70,7 @@ func (t *Task) reset(fn TaskFunc, parent *Task, creator, priority int32) {
 	t.noRecycle = false
 	t.next = nil
 	t.group = nil
+	t.job = nil
 	t.deps = nil
 	t.waitingDeps.Store(0)
 }

@@ -22,10 +22,15 @@ type taskGroup struct {
 // waiting — a scheduling point, like TaskWait.
 func (w *Worker) TaskGroup(body TaskFunc) {
 	g := &taskGroup{}
-	prev := w.cur.group
-	w.cur.group = g
+	cur := w.cur
+	prev := cur.group
+	cur.group = g
+	// Restore the enclosing group even when body panics: job-mode recovery
+	// (runJobTask) resumes this task's completion accounting, which must
+	// decrement the group the task was spawned into, not the abandoned
+	// inner group — otherwise an enclosing TaskGroup never quiesces.
+	defer func() { cur.group = prev }()
 	body(w)
-	w.cur.group = prev
 
 	if g.refs.Load() == 0 {
 		return

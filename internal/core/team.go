@@ -28,7 +28,20 @@ type Team struct {
 	// remotes[z] lists the workers outside zone z (victim selection).
 	remotes [][]int
 	dlbOn   bool
-	running bool
+	// running guards against overlapping regions; atomic so the Serve
+	// lifecycle check cannot race a region opening on another goroutine.
+	running atomic.Bool
+
+	// lifeMu serializes lifecycle transitions (opening a region, Serve,
+	// Close) so the region-vs-service guards are not check-then-act races.
+	// It is never held while tasks run.
+	lifeMu sync.Mutex
+	// svc is the task-service state while the team is serving jobs (see
+	// Serve/Submit/Close in service.go), nil otherwise. jobSeq numbers
+	// jobs team-wide, across Serve generations, so JobRecord IDs in the
+	// team's persistent profile never collide.
+	svc    atomic.Pointer[service]
+	jobSeq atomic.Int64
 
 	// aborted is raised when a task body panics; scheduling loops observe
 	// it and unwind so the region can terminate.
@@ -152,13 +165,21 @@ func (tm *Team) Run(f TaskFunc) { tm.region(f, false) }
 func (tm *Team) Parallel(f TaskFunc) { tm.region(f, true) }
 
 func (tm *Team) region(f TaskFunc, spmd bool) {
-	if tm.running {
+	tm.lifeMu.Lock()
+	if svc := tm.svc.Load(); svc != nil && !svc.done.Load() {
+		tm.lifeMu.Unlock()
+		panic("core: parallel region on a serving team (Close the service first)")
+	}
+	if !tm.running.CompareAndSwap(false, true) {
+		tm.lifeMu.Unlock()
 		panic("core: nested or concurrent parallel regions on one team")
 	}
 	if tm.poisoned {
+		tm.running.Store(false)
+		tm.lifeMu.Unlock()
 		panic("core: team unusable after a task panic (queues and counters are inconsistent); build a new team")
 	}
-	tm.running = true
+	tm.lifeMu.Unlock()
 	tm.bar.reset()
 	var wg sync.WaitGroup
 	wg.Add(tm.n)
@@ -184,9 +205,17 @@ func (tm *Team) region(f TaskFunc, spmd bool) {
 		}(w)
 	}
 	wg.Wait()
-	tm.running = false
-	if tm.aborted.Load() {
+	// Publish poisoning before releasing the running claim, under lifeMu,
+	// so a concurrent Serve cannot observe running=false while the poison
+	// flag is still unset.
+	tm.lifeMu.Lock()
+	failed := tm.aborted.Load()
+	if failed {
 		tm.poisoned = true
+	}
+	tm.running.Store(false)
+	tm.lifeMu.Unlock()
+	if failed {
 		tm.panicMu.Lock()
 		r := tm.panicVal
 		tm.panicMu.Unlock()
@@ -216,7 +245,11 @@ func (tm *Team) execute(w *Worker, t *Task) {
 	th.Begin(prof.EvTask)
 	prev := w.cur
 	w.cur = t
-	t.fn(w)
+	if j := t.job; j != nil {
+		tm.runJobTask(w, t, j) // per-job panic isolation and cancellation
+	} else {
+		t.fn(w)
+	}
 	w.cur = prev
 	th.End(prof.EvTask)
 
@@ -242,9 +275,14 @@ func (tm *Team) execute(w *Worker, t *Task) {
 }
 
 // cascade recycles a fully completed task and propagates completion to
-// ancestors whose last outstanding reference this was.
+// ancestors whose last outstanding reference this was. A job's root task
+// reaching zero here means the job's whole subtree has quiesced — the
+// per-job analogue of the region barrier's termination detection.
 func (tm *Team) cascade(w *Worker, t *Task) {
 	for {
+		if j := t.job; j != nil && t == &j.root {
+			tm.finishJob(j)
+		}
 		p := t.parent
 		if !t.implicit && !t.noRecycle {
 			t.fn = nil

@@ -86,6 +86,7 @@ func (w *Worker) spawn(fn TaskFunc, priority int32) {
 		t.group = g
 		g.refs.Add(1)
 	}
+	t.job = w.cur.job // job tasks beget job tasks
 	w.cur.refs.Add(1)
 	tm.counter.created(w.id)
 	th.Inc(prof.CntTasksCreated)

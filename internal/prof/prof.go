@@ -19,6 +19,7 @@ import (
 	"io"
 	"sort"
 	"strings"
+	"sync"
 	"time"
 )
 
@@ -89,6 +90,12 @@ const (
 	CntTasksCreated
 	// CntTasksExecuted counts tasks executed by this thread.
 	CntTasksExecuted
+	// CntJobsAdopted counts submitted jobs whose root task this thread
+	// adopted from the admission queue (task-service mode).
+	CntJobsAdopted
+	// CntTasksCancelled counts job tasks whose bodies were skipped because
+	// their job had already failed (task-service mode).
+	CntTasksCancelled
 	// NumCounters is the number of counters.
 	NumCounters
 )
@@ -100,6 +107,7 @@ var counterNames = [NumCounters]string{
 	"NREQ_SRC_EMPTY", "NREQ_TARGET_FULL",
 	"NTASKS_STOLEN", "NSTOLEN_LOCAL", "NSTOLEN_REMOTE",
 	"NTASKS_CREATED", "NTASKS_EXECUTED",
+	"NJOBS_ADOPTED", "NTASKS_CANCELLED",
 }
 
 // String returns the paper's name for the counter.
@@ -142,11 +150,48 @@ type openEvent struct {
 	span  int64
 }
 
-// Profile owns one Thread per worker.
+// JobRecord is the per-job profiling record of the task-service mode: when
+// the job was submitted, when a worker adopted its root task, when its task
+// subtree quiesced, which worker adopted it, and whether any of its tasks
+// panicked. All times are nanoseconds since the profile base.
+type JobRecord struct {
+	ID       int64 `json:"id"`
+	Worker   int   `json:"worker"`
+	Submit   int64 `json:"submit"`
+	Start    int64 `json:"start"`
+	End      int64 `json:"end"`
+	Panicked bool  `json:"panicked,omitempty"`
+}
+
+// QueueDelay returns how long the job waited between submission and
+// adoption by a worker.
+func (r JobRecord) QueueDelay() time.Duration { return time.Duration(r.Start - r.Submit) }
+
+// RunTime returns how long the job's task subtree took from adoption to
+// quiescence.
+func (r JobRecord) RunTime() time.Duration { return time.Duration(r.End - r.Start) }
+
+// MaxJobRecords bounds the per-job record log: a long-lived task service
+// completes jobs indefinitely, so the log is a ring keeping the most recent
+// records (JobsTotal still counts all of them) instead of growing without
+// bound.
+const MaxJobRecords = 4096
+
+// Profile owns one Thread per worker, plus the shared per-job record log.
 type Profile struct {
 	base     time.Time
 	timeline bool
 	threads  []*Thread
+
+	// Job records are appended by whichever worker completes a job; jobs
+	// are coarse-grained, so a mutex (one lock per job, not per task) stays
+	// off the paper's lock-less fast paths. The log is a ring of the most
+	// recent MaxJobRecords completions: jobs[jobHead:]+jobs[:jobHead] is
+	// the completion order once the ring has wrapped.
+	jobMu    sync.Mutex
+	jobs     []JobRecord
+	jobHead  int
+	jobTotal uint64
 }
 
 // New returns a Profile for workers threads. When timeline is false the
@@ -168,6 +213,48 @@ func (p *Profile) Thread(w int) *Thread { return p.threads[w] }
 
 // Workers returns the number of threads covered.
 func (p *Profile) Workers() int { return len(p.threads) }
+
+// Now returns the current time as nanoseconds since the profile base, the
+// clock JobRecord timestamps are expressed in.
+func (p *Profile) Now() int64 { return int64(time.Since(p.base)) }
+
+// RecordJob appends one per-job record, evicting the oldest once the ring
+// holds MaxJobRecords. Unlike the thread-local counters it may be called
+// from any goroutine.
+func (p *Profile) RecordJob(r JobRecord) {
+	p.jobMu.Lock()
+	if len(p.jobs) < MaxJobRecords {
+		p.jobs = append(p.jobs, r)
+	} else {
+		p.jobs[p.jobHead] = r
+		p.jobHead++
+		if p.jobHead == len(p.jobs) {
+			p.jobHead = 0
+		}
+	}
+	p.jobTotal++
+	p.jobMu.Unlock()
+}
+
+// Jobs returns a copy of the retained per-job records in completion order
+// (the most recent MaxJobRecords; see JobsTotal for the lifetime count).
+func (p *Profile) Jobs() []JobRecord {
+	p.jobMu.Lock()
+	out := make([]JobRecord, 0, len(p.jobs))
+	out = append(out, p.jobs[p.jobHead:]...)
+	out = append(out, p.jobs[:p.jobHead]...)
+	p.jobMu.Unlock()
+	return out
+}
+
+// JobsTotal returns how many job completions have been recorded over the
+// profile's lifetime, including records the ring has since evicted.
+func (p *Profile) JobsTotal() uint64 {
+	p.jobMu.Lock()
+	n := p.jobTotal
+	p.jobMu.Unlock()
+	return n
+}
 
 // now returns nanoseconds since the profile base.
 func (t *Thread) now() int64 { return int64(time.Since(t.base)) }
@@ -215,6 +302,22 @@ func (t *Thread) End(ev Event) {
 	}
 }
 
+// OpenDepth returns the number of currently open (nested) events. It is 0
+// when the timeline is disabled.
+func (t *Thread) OpenDepth() int { return len(t.open) }
+
+// UnwindTo closes every event opened above depth, oldest last. The job
+// runtime uses it to repair the timeline after recovering a task-body
+// panic, which abandons the Begin/End pairs opened inside the body.
+func (t *Thread) UnwindTo(depth int) {
+	if !t.timeline || depth < 0 {
+		return
+	}
+	for len(t.open) > depth {
+		t.End(t.open[len(t.open)-1].ev)
+	}
+}
+
 // Add increments counter c by n.
 func (t *Thread) Add(c Counter, n uint64) { t.counters[c] += n }
 
@@ -253,9 +356,13 @@ type Snapshot struct {
 	Timeline bool                  `json:"timeline"`
 	Counters [][NumCounters]uint64 `json:"counters"`
 	Events   [][]Record            `json:"events,omitempty"`
+	Jobs     []JobRecord           `json:"jobs,omitempty"`
 }
 
-// Snapshot captures the current state.
+// Snapshot captures the current state. The per-thread counters and events
+// are single-writer and read here without synchronization, so call
+// Snapshot only on a quiesced team (between regions, or after Close on a
+// task service); the job records alone can be read live via Jobs.
 func (p *Profile) Snapshot() Snapshot {
 	s := Snapshot{Workers: len(p.threads), Timeline: p.timeline}
 	s.Counters = make([][NumCounters]uint64, len(p.threads))
@@ -264,6 +371,7 @@ func (p *Profile) Snapshot() Snapshot {
 		s.Counters[i] = t.counters
 		s.Events[i] = t.events
 	}
+	s.Jobs = p.Jobs()
 	return s
 }
 

@@ -76,6 +76,33 @@ func ExampleWorker_TaskGroup() {
 	// Output: 16
 }
 
+// A Pool serves independent jobs submitted concurrently from many
+// goroutines against one persistent worker team.
+func ExamplePool() {
+	pool := xomp.MustPool(xomp.Preset("xgomptb", 4))
+	defer pool.Close()
+
+	squares := make([]int, 8)
+	jobs := make([]*xomp.Job, len(squares))
+	for i := range squares {
+		i := i
+		job, err := pool.Submit(func(w *xomp.Worker) {
+			w.For(1, 1, func(_ *xomp.Worker, _ int) { squares[i] = i * i })
+		})
+		if err != nil {
+			panic(err)
+		}
+		jobs[i] = job
+	}
+	for _, j := range jobs {
+		if err := j.Wait(); err != nil {
+			panic(err)
+		}
+	}
+	fmt.Println(squares)
+	// Output: [0 1 4 9 16 25 36 49]
+}
+
 // Teams are tunable: probe a workload once, then run with the settings
 // the paper's Table IV prescribes for its granularity.
 func ExampleTeam_AutoTune() {

@@ -1,0 +1,91 @@
+// Pool: the job-server layer. Where Team.Run executes one parallel region
+// at a time, a Pool keeps one persistent worker team running and lets any
+// number of client goroutines submit independent jobs against it
+// concurrently — the shape a runtime serving heavy traffic needs. Every
+// job's task tree shares the same lock-less substrate, barrier-free per-job
+// quiescence detection, and dynamic load balancer as classic regions.
+package xomp
+
+import "repro/internal/core"
+
+// Job is the handle returned by Pool.Submit: Wait blocks until the job's
+// whole task subtree has completed and reports a *PanicError if any of the
+// job's task bodies panicked. See core.Job for the full API (Done, Err,
+// QueueDelay, RunTime, ...).
+type Job = core.Job
+
+// PanicError is the error Job.Wait returns for a job that panicked; its
+// Value field carries the recovered panic value.
+type PanicError = core.PanicError
+
+// ErrClosed is returned by Pool.Submit once Close has begun.
+var ErrClosed = core.ErrClosed
+
+// Pool is a shared task service: a persistent team of workers executing
+// jobs submitted concurrently from many goroutines.
+//
+//	pool := xomp.MustPool(xomp.Preset("xgomptb+naws", runtime.NumCPU()))
+//	defer pool.Close()
+//	job, err := pool.Submit(func(w *xomp.Worker) {
+//		w.Spawn(...)   // fan out like any region body
+//		w.TaskWait()
+//	})
+//	if err != nil { ... }
+//	if err := job.Wait(); err != nil { ... } // *xomp.PanicError on task panic
+//
+// Submissions beyond Config.Backlog block until a worker adopts a queued
+// job (backpressure). Jobs are isolated from each other: each has its own
+// quiescence detection and panic capture, so one panicking job neither
+// poisons the team nor disturbs other jobs in flight. Per-job profiling
+// records (queue delay, run time, adopting worker) accumulate on the
+// team's profile in a bounded ring; see Team().Profile().Jobs().
+//
+// Config.Profile (the per-task event timeline) is meant for bounded
+// experiments: it records every task and is not size-bounded, so leave it
+// off for a long-lived pool under continuous traffic.
+type Pool struct {
+	tm *Team
+}
+
+// NewPool validates cfg, assembles the runtime it describes, and starts
+// serving.
+func NewPool(cfg Config) (*Pool, error) {
+	tm, err := core.NewTeam(cfg)
+	if err != nil {
+		return nil, err
+	}
+	if err := tm.Serve(); err != nil {
+		return nil, err
+	}
+	return &Pool{tm: tm}, nil
+}
+
+// MustPool is NewPool, panicking on configuration errors.
+func MustPool(cfg Config) *Pool {
+	p, err := NewPool(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// Submit enqueues fn as a new job's root task and returns its handle. It
+// blocks while the admission queue is full and returns ErrClosed after
+// Close. Submit must be called from outside the pool's task bodies; inside
+// a task, spawn children with Worker.Spawn instead.
+func (p *Pool) Submit(fn TaskFunc) (*Job, error) { return p.tm.Submit(fn) }
+
+// Close stops admission, waits for all submitted jobs to complete, and
+// stops the workers. Repeated Close calls are safe and return nil. The
+// underlying team remains valid and may be reused (for regions or a new
+// Serve) afterwards. Like Submit, Close must be called from outside the
+// pool's task bodies: it waits for every job, including the caller's own,
+// so a task calling Close deadlocks.
+func (p *Pool) Close() error { return p.tm.Close() }
+
+// Workers returns the pool's team size.
+func (p *Pool) Workers() int { return p.tm.Workers() }
+
+// Team returns the underlying team, e.g. for Profile() access. Do not call
+// Run/Parallel on it while the pool is open.
+func (p *Pool) Team() *Team { return p.tm }

@@ -40,6 +40,29 @@
 // root tasks); Team.Parallel is a full SPMD region. Teams are reusable
 // across regions, and Team.Profile exposes the paper's per-thread profiling
 // tools (§V).
+//
+// # Serving concurrent jobs
+//
+// A Team executes one region at a time. To serve many independent jobs
+// concurrently — submitted from any number of goroutines against one
+// persistent worker team — use a Pool, the job-server layer on top of the
+// same substrate:
+//
+//	pool := xomp.MustPool(xomp.Preset("xgomptb+naws", runtime.NumCPU()))
+//	defer pool.Close()
+//	job, err := pool.Submit(func(w *xomp.Worker) {
+//		// spawn and join tasks exactly as in a region body
+//	})
+//	if err != nil {
+//		// pool closed (xomp.ErrClosed) — or never started
+//	}
+//	if err := job.Wait(); err != nil {
+//		// a task of this job panicked: err is a *xomp.PanicError
+//	}
+//
+// Each job has its own quiescence detection and panic capture, so jobs are
+// isolated from each other while their tasks share queues, allocator, and
+// dynamic load balancing. See Pool for details.
 package xomp
 
 import (
