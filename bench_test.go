@@ -424,6 +424,86 @@ func BenchmarkPoolThroughput(b *testing.B) {
 	}
 }
 
+// BenchmarkShardedPoolThroughput measures the two-level pool: jobs/sec by
+// shard count under uniform (dispatcher-placed) and skewed (three quarters
+// of submissions pinned to shard 0) traffic, on the same mixed BOTS
+// workload as BenchmarkPoolThroughput. Total workers stay constant across
+// shard counts, so shards1 is the sharding overhead against the
+// single-team baseline and the skewed cases show how far the second-level
+// balancer recovers from adversarial placement.
+func BenchmarkShardedPoolThroughput(b *testing.B) {
+	mix := []string{"fib", "sort", "nqueens"}
+	const submitters = 4
+	for _, skewed := range []bool{false, true} {
+		scenario := "uniform"
+		if skewed {
+			scenario = "skewed"
+		}
+		for _, shards := range []int{1, 2, 4} {
+			b.Run(fmt.Sprintf("%s/shards%d", scenario, shards), func(b *testing.B) {
+				cfg := xomp.ShardConfig{
+					Shards: shards,
+					Team:   xomp.Preset("xgomptb+naws", benchWorkers/shards),
+				}
+				pool := xomp.MustShardedPool(cfg)
+				apps := make([][]bots.Benchmark, submitters)
+				for s := range apps {
+					apps[s] = make([]bots.Benchmark, len(mix))
+					for m, name := range mix {
+						apps[s][m] = bots.MustNew(name, bots.ScaleTest)
+					}
+				}
+				var next atomic.Int64
+				b.ResetTimer()
+				start := time.Now()
+				var wg sync.WaitGroup
+				for s := 0; s < submitters; s++ {
+					wg.Add(1)
+					go func(s int) {
+						defer wg.Done()
+						for {
+							i := int(next.Add(1)) - 1
+							if i >= b.N {
+								return
+							}
+							app := apps[s][i%len(mix)]
+							var j *xomp.Job
+							var err error
+							if skewed && i%4 != 0 {
+								j, err = pool.SubmitTo(0, app.RunTask)
+							} else {
+								j, err = pool.Submit(app.RunTask)
+							}
+							if err != nil {
+								b.Error(err)
+								return
+							}
+							if err := j.Wait(); err != nil {
+								b.Error(err)
+								return
+							}
+						}
+					}(s)
+				}
+				wg.Wait()
+				elapsed := time.Since(start)
+				b.StopTimer()
+				var migrated uint64
+				for _, st := range pool.Stats() {
+					migrated += st.MigratedIn
+				}
+				if err := pool.Close(); err != nil {
+					b.Fatal(err)
+				}
+				if elapsed > 0 {
+					b.ReportMetric(float64(b.N)/elapsed.Seconds(), "jobs/sec")
+				}
+				b.ReportMetric(float64(migrated)/float64(b.N), "migrated/op")
+			})
+		}
+	}
+}
+
 // BenchmarkExperimentHarness times the cheap harness entries end to end so
 // regressions in the table generators themselves are visible.
 func BenchmarkExperimentHarness(b *testing.B) {

@@ -8,10 +8,19 @@
 // reference. The report covers throughput (jobs/sec), per-application
 // counts, and queue-delay/run-time statistics from the per-job profile.
 //
+// With -shards the same total worker count is split into a NUMA-sharded
+// pool (xomp.ShardedPool): jobs are placed by the power-of-two-choices
+// dispatcher and a second-level balancer migrates queued jobs off
+// overloaded shards. -skew pins a leading fraction of every submitter's
+// jobs to shard 0 — the hot-shard scenario that only cross-shard migration
+// can drain — and the report adds per-shard completion and NJOBS_MIGRATED
+// counts.
+//
 // Usage:
 //
 //	loadgen -runtime xgomptb+naws -workers 8 -submitters 8 -jobs 20
 //	loadgen -mix fib,sort,nqueens -scale test -backlog 4 -v
+//	loadgen -workers 8 -shards 4 -skew 0.75 -jobs 40
 package main
 
 import (
@@ -39,10 +48,30 @@ func main() {
 		mix        = flag.String("mix", "fib,sort,nqueens", "comma-separated BOTS apps to cycle through")
 		scale      = flag.String("scale", "test", "input scale: test|small|medium|large")
 		backlog    = flag.Int("backlog", 0, "admission queue capacity (0 = 4x workers)")
+		shards     = flag.Int("shards", 0, "split -workers into this many per-domain teams (0 = one shared team)")
+		skew       = flag.Float64("skew", 0, "fraction of each submitter's jobs pinned to shard 0 (hot-shard scenario; needs -shards > 1)")
 		noVerify   = flag.Bool("noverify", false, "skip per-job result verification")
 		verbose    = flag.Bool("v", false, "log every job")
 	)
 	flag.Parse()
+	if *shards < 0 || (*shards > 0 && *workers%*shards != 0) {
+		fatal(fmt.Errorf("-shards %d must be positive and divide -workers %d", *shards, *workers))
+	}
+	if *skew < 0 || *skew > 1 {
+		fatal(fmt.Errorf("-skew %v must be in [0,1]", *skew))
+	}
+	if *skew > 0 && *shards < 2 {
+		fatal(fmt.Errorf("-skew needs -shards > 1 (nothing to skew against)"))
+	}
+	if *shards > 0 {
+		// Sharded pools pin each team to its own single-zone domain, so a
+		// -zones request cannot be honoured; reject it rather than ignore it.
+		flag.CommandLine.Visit(func(f *flag.Flag) {
+			if f.Name == "zones" {
+				fatal(fmt.Errorf("-zones does not apply with -shards (each shard is one NUMA domain)"))
+			}
+		})
+	}
 
 	sc, err := parseScale(*scale)
 	if err != nil {
@@ -70,15 +99,46 @@ func main() {
 	}
 
 	cfg := xomp.Preset(*preset, *workers)
-	cfg.Topology = numa.Synthetic(*workers, *zones)
 	cfg.Backlog = *backlog
-	pool, err := xomp.NewPool(cfg)
-	if err != nil {
-		fatal(err)
-	}
 
-	fmt.Printf("loadgen: %d submitters x %d jobs, mix [%s] at scale %s, on %s (%d workers, %d zones)\n",
-		*submitters, *jobs, strings.Join(names, " "), sc, *preset, *workers, *zones)
+	// Either a single shared team or a NUMA-sharded pool serves the same
+	// submit/wait traffic; submit hides the difference (pin routes a job to
+	// shard 0, the skewed hot-shard scenario).
+	var (
+		submit    func(pin bool, fn xomp.TaskFunc) (*xomp.Job, error)
+		closePool func() error
+		sharded   *xomp.ShardedPool
+		pool      *xomp.Pool
+	)
+	if *shards > 0 {
+		scfg := xomp.ShardConfig{Shards: *shards, Team: cfg}
+		scfg.Team.Workers = *workers / *shards
+		sp, err := xomp.NewShardedPool(scfg)
+		if err != nil {
+			fatal(err)
+		}
+		sharded = sp
+		submit = func(pin bool, fn xomp.TaskFunc) (*xomp.Job, error) {
+			if pin {
+				return sp.SubmitTo(0, fn)
+			}
+			return sp.Submit(fn)
+		}
+		closePool = sp.Close
+		fmt.Printf("loadgen: %d submitters x %d jobs, mix [%s] at scale %s, on %s (%d shards x %d workers, skew %.0f%%)\n",
+			*submitters, *jobs, strings.Join(names, " "), sc, *preset, *shards, *workers / *shards, *skew*100)
+	} else {
+		cfg.Topology = numa.Synthetic(*workers, *zones)
+		p, err := xomp.NewPool(cfg)
+		if err != nil {
+			fatal(err)
+		}
+		pool = p
+		submit = func(_ bool, fn xomp.TaskFunc) (*xomp.Job, error) { return p.Submit(fn) }
+		closePool = p.Close
+		fmt.Printf("loadgen: %d submitters x %d jobs, mix [%s] at scale %s, on %s (%d workers, %d zones)\n",
+			*submitters, *jobs, strings.Join(names, " "), sc, *preset, *workers, *zones)
+	}
 
 	var (
 		wg       sync.WaitGroup
@@ -99,7 +159,10 @@ func main() {
 				m := (s + k) % len(names)
 				name := names[m]
 				b := apps[s][m]
-				j, err := pool.Submit(b.RunTask)
+				// The leading -skew fraction of every submitter's jobs is
+				// pinned to shard 0, front-loading the hot shard.
+				pin := *skew > 0 && k < int(*skew*float64(*jobs))
+				j, err := submit(pin, b.RunTask)
 				if err != nil {
 					fmt.Fprintf(os.Stderr, "submitter %d: submit %s: %v\n", s, name, err)
 					failures.Add(1)
@@ -128,7 +191,7 @@ func main() {
 	}
 	wg.Wait()
 	elapsed := time.Since(start)
-	if err := pool.Close(); err != nil {
+	if err := closePool(); err != nil {
 		fatal(err)
 	}
 
@@ -140,7 +203,17 @@ func main() {
 		return true
 	})
 
-	recs := pool.Team().Profile().Jobs()
+	var recs []xomp.JobRecord
+	if sharded != nil {
+		fmt.Println("per-shard:")
+		for _, st := range sharded.Stats() {
+			fmt.Printf("  shard %d: %d workers, %d jobs completed, migrated in %d / out %d\n",
+				st.Shard, st.Workers, st.JobsCompleted, st.MigratedIn, st.MigratedOut)
+			recs = append(recs, sharded.Team(st.Shard).Profile().Jobs()...)
+		}
+	} else {
+		recs = pool.Team().Profile().Jobs()
+	}
 	if len(recs) > 0 {
 		queue := make([]time.Duration, 0, len(recs))
 		run := make([]time.Duration, 0, len(recs))

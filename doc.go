@@ -11,12 +11,17 @@
 // task service: xomp.Pool keeps one persistent worker team running and
 // accepts concurrent job submissions from many goroutines, with per-job
 // quiescence detection, panic isolation, bounded-backlog admission, and
-// per-job profiling. cmd/loadgen drives it with mixed BOTS traffic, and
-// BenchmarkPoolThroughput in bench_test.go measures jobs/sec by preset and
-// submitter count.
+// per-job profiling. xomp.ShardedPool scales that across NUMA domains —
+// one serving team per domain behind a two-level dynamic load balancer
+// (power-of-two-choices job placement by shard queue depth, plus a
+// balancer migrating whole queued jobs off overloaded shards). cmd/loadgen
+// drives both with mixed BOTS traffic, and BenchmarkPoolThroughput /
+// BenchmarkShardedPoolThroughput in bench_test.go measure jobs/sec by
+// preset, submitter count, and shard count.
 //
-// The public API lives in repro/xomp; see README.md for a tour and
-// DESIGN.md for the system inventory. The root package exists to host the
-// repository-level benchmark suite (bench_test.go), which has one
+// The public API lives in repro/xomp. ARCHITECTURE.md maps the paper's
+// sections onto the packages and traces a job end to end; cmd/README.md
+// documents the seven command-line tools. The root package exists to host
+// the repository-level benchmark suite (bench_test.go), which has one
 // testing.B entry per reproduced table and figure.
 package repro

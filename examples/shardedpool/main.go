@@ -1,0 +1,116 @@
+// Command shardedpool is the ShardedPool quick start: a NUMA-sharded task
+// service under deliberately skewed traffic.
+//
+// Four submitter goroutines each submit 25 spin jobs. Three quarters of
+// every submitter's jobs are pinned to shard 0 (SubmitTo), the hot-shard
+// scenario a power-of-two-choices dispatcher alone cannot fix; the rest go
+// through the balanced Submit path. The second-level balancer migrates
+// queued jobs off the hot shard while it is saturated, and the final
+// report prints where the jobs actually completed and how many the
+// balancer moved (the NJOBS_MIGRATED counters).
+//
+// Job compute cost is priced through the synthetic NUMA model's per-shard
+// view (simnuma.ShardView): every job's working set is homed in shard 0's
+// domain, so a migrated job honestly pays the remote-access penalty of
+// running away from its data — migration wins because the hot shard's
+// queue delay dwarfs that penalty.
+package main
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/numa"
+	"repro/internal/simnuma"
+	"repro/xomp"
+)
+
+func main() {
+	const (
+		shards          = 2
+		workersPerShard = 2
+		submitters      = 4
+		jobsPer         = 25
+		homeZone        = 0 // every job's data lives in shard 0's domain
+	)
+
+	top := numa.Synthetic(shards*workersPerShard, shards)
+	model := simnuma.NewModel(top, simnuma.DefaultConfig())
+	views := make([]*simnuma.ShardView, shards)
+	for z := range views {
+		views[z] = model.Shard(z)
+	}
+
+	cfg := xomp.ShardConfig{
+		Shards: shards,
+		Team:   xomp.Preset("xgomptb+naws", workersPerShard),
+	}
+	cfg.Team.Backlog = 4 * submitters * jobsPer // queue freely; let migration balance
+	pool := xomp.MustShardedPool(cfg)
+
+	// Each shard team is pinned to one domain of the global topology; task
+	// bodies recover their shard (= zone) from the executing team.
+	shardOf := make(map[*xomp.Team]int, shards)
+	for s := 0; s < pool.Shards(); s++ {
+		shardOf[pool.Team(s)] = s
+	}
+
+	fmt.Printf("shardedpool: %d shards x %d workers, %d submitters x %d jobs, 75%% pinned to shard 0\n",
+		shards, workersPerShard, submitters, jobsPer)
+
+	var wg sync.WaitGroup
+	var failed sync.Map
+	for s := 0; s < submitters; s++ {
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			jobs := make([]*xomp.Job, 0, jobsPer)
+			for k := 0; k < jobsPer; k++ {
+				body := func(w *xomp.Worker) {
+					// Price 1000 accesses to shard-0-homed data from
+					// whichever shard this job landed on, then compute.
+					// Compute dominates the remote penalty, so migrating a
+					// queued job off the saturated shard is a clear win.
+					views[shardOf[w.Team()]].Access(homeZone, 1000)
+					simnuma.Spin(2_000_000)
+				}
+				var j *xomp.Job
+				var err error
+				if k%4 != 0 {
+					j, err = pool.SubmitTo(0, body) // skewed: pin the hot shard
+				} else {
+					j, err = pool.Submit(body) // balanced placement
+				}
+				if err != nil {
+					failed.Store(fmt.Sprintf("submit %d/%d", s, k), err)
+					return
+				}
+				jobs = append(jobs, j)
+			}
+			for i, j := range jobs {
+				if err := j.Wait(); err != nil {
+					failed.Store(fmt.Sprintf("job %d/%d", s, i), err)
+				}
+			}
+		}(s)
+	}
+	wg.Wait()
+	if err := pool.Close(); err != nil {
+		fmt.Println("close:", err)
+	}
+	failed.Range(func(k, v any) bool {
+		fmt.Printf("FAILED %v: %v\n", k, v)
+		return true
+	})
+
+	fmt.Println("\nper-shard job counts:")
+	var completed, migrated uint64
+	for _, st := range pool.Stats() {
+		fmt.Printf("  shard %d: %3d completed   migrated in %2d / out %2d\n",
+			st.Shard, st.JobsCompleted, st.MigratedIn, st.MigratedOut)
+		completed += st.JobsCompleted
+		migrated += st.MigratedIn
+	}
+	fmt.Printf("total: %d jobs, %d cross-shard migrations (remote penalty %.0fx)\n",
+		completed, migrated, model.RemotePenaltyRatio())
+}

@@ -7,6 +7,16 @@
 // 8-socket machine); what the experiments preserve — and EXPERIMENTS.md
 // records — is the comparative shape: which runtime wins per workload class,
 // and where the crossovers fall.
+//
+// The package splits by role: this file holds the shared harness plumbing
+// every experiment builds on (Options and its defaults, team construction,
+// timing/sampling helpers, text-table rendering, counter collection);
+// experiments.go registers the paper's figure experiments (Experiment,
+// Experiments, ByID) and implements Fig. 1–8; dlbexp.go implements the DLB
+// sweep studies behind Fig. 7 and Tables I–III; synth.go defines the
+// controllable-granularity synthetic workload behind Fig. 9/10 and Table
+// IV; extensions.go registers the "ext-" ablations that go beyond the
+// paper.
 package bench
 
 import (

@@ -23,7 +23,6 @@ import (
 // the job's remaining task bodies, and surfaces the panic value from Wait
 // as a *PanicError. Other jobs and the team itself are unaffected.
 type Job struct {
-	tm   *Team
 	id   int64
 	root Task
 	done chan struct{}
@@ -36,13 +35,20 @@ type Job struct {
 	panicVal   any
 	panicStack []byte
 
+	// migrated is set when a second-level balancer moved this job, while
+	// still queued, from the team it was submitted to onto another team
+	// (see MigrateQueuedJob).
+	migrated atomic.Bool
+
 	// Profiling fields: the adopting worker and nanosecond timestamps on
-	// the team profile's clock. worker/startNS are written by the adopter
-	// before the root runs; endNS by the completing worker. The atomic
-	// wrapper types guarantee the alignment 64-bit atomics need on 32-bit
-	// platforms.
+	// the executing team profile's clock. worker/startNS are written by
+	// the adopter before the root runs; endNS by the completing worker;
+	// submitNS by Submit before the job is published, and rebased onto the
+	// destination team's clock when the job migrates. The atomic wrapper
+	// types guarantee the alignment 64-bit atomics need on 32-bit
+	// platforms (and make the migration rebase race-free against readers).
 	worker   atomic.Int32
-	submitNS int64 // written before the job is published; read-only after
+	submitNS atomic.Int64
 	startNS  atomic.Int64
 	endNS    atomic.Int64
 }
@@ -91,13 +97,18 @@ func (j *Job) Err() error {
 }
 
 // Worker returns the worker that adopted the job's root task, or -1 while
-// the job is still queued.
+// the job is still queued. After a migration the id refers to a worker of
+// the team the job migrated to.
 func (j *Job) Worker() int { return int(j.worker.Load()) }
+
+// Migrated reports whether a second-level balancer moved this job off the
+// team it was submitted to while it was still queued (see MigrateQueuedJob).
+func (j *Job) Migrated() bool { return j.migrated.Load() }
 
 // QueueDelay returns how long the job waited in the admission queue before
 // a worker adopted it. Valid once the job has started.
 func (j *Job) QueueDelay() time.Duration {
-	return time.Duration(j.startNS.Load() - j.submitNS)
+	return time.Duration(j.startNS.Load() - j.submitNS.Load())
 }
 
 // RunTime returns the time from adoption to quiescence. Valid after Wait.

@@ -1,0 +1,83 @@
+package core
+
+// Second-level load balancing: whole-job migration between serving teams.
+//
+// The DLB strategies in dlb.go balance tasks *within* one team; they never
+// cross team boundaries, because tasks of a running job share the team's
+// queueing substrate and counters. A sharded pool (one serving team per
+// NUMA domain) therefore needs a coarser balancing level above the thread
+// scheduler: jobs that are still whole — submitted but not yet adopted by
+// any worker — can move between teams freely, since a queued root task has
+// touched nothing of its team's substrate yet. MigrateQueuedJob is that
+// move; it mirrors the paper's NA-WS semantics one layer up (the idle
+// shard is the thief, the overloaded shard's admission queue the victim).
+
+// MigrateQueuedJob moves one submitted-but-unadopted job from src's
+// admission queue onto dst, preserving the job's handle, quiescence
+// detection, and panic isolation. It returns true when a job moved, and
+// false when src has no queued job, either team is not serving, or dst has
+// already begun closing (admission accounting may not be added to a team
+// whose Close could be past its active-jobs wait).
+//
+// The job's completion accounting transfers with it: dst counts the job
+// active before src uncounts it, so no Close on either team can observe
+// the job unaccounted. The job keeps the ID issued by src; its JobRecord
+// lands on dst's profile with Migrated set.
+func MigrateQueuedJob(src, dst *Team) bool {
+	if src == dst {
+		return false
+	}
+	ssvc := src.svc.Load()
+	dsvc := dst.svc.Load()
+	if ssvc == nil || dsvc == nil || ssvc.done.Load() || dsvc.done.Load() {
+		return false
+	}
+	// A task still in the admission channel is by definition unadopted;
+	// receiving it makes this goroutine its exclusive owner.
+	var t *Task
+	select {
+	case t = <-ssvc.submit:
+	default:
+		return false
+	}
+	src.profile.AddQueueDepth(-1)
+	j := t.job
+
+	// Count the job into dst before uncounting it from src. A dst that
+	// has begun closing is refused: its Close may already be past the
+	// point where it waits for active jobs.
+	dsvc.mu.Lock()
+	if dsvc.closed {
+		dsvc.mu.Unlock()
+		// Put the job back. The blocking send cannot hang: the job is
+		// still in src's active count, so src's workers keep serving (and
+		// draining this channel) until it is adopted and completed.
+		src.profile.AddQueueDepth(1)
+		ssvc.submit <- t
+		return false
+	}
+	dsvc.active++
+	dsvc.mu.Unlock()
+
+	j.migrated.Store(true)
+	// Rebase the submission timestamp onto dst's profile clock (each
+	// profile's nanosecond base is its construction time), so QueueDelay
+	// and the JobRecord recorded on dst stay on one time base. Sampling
+	// the two clocks back-to-back bounds the rebase error to nanoseconds.
+	j.submitNS.Add(dst.profile.Now() - src.profile.Now())
+	src.profile.IncMigratedOut()
+	dst.profile.IncMigratedIn()
+	dst.profile.AddQueueDepth(1)
+	// Blocking send is safe for the same reason as the rollback above,
+	// now on dst: the job is in dst's active count, so dst's workers
+	// cannot stop before draining it.
+	dsvc.submit <- t
+
+	ssvc.mu.Lock()
+	ssvc.active--
+	if ssvc.active == 0 {
+		ssvc.cond.Broadcast()
+	}
+	ssvc.mu.Unlock()
+	return true
+}

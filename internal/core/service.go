@@ -99,7 +99,7 @@ func (tm *Team) Submit(fn TaskFunc) (*Job, error) {
 	if fn == nil {
 		return nil, errors.New("core: Submit(nil)")
 	}
-	j := &Job{tm: tm, done: make(chan struct{})}
+	j := &Job{done: make(chan struct{})}
 	j.worker.Store(-1)
 	j.root.reset(fn, nil, 0, 0)
 	j.root.noRecycle = true // the root outlives the region; never pool it
@@ -114,9 +114,32 @@ func (tm *Team) Submit(fn TaskFunc) (*Job, error) {
 	j.id = tm.jobSeq.Add(1)
 	svc.mu.Unlock()
 
-	j.submitNS = tm.profile.Now()
+	j.submitNS.Store(tm.profile.Now())
+	// Raise the queue-depth gauge before the send so a blocked submitter
+	// still counts as demand against this team (the signal a sharded
+	// dispatcher compares); adoption and migration decrement it.
+	tm.profile.AddQueueDepth(1)
 	svc.submit <- &j.root
 	return j, nil
+}
+
+// QueueDepth returns the number of jobs submitted to this team but not yet
+// adopted by a worker (including submitters currently blocked on a full
+// admission queue). It reads the profile's NJOBS_QUEUED gauge and is the
+// per-shard load signal of a two-level balancer; 0 when not serving.
+func (tm *Team) QueueDepth() int64 { return tm.profile.QueueDepth() }
+
+// ActiveJobs returns the number of jobs submitted and not yet quiesced,
+// queued and running alike. 0 when the team is not serving.
+func (tm *Team) ActiveJobs() int64 {
+	svc := tm.svc.Load()
+	if svc == nil {
+		return 0
+	}
+	svc.mu.Lock()
+	n := svc.active
+	svc.mu.Unlock()
+	return n
 }
 
 // Close stops admission, waits for every submitted job to quiesce, then
@@ -237,6 +260,7 @@ func (tm *Team) serve(svc *service, w *Worker) {
 // children are then distributed by the normal static balancer and DLB.
 func (tm *Team) adopt(w *Worker, t *Task) {
 	j := t.job
+	tm.profile.AddQueueDepth(-1)
 	t.creator = int32(w.id)
 	j.worker.Store(int32(w.id))
 	j.startNS.Store(tm.profile.Now())
@@ -255,10 +279,11 @@ func (tm *Team) finishJob(j *Job) {
 	tm.profile.RecordJob(prof.JobRecord{
 		ID:       j.id,
 		Worker:   int(j.worker.Load()),
-		Submit:   j.submitNS,
+		Submit:   j.submitNS.Load(),
 		Start:    j.startNS.Load(),
 		End:      j.endNS.Load(),
 		Panicked: j.failed.Load(),
+		Migrated: j.migrated.Load(),
 	})
 	close(j.done)
 	if svc := tm.svc.Load(); svc != nil {

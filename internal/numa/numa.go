@@ -162,6 +162,25 @@ func (t Topology) ZoneSize(z int) int { return len(t.peers[z]) }
 // SameZone reports whether workers a and b share a NUMA zone.
 func (t Topology) SameZone(a, b int) bool { return t.zoneOf[a] == t.zoneOf[b] }
 
+// SplitDomains partitions the topology into one single-zone topology per
+// NUMA domain: shard z covers exactly the workers of zone z, renumbered
+// 0..ZoneSize(z)-1 in ascending global-id order. It is the domain→team map
+// of a two-level runtime that pins one worker team per socket (one
+// xomp.ShardedPool shard per domain); GlobalWorker inverts the renumbering
+// for profiling and memory-cost accounting against the global topology.
+func (t Topology) SplitDomains() []Topology {
+	out := make([]Topology, t.Zones)
+	for z := range out {
+		out[z] = Synthetic(len(t.peers[z]), 1)
+	}
+	return out
+}
+
+// GlobalWorker returns the global worker id behind local worker id local of
+// the shard pinned to zone z — the inverse of the renumbering SplitDomains
+// applies. It panics when z or local is out of range.
+func (t Topology) GlobalWorker(z, local int) int { return t.peers[z][local] }
+
 // Classify returns the locality class of a task created by worker creator
 // and executed by worker executor.
 func (t Topology) Classify(creator, executor int) Locality {

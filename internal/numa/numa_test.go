@@ -167,3 +167,38 @@ func TestSyntheticCloseAffinityProperty(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+// SplitDomains must cover every worker exactly once, with shard sizes equal
+// to the zone sizes and GlobalWorker inverting the renumbering.
+func TestSplitDomains(t *testing.T) {
+	for _, tc := range []struct{ workers, zones int }{
+		{8, 2}, {7, 3}, {4, 4}, {5, 1}, {9, 4},
+	} {
+		top := Synthetic(tc.workers, tc.zones)
+		shards := top.SplitDomains()
+		if len(shards) != top.Zones {
+			t.Fatalf("%d/%d: %d shards, want %d", tc.workers, tc.zones, len(shards), top.Zones)
+		}
+		covered := 0
+		for z, s := range shards {
+			if s.Workers != top.ZoneSize(z) {
+				t.Fatalf("%d/%d: shard %d has %d workers, want zone size %d",
+					tc.workers, tc.zones, z, s.Workers, top.ZoneSize(z))
+			}
+			if s.Zones != 1 {
+				t.Fatalf("%d/%d: shard %d spans %d zones, want 1", tc.workers, tc.zones, z, s.Zones)
+			}
+			for local := 0; local < s.Workers; local++ {
+				g := top.GlobalWorker(z, local)
+				if top.ZoneOf(g) != z {
+					t.Fatalf("%d/%d: GlobalWorker(%d,%d)=%d lives in zone %d",
+						tc.workers, tc.zones, z, local, g, top.ZoneOf(g))
+				}
+				covered++
+			}
+		}
+		if covered != tc.workers {
+			t.Fatalf("%d/%d: shards cover %d workers, want %d", tc.workers, tc.zones, covered, tc.workers)
+		}
+	}
+}

@@ -20,6 +20,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -153,7 +154,9 @@ type openEvent struct {
 // JobRecord is the per-job profiling record of the task-service mode: when
 // the job was submitted, when a worker adopted its root task, when its task
 // subtree quiesced, which worker adopted it, and whether any of its tasks
-// panicked. All times are nanoseconds since the profile base.
+// panicked. All times are nanoseconds since the profile base. Migrated
+// marks jobs that a second-level balancer moved here from another team's
+// admission queue before adoption; their ID was issued by the origin team.
 type JobRecord struct {
 	ID       int64 `json:"id"`
 	Worker   int   `json:"worker"`
@@ -161,6 +164,7 @@ type JobRecord struct {
 	Start    int64 `json:"start"`
 	End      int64 `json:"end"`
 	Panicked bool  `json:"panicked,omitempty"`
+	Migrated bool  `json:"migrated,omitempty"`
 }
 
 // QueueDelay returns how long the job waited between submission and
@@ -192,6 +196,18 @@ type Profile struct {
 	jobs     []JobRecord
 	jobHead  int
 	jobTotal uint64
+
+	// Shard-level load metrics for two-level balancing. queueDepth is the
+	// NJOBS_QUEUED gauge: jobs submitted to this team's admission queue but
+	// not yet adopted by a worker — the load signal a sharded pool's
+	// dispatcher compares across teams. migratedIn/migratedOut are the
+	// NJOBS_MIGRATED counters: whole queued jobs a second-level balancer
+	// moved into or out of this team. They are Profile-level atomics rather
+	// than per-thread counters because the writers (submitters and the
+	// pool's balancer goroutine) are not team workers.
+	queueDepth  atomic.Int64
+	migratedIn  atomic.Uint64
+	migratedOut atomic.Uint64
 }
 
 // New returns a Profile for workers threads. When timeline is false the
@@ -254,6 +270,30 @@ func (p *Profile) JobsTotal() uint64 {
 	n := p.jobTotal
 	p.jobMu.Unlock()
 	return n
+}
+
+// AddQueueDepth adjusts the NJOBS_QUEUED gauge by d. The task service
+// increments it per submitted job and decrements it when a worker adopts
+// the job (or a balancer migrates it away), so the gauge reads the team's
+// instantaneous admission backlog. Safe for any goroutine.
+func (p *Profile) AddQueueDepth(d int64) { p.queueDepth.Add(d) }
+
+// QueueDepth returns the NJOBS_QUEUED gauge: jobs submitted but not yet
+// adopted. It is the per-shard load signal of a two-level balancer.
+func (p *Profile) QueueDepth() int64 { return p.queueDepth.Load() }
+
+// IncMigratedIn counts one job migrated into this team's admission queue
+// by a second-level balancer.
+func (p *Profile) IncMigratedIn() { p.migratedIn.Add(1) }
+
+// IncMigratedOut counts one job migrated out of this team's admission
+// queue by a second-level balancer.
+func (p *Profile) IncMigratedOut() { p.migratedOut.Add(1) }
+
+// JobsMigrated returns the NJOBS_MIGRATED counters: how many queued jobs a
+// second-level balancer moved into and out of this team.
+func (p *Profile) JobsMigrated() (in, out uint64) {
+	return p.migratedIn.Load(), p.migratedOut.Load()
 }
 
 // now returns nanoseconds since the profile base.
@@ -357,6 +397,11 @@ type Snapshot struct {
 	Counters [][NumCounters]uint64 `json:"counters"`
 	Events   [][]Record            `json:"events,omitempty"`
 	Jobs     []JobRecord           `json:"jobs,omitempty"`
+	// Shard-level load metrics (two-level balancing): the NJOBS_QUEUED
+	// gauge at snapshot time and the lifetime NJOBS_MIGRATED counters.
+	QueueDepth      int64  `json:"queue_depth,omitempty"`
+	JobsMigratedIn  uint64 `json:"njobs_migrated_in,omitempty"`
+	JobsMigratedOut uint64 `json:"njobs_migrated_out,omitempty"`
 }
 
 // Snapshot captures the current state. The per-thread counters and events
@@ -372,6 +417,8 @@ func (p *Profile) Snapshot() Snapshot {
 		s.Events[i] = t.events
 	}
 	s.Jobs = p.Jobs()
+	s.QueueDepth = p.QueueDepth()
+	s.JobsMigratedIn, s.JobsMigratedOut = p.JobsMigrated()
 	return s
 }
 

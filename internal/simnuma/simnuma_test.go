@@ -85,3 +85,31 @@ func TestSpinScalesRoughlyLinearly(t *testing.T) {
 		t.Errorf("16x work took %.1fx time; spin is not usable as a clock", ratio)
 	}
 }
+
+// A shard view must price accesses exactly as the global model prices them
+// for a worker pinned in the shard's domain.
+func TestShardViewMatchesModel(t *testing.T) {
+	top := numa.Synthetic(8, 4)
+	m := NewModel(top, Config{LocalNS: 2, RemoteNS: 100})
+	for z := 0; z < top.Zones; z++ {
+		v := m.Shard(z)
+		if v.Zone() != z {
+			t.Fatalf("Shard(%d).Zone() = %d", z, v.Zone())
+		}
+		pinned := top.GlobalWorker(z, 0)
+		for home := 0; home < top.Zones; home++ {
+			if got, want := v.AccessCostUnits(home), m.AccessCostUnits(pinned, home); got != want {
+				t.Fatalf("shard %d home %d: cost %d units, global model says %d", z, home, got, want)
+			}
+		}
+		v.Access(z, 1)  // must not panic
+		v.Access(z, 0)  // no-op
+		v.Access(z, -3) // no-op
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Shard(out of range) did not panic")
+		}
+	}()
+	m.Shard(top.Zones)
+}

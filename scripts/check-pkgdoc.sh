@@ -1,0 +1,14 @@
+#!/bin/sh
+# check-pkgdoc: fail when any non-test package lacks a package comment, so
+# documentation rot fails the build (run by the "docs" job in
+# .github/workflows/ci.yml). go list's .Doc field is the package synopsis,
+# empty exactly when no package comment exists; test-only packages are not
+# separate go list entries, so they are naturally excluded.
+set -eu
+missing=$(go list -f '{{if not .Doc}}{{.ImportPath}}{{end}}' ./...)
+if [ -n "$missing" ]; then
+	echo "packages missing a package comment:" >&2
+	echo "$missing" >&2
+	exit 1
+fi
+echo "package comments: all $(go list ./... | wc -l) packages documented"

@@ -103,6 +103,46 @@ func ExamplePool() {
 	// Output: [0 1 4 9 16 25 36 49]
 }
 
+// A ShardedPool scales the job server across NUMA domains: one team per
+// domain, power-of-two-choices placement, and a second-level balancer that
+// migrates queued jobs off overloaded shards.
+func ExampleShardedPool() {
+	pool := xomp.MustShardedPool(xomp.ShardConfig{
+		Shards: 2,
+		Team:   xomp.Preset("xgomptb+naws", 2), // workers per shard
+	})
+	defer pool.Close()
+
+	table := make([][]int, 16)
+	jobs := make([]*xomp.Job, len(table))
+	for i := range table {
+		i := i
+		table[i] = make([]int, 64)
+		// Submit picks the less loaded of two random shards; SubmitTo(s,
+		// fn) would pin the job to shard s instead.
+		job, err := pool.Submit(func(w *xomp.Worker) {
+			w.ForRange(len(table[i]), 16, func(_ *xomp.Worker, lo, hi int) {
+				for k := lo; k < hi; k++ {
+					table[i][k] = i * k
+				}
+			})
+		})
+		if err != nil {
+			panic(err)
+		}
+		jobs[i] = job
+	}
+	done := 0
+	for _, j := range jobs {
+		if err := j.Wait(); err != nil {
+			panic(err)
+		}
+		done++
+	}
+	fmt.Println(done, "jobs on", pool.Shards(), "shards:", table[15][63])
+	// Output: 16 jobs on 2 shards: 945
+}
+
 // Teams are tunable: probe a workload once, then run with the settings
 // the paper's Table IV prescribes for its granularity.
 func ExampleTeam_AutoTune() {

@@ -1,0 +1,375 @@
+// ShardedPool: the two-level load-balancing layer. The DLB strategies of
+// the paper balance tasks *within* one team; on a multi-socket machine a
+// single team stretched across sockets pays cross-socket traffic on every
+// queue operation. A ShardedPool instead runs one serving Team per NUMA
+// domain and adds a second, coarser balancing level above the thread
+// scheduler: a dispatcher that places incoming jobs on the least-loaded
+// shard (power-of-two-choices over per-shard queue depth), and a balancer
+// that migrates whole queued jobs from overloaded shards to idle ones —
+// the paper's NA-WS semantics one layer up, with shards in place of
+// workers and jobs in place of tasks.
+package xomp
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/numa"
+)
+
+// ShardConfig assembles a ShardedPool.
+type ShardConfig struct {
+	// Shards is the number of per-domain teams. 0 derives it from the
+	// topology: one shard per NUMA zone of Team.Topology (or of the
+	// detected host topology when Team.Topology is unset), each shard
+	// sized to its zone. When Shards is set explicitly, every shard runs
+	// Team.Workers workers on its own single-zone topology.
+	Shards int
+
+	// Team is the per-shard team configuration (substrate, barrier, DLB,
+	// backlog, ...). Workers and Topology are interpreted per shard as
+	// described under Shards; Seed is decorrelated per shard.
+	Team Config
+
+	// BalanceInterval is the period of the second-level balancer that
+	// migrates queued jobs from the hottest shard to the coldest. 0 means
+	// 200µs; negative disables the background balancer (Rebalance can
+	// still be called manually).
+	BalanceInterval time.Duration
+
+	// MigrateThreshold is the minimum queue-depth gap (hottest minus
+	// coldest shard) that triggers migration. 0 means 2.
+	MigrateThreshold int
+}
+
+// ShardStats is one shard's load and migration picture at a point in time.
+type ShardStats struct {
+	// Shard is the shard index, Workers its team size.
+	Shard   int
+	Workers int
+	// QueueDepth is the shard's NJOBS_QUEUED gauge: jobs submitted but not
+	// yet adopted. ActiveJobs additionally counts adopted jobs still
+	// running.
+	QueueDepth int64
+	ActiveJobs int64
+	// JobsCompleted is the lifetime completion count, including jobs the
+	// balancer migrated in.
+	JobsCompleted uint64
+	// MigratedIn/MigratedOut are the shard's NJOBS_MIGRATED counters.
+	MigratedIn  uint64
+	MigratedOut uint64
+}
+
+// ShardedPool is a NUMA-sharded task service: one persistent serving Team
+// per NUMA domain behind a two-level dynamic load balancer.
+//
+//	pool := xomp.MustShardedPool(xomp.ShardConfig{
+//		Shards: 4,
+//		Team:   xomp.Preset("xgomptb+naws", 2), // 2 workers per shard
+//	})
+//	defer pool.Close()
+//	job, err := pool.Submit(func(w *xomp.Worker) { ... })
+//
+// Level one: Submit places each job on the less loaded of two randomly
+// chosen shards (power-of-two-choices over admission queue depth), so
+// uncorrelated submitters spread load without any shared coordination
+// point. Level two: a background balancer watches per-shard queue depths
+// and migrates whole queued jobs off overloaded shards, so even adversarial
+// placement (every client pinning the same shard via SubmitTo) drains at
+// the speed of the whole machine. Jobs keep their handle, quiescence
+// detection, and panic isolation across a migration; a job that has begun
+// executing is never moved, so every task of one job always runs inside
+// one team, preserving the intra-team locality the paper's DLB exploits.
+//
+// Jobs/IDs are issued per shard, so two jobs of one pool may share an ID if
+// they were submitted to (or migrated from) different shards.
+type ShardedPool struct {
+	shards    []*core.Team
+	threshold int64
+
+	// seq and seed drive the dispatcher's placement randomness: a
+	// SplitMix64 stream indexed by an atomic counter, so concurrent
+	// submitters draw independent choices without a lock.
+	seq  atomic.Uint64
+	seed uint64
+
+	closed  atomic.Bool
+	stopBal chan struct{}
+	balOnce sync.Once
+	balWG   sync.WaitGroup
+}
+
+// NewShardedPool validates cfg, builds and starts one serving team per
+// shard, and starts the second-level balancer.
+func NewShardedPool(cfg ShardConfig) (*ShardedPool, error) {
+	if cfg.Shards < 0 {
+		return nil, fmt.Errorf("xomp: ShardConfig.Shards must be >= 0, got %d", cfg.Shards)
+	}
+	base := cfg.Team
+	var shardTops []Topology
+	if cfg.Shards == 0 {
+		top := base.Topology
+		if top.Workers == 0 {
+			if base.Workers <= 0 {
+				return nil, fmt.Errorf("xomp: ShardConfig needs Shards, Team.Topology, or Team.Workers to size the pool")
+			}
+			top = numa.Detect(base.Workers)
+		}
+		shardTops = top.SplitDomains()
+	} else {
+		if base.Workers <= 0 {
+			return nil, fmt.Errorf("xomp: Team.Workers must be positive with explicit Shards, got %d", base.Workers)
+		}
+		shardTops = make([]Topology, cfg.Shards)
+		for i := range shardTops {
+			shardTops[i] = numa.Synthetic(base.Workers, 1)
+		}
+	}
+
+	threshold := cfg.MigrateThreshold
+	if threshold == 0 {
+		threshold = 2
+	}
+	if threshold < 1 {
+		return nil, fmt.Errorf("xomp: MigrateThreshold must be >= 1, got %d", cfg.MigrateThreshold)
+	}
+	interval := cfg.BalanceInterval
+	if interval == 0 {
+		interval = 200 * time.Microsecond
+	}
+
+	baseSeed := base.Seed
+	if baseSeed == 0 {
+		baseSeed = 1
+	}
+	p := &ShardedPool{
+		shards:    make([]*core.Team, len(shardTops)),
+		threshold: int64(threshold),
+		seed:      uint64(baseSeed) * 0x9e3779b97f4a7c15,
+		stopBal:   make(chan struct{}),
+	}
+	for s, st := range shardTops {
+		c := base
+		c.Workers = st.Workers
+		c.Topology = st
+		// Decorrelate the per-shard worker RNG streams (victim selection
+		// would otherwise be in lockstep across shards).
+		c.Seed = baseSeed + int64(s)*0x1000001
+		if c.Seed == 0 {
+			c.Seed = 1
+		}
+		tm, err := core.NewTeam(c)
+		if err == nil {
+			err = tm.Serve()
+		}
+		if err != nil {
+			for _, started := range p.shards[:s] {
+				started.Close()
+			}
+			return nil, fmt.Errorf("xomp: shard %d: %w", s, err)
+		}
+		p.shards[s] = tm
+	}
+	if len(p.shards) > 1 && interval > 0 {
+		p.balWG.Add(1)
+		go p.balance(interval)
+	}
+	return p, nil
+}
+
+// MustShardedPool is NewShardedPool, panicking on configuration errors.
+func MustShardedPool(cfg ShardConfig) *ShardedPool {
+	p, err := NewShardedPool(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// Submit places fn as a new job on the less loaded of two randomly chosen
+// shards and returns its handle. It blocks while that shard's admission
+// queue is full and returns ErrClosed after Close. Like Pool.Submit it
+// must be called from outside the pool's task bodies.
+func (p *ShardedPool) Submit(fn TaskFunc) (*Job, error) {
+	if p.closed.Load() {
+		return nil, ErrClosed
+	}
+	return p.shards[p.pick()].Submit(fn)
+}
+
+// SubmitTo pins fn to one specific shard, bypassing the dispatcher. It is
+// the placement override for locality-affine clients (whose data is homed
+// in that shard's domain) and for load generators and tests that need a
+// deterministically hot shard; the second-level balancer will still move
+// the job if the shard stays overloaded.
+func (p *ShardedPool) SubmitTo(shard int, fn TaskFunc) (*Job, error) {
+	if shard < 0 || shard >= len(p.shards) {
+		return nil, fmt.Errorf("xomp: SubmitTo shard %d of %d", shard, len(p.shards))
+	}
+	if p.closed.Load() {
+		return nil, ErrClosed
+	}
+	return p.shards[shard].Submit(fn)
+}
+
+// pick implements power-of-two-choices placement: draw two distinct
+// shards, compare their admission queue depths, and take the shallower
+// (ties break to running-job count, then to the first draw).
+func (p *ShardedPool) pick() int {
+	n := len(p.shards)
+	if n == 1 {
+		return 0
+	}
+	r := splitmix64(p.seed + p.seq.Add(1))
+	a := int(r % uint64(n))
+	b := int((r >> 32) % uint64(n))
+	if a == b {
+		b = (b + 1) % n
+	}
+	da, db := p.shards[a].QueueDepth(), p.shards[b].QueueDepth()
+	switch {
+	case db < da:
+		return b
+	case da < db:
+		return a
+	case p.shards[b].ActiveJobs() < p.shards[a].ActiveJobs():
+		return b
+	}
+	return a
+}
+
+// splitmix64 is the SplitMix64 output function: a bijective mixer turning
+// the dispatcher's counter into uncorrelated placement draws.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// balance is the second-level balancer loop: periodically migrate queued
+// jobs from the hottest shard to the coldest until Close.
+func (p *ShardedPool) balance(interval time.Duration) {
+	defer p.balWG.Done()
+	tick := time.NewTicker(interval)
+	defer tick.Stop()
+	for {
+		select {
+		case <-p.stopBal:
+			return
+		case <-tick.C:
+			p.Rebalance()
+		}
+	}
+}
+
+// Rebalance runs one second-level balancing scan synchronously: it finds
+// the shards with the deepest and shallowest admission queues and, when
+// the gap reaches the migration threshold, migrates queued jobs from hot
+// to cold until the depths would meet in the middle. It returns the number
+// of jobs moved. The background balancer calls this on every tick; tests
+// and latency-sensitive callers may invoke it directly.
+func (p *ShardedPool) Rebalance() int {
+	hot, cold := -1, -1
+	var hi, lo, coldRunning int64
+	for i, tm := range p.shards {
+		d := tm.QueueDepth()
+		running := tm.ActiveJobs() - d
+		if hot < 0 || d > hi {
+			hot, hi = i, d
+		}
+		// Equal-depth ties prefer the shard with the most idle workers:
+		// depth alone cannot distinguish a shard that is busily draining
+		// from one whose workers are wedged on long-running jobs, so at
+		// least steer migrated jobs toward real adoption capacity.
+		if cold < 0 || d < lo || (d == lo && running < coldRunning) {
+			cold, lo, coldRunning = i, d, running
+		}
+	}
+	if hot == cold {
+		return 0
+	}
+	// Move half the gap; halving can never invert the imbalance, so the
+	// loop converges. Below the hysteresis threshold — or when the gap is
+	// too small to halve — only a *rescue* moves: a queued job stuck
+	// behind a shard whose workers are all occupied, while the cold shard
+	// sits empty with idle capacity, must always drain (it would otherwise
+	// wait for the full length of the hot shard's running work), whereas a
+	// forced move between two live shards would just ping-pong the job
+	// back on the next scan.
+	gap := hi - lo
+	n := gap / 2
+	if gap < p.threshold || n < 1 {
+		hotTm, coldTm := p.shards[hot], p.shards[cold]
+		hotRunning := hotTm.ActiveJobs() - hotTm.QueueDepth()
+		if hi == 0 || lo != 0 ||
+			hotRunning < int64(hotTm.Workers()) ||
+			coldTm.ActiveJobs() >= int64(coldTm.Workers()) {
+			return 0
+		}
+		n = 1
+	}
+	moved := 0
+	for int64(moved) < n {
+		if !core.MigrateQueuedJob(p.shards[hot], p.shards[cold]) {
+			break
+		}
+		moved++
+	}
+	return moved
+}
+
+// Close stops the balancer and closes every shard: admission ends, all
+// submitted jobs run to completion, then the workers stop. Repeated and
+// concurrent Close calls are safe. Like Pool.Close it must be called from
+// outside the pool's task bodies.
+func (p *ShardedPool) Close() error {
+	p.closed.Store(true)
+	p.balOnce.Do(func() { close(p.stopBal) })
+	p.balWG.Wait()
+	var first error
+	for _, tm := range p.shards {
+		if err := tm.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// Shards returns the number of shards.
+func (p *ShardedPool) Shards() int { return len(p.shards) }
+
+// Workers returns the total worker count across all shards.
+func (p *ShardedPool) Workers() int {
+	n := 0
+	for _, tm := range p.shards {
+		n += tm.Workers()
+	}
+	return n
+}
+
+// Team returns shard s's serving team, e.g. for Profile() access. Do not
+// call Run/Parallel/Close on it while the pool is open.
+func (p *ShardedPool) Team(s int) *Team { return p.shards[s] }
+
+// Stats returns every shard's current load and migration counters. It may
+// be called on a live pool.
+func (p *ShardedPool) Stats() []ShardStats {
+	out := make([]ShardStats, len(p.shards))
+	for i, tm := range p.shards {
+		in, outN := tm.Profile().JobsMigrated()
+		out[i] = ShardStats{
+			Shard:         i,
+			Workers:       tm.Workers(),
+			QueueDepth:    tm.QueueDepth(),
+			ActiveJobs:    tm.ActiveJobs(),
+			JobsCompleted: tm.Profile().JobsTotal(),
+			MigratedIn:    in,
+			MigratedOut:   outN,
+		}
+	}
+	return out
+}

@@ -63,6 +63,12 @@
 // Each job has its own quiescence detection and panic capture, so jobs are
 // isolated from each other while their tasks share queues, allocator, and
 // dynamic load balancing. See Pool for details.
+//
+// To scale the job server across NUMA domains, ShardedPool runs one
+// serving team per domain behind a two-level dynamic load balancer: jobs
+// are placed on the less loaded of two random shards and a second-level
+// balancer migrates queued jobs off overloaded shards. See ShardedPool
+// and ShardConfig.
 package xomp
 
 import (
@@ -70,6 +76,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/numa"
+	"repro/internal/prof"
 )
 
 // Worker is a team member; task bodies receive the worker executing them
@@ -159,6 +166,12 @@ type DepMode = core.DepMode
 func In(key any) Dep    { return core.In(key) }
 func Out(key any) Dep   { return core.Out(key) }
 func InOut(key any) Dep { return core.InOut(key) }
+
+// JobRecord is one completed job's per-job profiling record (submission,
+// adoption, and completion times; adopting worker; panic and migration
+// flags), retained in a bounded ring on the serving team's profile. Read
+// them with Pool.Team().Profile().Jobs() or per ShardedPool shard.
+type JobRecord = prof.JobRecord
 
 // Measurement is what Team.AutoTune observed while probing a workload.
 type Measurement = core.Measurement
