@@ -504,6 +504,106 @@ func BenchmarkShardedPoolThroughput(b *testing.B) {
 	}
 }
 
+// BenchmarkElasticShardedPool measures the third balancing level: the
+// elastic capacity controller against a fixed-quota baseline with the
+// same number of *active* workers, under uniform and skewed (3/4 of
+// submissions pinned to shard 0) traffic. The fixed baseline runs 2
+// shards × 2 workers; the elastic pool runs 2 shards × 4 capacity with a
+// budget of 4 active workers, so the controller can move quota toward the
+// hot shard (visible in the hot-active and quota-moves metrics, the
+// NWORKERS_ACTIVE story). Elastic under skew should match or beat fixed;
+// uniform traffic should show no regression.
+func BenchmarkElasticShardedPool(b *testing.B) {
+	mix := []string{"fib", "sort", "nqueens"}
+	const (
+		submitters = 4
+		shards     = 2
+		budget     = benchWorkers // active workers, both modes
+	)
+	for _, skewed := range []bool{false, true} {
+		scenario := "uniform"
+		if skewed {
+			scenario = "skewed"
+		}
+		for _, mode := range []string{"fixed", "elastic"} {
+			b.Run(fmt.Sprintf("%s/%s", scenario, mode), func(b *testing.B) {
+				cfg := xomp.ShardConfig{Shards: shards}
+				if mode == "elastic" {
+					// Full budget of capacity per shard, budget-bounded
+					// active set: quota can follow the traffic.
+					cfg.Team = xomp.Preset("xgomptb+naws", budget)
+					cfg.Elastic = xomp.ElasticConfig{
+						Enabled:     true,
+						TotalBudget: budget,
+						Interval:    100 * time.Microsecond,
+						// Damp harder than the default: at test scale one
+						// job's run time spans several ticks, so transient
+						// uniform-traffic bursts must not read as skew.
+						Hysteresis: 8,
+					}
+				} else {
+					cfg.Team = xomp.Preset("xgomptb+naws", budget/shards)
+				}
+				pool := xomp.MustShardedPool(cfg)
+				apps := make([][]bots.Benchmark, submitters)
+				for s := range apps {
+					apps[s] = make([]bots.Benchmark, len(mix))
+					for m, name := range mix {
+						apps[s][m] = bots.MustNew(name, bots.ScaleTest)
+					}
+				}
+				var next atomic.Int64
+				b.ResetTimer()
+				start := time.Now()
+				var wg sync.WaitGroup
+				for s := 0; s < submitters; s++ {
+					wg.Add(1)
+					go func(s int) {
+						defer wg.Done()
+						for {
+							i := int(next.Add(1)) - 1
+							if i >= b.N {
+								return
+							}
+							app := apps[s][i%len(mix)]
+							var j *xomp.Job
+							var err error
+							if skewed && i%4 != 0 {
+								j, err = pool.SubmitTo(0, app.RunTask)
+							} else {
+								j, err = pool.Submit(app.RunTask)
+							}
+							if err != nil {
+								b.Error(err)
+								return
+							}
+							if err := j.Wait(); err != nil {
+								b.Error(err)
+								return
+							}
+						}
+					}(s)
+				}
+				wg.Wait()
+				elapsed := time.Since(start)
+				b.StopTimer()
+				hotActive := pool.Stats()[0].ActiveWorkers
+				moves := pool.QuotaMoves()
+				if err := pool.Close(); err != nil {
+					b.Fatal(err)
+				}
+				if elapsed > 0 {
+					b.ReportMetric(float64(b.N)/elapsed.Seconds(), "jobs/sec")
+				}
+				if mode == "elastic" {
+					b.ReportMetric(float64(hotActive), "hot-active")
+					b.ReportMetric(float64(moves)/float64(b.N), "quota-moves/op")
+				}
+			})
+		}
+	}
+}
+
 // BenchmarkExperimentHarness times the cheap harness entries end to end so
 // regressions in the table generators themselves are visible.
 func BenchmarkExperimentHarness(b *testing.B) {

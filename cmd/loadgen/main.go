@@ -16,18 +16,25 @@
 // can drain — and the report adds per-shard completion and NJOBS_MIGRATED
 // counts.
 //
+// With -elastic the sharded pool additionally runs the elastic capacity
+// controller: each shard keeps its full worker capacity but only -budget
+// workers are active across the pool, and the controller moves one worker
+// of quota from a cold shard to a sustained-hot one per tick. The report
+// then includes each shard's active worker count and the quota-move
+// trajectory (the NWORKERS_ACTIVE story).
+//
 // Usage:
 //
 //	loadgen -runtime xgomptb+naws -workers 8 -submitters 8 -jobs 20
 //	loadgen -mix fib,sort,nqueens -scale test -backlog 4 -v
 //	loadgen -workers 8 -shards 4 -skew 0.75 -jobs 40
+//	loadgen -workers 16 -shards 4 -skew 0.9 -elastic -budget 8
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
-	"sort"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -35,6 +42,7 @@ import (
 
 	"repro/internal/bots"
 	"repro/internal/numa"
+	"repro/internal/stats"
 	"repro/xomp"
 )
 
@@ -50,6 +58,8 @@ func main() {
 		backlog    = flag.Int("backlog", 0, "admission queue capacity (0 = 4x workers)")
 		shards     = flag.Int("shards", 0, "split -workers into this many per-domain teams (0 = one shared team)")
 		skew       = flag.Float64("skew", 0, "fraction of each submitter's jobs pinned to shard 0 (hot-shard scenario; needs -shards > 1)")
+		elastic    = flag.Bool("elastic", false, "enable the elastic capacity controller (needs -shards > 1): shards keep full capacity but only -budget workers stay active, quota follows load")
+		budget     = flag.Int("budget", 0, "total active workers with -elastic (0 = half of -workers)")
 		noVerify   = flag.Bool("noverify", false, "skip per-job result verification")
 		verbose    = flag.Bool("v", false, "log every job")
 	)
@@ -62,6 +72,12 @@ func main() {
 	}
 	if *skew > 0 && *shards < 2 {
 		fatal(fmt.Errorf("-skew needs -shards > 1 (nothing to skew against)"))
+	}
+	if *elastic && *shards < 2 {
+		fatal(fmt.Errorf("-elastic needs -shards > 1 (no shard to move quota between)"))
+	}
+	if *budget != 0 && !*elastic {
+		fatal(fmt.Errorf("-budget only applies with -elastic"))
 	}
 	if *shards > 0 {
 		// Sharded pools pin each team to its own single-zone domain, so a
@@ -113,6 +129,13 @@ func main() {
 	if *shards > 0 {
 		scfg := xomp.ShardConfig{Shards: *shards, Team: cfg}
 		scfg.Team.Workers = *workers / *shards
+		if *elastic {
+			b := *budget
+			if b == 0 {
+				b = *workers / 2
+			}
+			scfg.Elastic = xomp.ElasticConfig{Enabled: true, TotalBudget: b}
+		}
 		sp, err := xomp.NewShardedPool(scfg)
 		if err != nil {
 			fatal(err)
@@ -125,8 +148,12 @@ func main() {
 			return sp.Submit(fn)
 		}
 		closePool = sp.Close
-		fmt.Printf("loadgen: %d submitters x %d jobs, mix [%s] at scale %s, on %s (%d shards x %d workers, skew %.0f%%)\n",
-			*submitters, *jobs, strings.Join(names, " "), sc, *preset, *shards, *workers / *shards, *skew*100)
+		elasticNote := ""
+		if *elastic {
+			elasticNote = fmt.Sprintf(", elastic budget %d", sp.ActiveWorkers())
+		}
+		fmt.Printf("loadgen: %d submitters x %d jobs, mix [%s] at scale %s, on %s (%d shards x %d workers, skew %.0f%%%s)\n",
+			*submitters, *jobs, strings.Join(names, " "), sc, *preset, *shards, *workers / *shards, *skew*100, elasticNote)
 	} else {
 		cfg.Topology = numa.Synthetic(*workers, *zones)
 		p, err := xomp.NewPool(cfg)
@@ -191,6 +218,12 @@ func main() {
 	}
 	wg.Wait()
 	elapsed := time.Since(start)
+	// Snapshot shard stats before Close: closing resets each shard's
+	// active-worker mask back to full capacity.
+	var shardStats []xomp.ShardStats
+	if sharded != nil {
+		shardStats = sharded.Stats()
+	}
 	if err := closePool(); err != nil {
 		fatal(err)
 	}
@@ -206,10 +239,17 @@ func main() {
 	var recs []xomp.JobRecord
 	if sharded != nil {
 		fmt.Println("per-shard:")
-		for _, st := range sharded.Stats() {
-			fmt.Printf("  shard %d: %d workers, %d jobs completed, migrated in %d / out %d\n",
-				st.Shard, st.Workers, st.JobsCompleted, st.MigratedIn, st.MigratedOut)
+		for _, st := range shardStats {
+			fmt.Printf("  shard %d: %d/%d workers active, %d jobs completed, migrated in %d / out %d\n",
+				st.Shard, st.ActiveWorkers, st.Workers, st.JobsCompleted, st.MigratedIn, st.MigratedOut)
 			recs = append(recs, sharded.Team(st.Shard).Profile().Jobs()...)
+		}
+		if *elastic {
+			fmt.Printf("quota: %d moves by the elastic controller\n", sharded.QuotaMoves())
+			for _, mv := range sharded.QuotaTrace() {
+				fmt.Printf("  %10v  shard %d -> shard %d  (now %d and %d active)\n",
+					mv.At.Round(time.Microsecond), mv.From, mv.To, mv.FromActive, mv.ToActive)
+			}
 		}
 	} else {
 		recs = pool.Team().Profile().Jobs()
@@ -229,14 +269,18 @@ func main() {
 	}
 }
 
-// distString summarizes a duration sample as min/median/p95/max.
+// distString summarizes a duration sample as min/median/p95/max, via the
+// shared stats.Sample machinery.
 func distString(d []time.Duration) string {
-	sort.Slice(d, func(i, j int) bool { return d[i] < d[j] })
-	pick := func(q float64) time.Duration {
-		i := int(q * float64(len(d)-1))
-		return d[i].Round(time.Microsecond)
+	var s stats.Sample
+	for _, v := range d {
+		s.AddDuration(v)
 	}
-	return fmt.Sprintf("min %v  median %v  p95 %v  max %v", pick(0), pick(0.5), pick(0.95), pick(1))
+	dur := func(secs float64) time.Duration {
+		return time.Duration(secs * float64(time.Second)).Round(time.Microsecond)
+	}
+	return fmt.Sprintf("min %v  median %v  p95 %v  max %v",
+		dur(s.Min()), dur(s.Percentile(50)), dur(s.Percentile(95)), dur(s.Max()))
 }
 
 func parseScale(s string) (bots.Scale, error) {

@@ -1,0 +1,105 @@
+// Command elasticpool is the elastic-capacity quick start: a sharded task
+// service whose *worker quota* follows skewed traffic.
+//
+// Two shards are provisioned with four workers of capacity each but only
+// four active workers of total budget (two per shard). Submitters then
+// pin almost all of their jobs to shard 0 while the job-migration level
+// is disabled — the scenario where neither job placement nor job
+// migration can help and only moving capacity does. The elastic
+// controller notices shard 0's oversubscription, parks a worker on idle
+// shard 1 and unparks one on shard 0, and the printed quota trajectory
+// shows the active split walking from 2+2 to 3+1 (shard 1's floor) and
+// back once the skew ends.
+package main
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/simnuma"
+	"repro/xomp"
+)
+
+func main() {
+	const (
+		shards     = 2
+		capacity   = 4 // per-shard worker capacity
+		budget     = 4 // total active workers
+		submitters = 4
+		jobsPer    = 30
+	)
+
+	cfg := xomp.ShardConfig{
+		Shards:          shards,
+		Team:            xomp.Preset("xgomptb+naws", capacity),
+		BalanceInterval: -1, // no job migration: capacity is the only mover
+		Elastic: xomp.ElasticConfig{
+			Enabled:     true,
+			TotalBudget: budget,
+			Interval:    200 * time.Microsecond,
+			Hysteresis:  2,
+		},
+	}
+	cfg.Team.Backlog = 2 * submitters * jobsPer
+	pool := xomp.MustShardedPool(cfg)
+
+	fmt.Printf("elasticpool: %d shards x %d capacity, budget %d, %d submitters x %d jobs, ~95%% pinned to shard 0\n",
+		shards, capacity, budget, submitters, jobsPer)
+
+	var wg sync.WaitGroup
+	var failed sync.Map
+	for s := 0; s < submitters; s++ {
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			for k := 0; k < jobsPer; k++ {
+				body := func(w *xomp.Worker) {
+					for i := 0; i < 4; i++ {
+						w.Spawn(func(*xomp.Worker) { simnuma.Spin(500_000) })
+					}
+					w.TaskWait()
+				}
+				var j *xomp.Job
+				var err error
+				if (s+k)%20 != 0 {
+					j, err = pool.SubmitTo(0, body) // skew: hammer shard 0
+				} else {
+					j, err = pool.SubmitTo(1, body)
+				}
+				if err != nil {
+					failed.Store(fmt.Sprintf("submit %d/%d", s, k), err)
+					return
+				}
+				if err := j.Wait(); err != nil {
+					failed.Store(fmt.Sprintf("job %d/%d", s, k), err)
+				}
+			}
+		}(s)
+	}
+	wg.Wait()
+	// Snapshot before Close: closing the pool resets every shard's active
+	// mask back to full capacity.
+	stats := pool.Stats()
+	active := pool.ActiveWorkers()
+	if err := pool.Close(); err != nil {
+		fmt.Println("close:", err)
+	}
+	failed.Range(func(k, v any) bool {
+		fmt.Printf("FAILED %v: %v\n", k, v)
+		return true
+	})
+
+	fmt.Println("\nquota trajectory (elastic controller moves):")
+	for _, mv := range pool.QuotaTrace() {
+		fmt.Printf("  %8v  shard %d -> shard %d  (now %d and %d active)\n",
+			mv.At.Round(time.Millisecond), mv.From, mv.To, mv.FromActive, mv.ToActive)
+	}
+	fmt.Println("final per-shard state:")
+	for _, st := range stats {
+		fmt.Printf("  shard %d: %d/%d workers active, %3d jobs completed\n",
+			st.Shard, st.ActiveWorkers, st.Workers, st.JobsCompleted)
+	}
+	fmt.Printf("total: %d quota moves, %d active workers of %d capacity (budget %d)\n",
+		pool.QuotaMoves(), active, pool.Workers(), budget)
+}

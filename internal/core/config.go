@@ -137,7 +137,10 @@ func DefaultDLB(s DLBStrategy) DLBConfig {
 // Config assembles a runtime. The zero value is not valid; use Preset or
 // fill the fields and let NewTeam validate.
 type Config struct {
-	// Workers is the team size (paper: up to 192).
+	// Workers is the team's maximum worker capacity (paper: up to 192).
+	// Parallel regions always run all Workers workers; in task-service
+	// mode the running set is an active mask over this capacity that
+	// Team.SetActive can shrink and grow at runtime (elastic capacity).
 	Workers int
 	// Sched, Barrier, Alloc select the substrate composition.
 	Sched   Sched

@@ -1,6 +1,9 @@
 package core
 
-import "repro/internal/prof"
+import (
+	"repro/internal/numa"
+	"repro/internal/prof"
+)
 
 // The lock-less messaging protocol (§IV-B): each worker owns two padded
 // 64-bit cells. The round cell is a monotonically increasing number,
@@ -43,14 +46,19 @@ func (tm *Team) thiefStep(w *Worker) {
 }
 
 // pickVictim implements conditionally random victim selection: NUMA-local
-// with probability PLocal, NUMA-remote otherwise, never self. It returns -1
-// when no other worker exists.
+// with probability PLocal, NUMA-remote otherwise, never self, and never a
+// parked worker — a parked victim has drained its queues and stopped
+// handling requests, so targeting it would only waste the thief's round.
+// All candidate lists are in ascending id order, so the active set is
+// their prefix below the team's active bound. It returns -1 when no other
+// active worker exists.
 func (tm *Team) pickVictim(w *Worker) int {
-	if tm.n == 1 {
+	act := int(tm.active.Load())
+	if act <= 1 || w.id >= act {
 		return -1
 	}
 	if w.rng.Bool(tm.cfg.DLB.PLocal) {
-		peers := tm.top.Peers(w.zone)
+		peers := numa.ActivePrefix(tm.top.Peers(w.zone), act)
 		if len(peers) > 1 {
 			idx := w.rng.Intn(len(peers) - 1)
 			v := peers[idx]
@@ -61,11 +69,11 @@ func (tm *Team) pickVictim(w *Worker) int {
 		}
 		// Alone in the zone: fall through to a remote pick.
 	}
-	if remotes := tm.remotes[w.zone]; len(remotes) > 0 {
+	if remotes := numa.ActivePrefix(tm.remotes[w.zone], act); len(remotes) > 0 {
 		return remotes[w.rng.Intn(len(remotes))]
 	}
-	// Single zone: any other worker.
-	v := w.rng.Intn(tm.n - 1)
+	// Single zone: any other active worker.
+	v := w.rng.Intn(act - 1)
 	if v >= w.id {
 		v++
 	}
@@ -88,8 +96,11 @@ func (tm *Team) victimCheck(w *Worker) {
 	}
 	w.prof.Inc(prof.CntReqHandled)
 	thief := int(req >> roundBits)
-	if thief == w.id || thief >= tm.n {
-		w.round.Store(round + 1) // malformed; drop it
+	if thief == w.id || thief >= int(tm.active.Load()) {
+		// Malformed, or the thief parked after sending the request:
+		// migrating tasks to a parked worker would strand them until its
+		// next stray sweep, so drop the request and accept new ones.
+		w.round.Store(round + 1)
 		return
 	}
 	switch tm.cfg.DLB.Strategy {

@@ -2,6 +2,7 @@ package core
 
 import (
 	"errors"
+	"fmt"
 	"runtime"
 	"runtime/debug"
 	"sync"
@@ -27,14 +28,22 @@ const (
 	// before it starts sleeping between polls, so long-idle services stay
 	// off the CPU instead of spinning indefinitely like a region barrier.
 	parkSpins = 1 << 12
-	// parkSleepMin/Max bound the poll period of a parked worker: the sleep
-	// starts at Min and doubles toward Max while idleness continues, so a
-	// long-idle pool converges to ~Max-period wakeups per worker while the
-	// first job after an idle spell still starts within ~Max. Polling (not
-	// a blocking receive) is required because DLB victims push tasks
-	// directly into a sleeping thief's queues, which only the owner polls.
+	// parkSleepMin/Max bound the poll period of an idle (but still active)
+	// worker: the sleep starts at Min and doubles toward Max while
+	// idleness continues, so a long-idle pool converges to ~Max-period
+	// wakeups per worker while the first job after an idle spell still
+	// starts within ~Max. Polling (not a blocking receive) is required
+	// because DLB victims push tasks directly into a sleeping thief's
+	// queues, which only the owner polls.
 	parkSleepMin = 50 * time.Microsecond
 	parkSleepMax = 2 * time.Millisecond
+	// parkSweep is the stray-sweep period of a *parked* worker (one
+	// outside the active set, see Team.SetActive). A parked worker blocks
+	// on the service's wakeup channel, but producers that raced the park —
+	// a static push or DLB migration that read the old active bound —
+	// may still land a task in its queues; the periodic sweep re-drains
+	// them so parking can never strand a task.
+	parkSweep = 2 * time.Millisecond
 )
 
 // service is the per-Serve state of a team in task-service mode.
@@ -58,6 +67,31 @@ type service struct {
 	stop atomic.Bool
 	done atomic.Bool
 	wg   sync.WaitGroup
+
+	// parkMu guards parkCh, the broadcast channel parked workers block
+	// on: SetActive and Close close it (and install a fresh one) to wake
+	// every parked worker at once.
+	parkMu sync.Mutex
+	parkCh chan struct{}
+}
+
+// wakeChan returns the current park-wakeup channel. A parking worker must
+// load it *before* re-checking its park condition so a concurrent wake
+// (which closes exactly this channel) cannot be lost.
+func (svc *service) wakeChan() <-chan struct{} {
+	svc.parkMu.Lock()
+	ch := svc.parkCh
+	svc.parkMu.Unlock()
+	return ch
+}
+
+// wakeParked wakes every parked worker (close broadcasts) and arms a
+// fresh channel for the next park.
+func (svc *service) wakeParked() {
+	svc.parkMu.Lock()
+	close(svc.parkCh)
+	svc.parkCh = make(chan struct{})
+	svc.parkMu.Unlock()
 }
 
 // Serve switches the team into task-service mode: all workers start and
@@ -76,13 +110,63 @@ func (tm *Team) Serve() error {
 	if old := tm.svc.Load(); old != nil && !old.done.Load() {
 		return errors.New("core: team is already serving")
 	}
-	svc := &service{submit: make(chan *Task, tm.cfg.Backlog)}
+	svc := &service{
+		submit: make(chan *Task, tm.cfg.Backlog),
+		parkCh: make(chan struct{}),
+	}
 	svc.cond = sync.NewCond(&svc.mu)
+	// Each Serve generation starts at full capacity (Close restored the
+	// mask; see SetActive for shrinking it while serving).
+	tm.setActiveLocked(tm.n)
 	tm.svc.Store(svc)
 	svc.wg.Add(tm.n)
 	for _, w := range tm.workers {
 		go tm.serve(svc, w)
 	}
+	return nil
+}
+
+// setActiveLocked installs a new active-set size in the team, the
+// scheduler's static balancer, and the NWORKERS_ACTIVE gauge. Callers
+// hold lifeMu (or are constructing the team).
+func (tm *Team) setActiveLocked(n int) {
+	tm.active.Store(int32(n))
+	tm.sched.setActive(n)
+	tm.profile.SetWorkersActive(int64(n))
+}
+
+// SetActive resizes the team's active worker set to workers [0, n),
+// parking the rest: parked workers first drain and hand off their queued
+// tasks (no task is ever stranded), then block on a wakeup. Growing the
+// set unparks workers. n must be in [1, Workers()].
+//
+// SetActive is the capacity lever of an elastic runtime — a controller
+// moving worker quota between teams calls SetActive down on the donor
+// and up on the receiver. It only applies to task-service mode: the team
+// must be serving (Serve), and the mask resets to full capacity when the
+// service closes. Safe for concurrent use with Submit and Close from any
+// goroutine outside the team's task bodies.
+func (tm *Team) SetActive(n int) error {
+	if n < 1 || n > tm.n {
+		return fmt.Errorf("core: SetActive(%d) outside [1, %d]", n, tm.n)
+	}
+	tm.lifeMu.Lock()
+	defer tm.lifeMu.Unlock()
+	svc := tm.svc.Load()
+	if svc == nil {
+		return errors.New("core: SetActive on a team that is not serving; call Serve first")
+	}
+	if svc.done.Load() {
+		return ErrClosed
+	}
+	svc.mu.Lock()
+	closed := svc.closed
+	svc.mu.Unlock()
+	if closed {
+		return ErrClosed
+	}
+	tm.setActiveLocked(n)
+	svc.wakeParked()
 	return nil
 }
 
@@ -171,8 +255,12 @@ func (tm *Team) Close() error {
 		return nil // another Close finished the teardown
 	}
 	svc.stop.Store(true)
+	svc.wakeParked() // parked workers must observe stop and exit
 	svc.wg.Wait()
 	svc.done.Store(true)
+	// Restore the full-capacity invariant regions (and the next Serve)
+	// rely on: outside service mode, active == Workers().
+	tm.setActiveLocked(tm.n)
 	return nil
 }
 
@@ -194,7 +282,9 @@ func (svc *service) jobDone() {
 
 // serve is one worker's service loop — the persistent analogue of the
 // region barrier-wait loop: execute queued tasks, adopt newly submitted
-// jobs when idle, run the thief protocol, and park after a long idle spell.
+// jobs when idle, run the thief protocol, sleep after a long idle spell,
+// and park fully whenever SetActive leaves this worker outside the active
+// set.
 func (tm *Team) serve(svc *service, w *Worker) {
 	defer svc.wg.Done()
 	if tm.cfg.Pin {
@@ -207,6 +297,15 @@ func (tm *Team) serve(svc *service, w *Worker) {
 	sleep := parkSleepMin
 	stalling := false
 	for {
+		if int32(w.id) >= tm.active.Load() && !svc.stop.Load() {
+			if stalling {
+				th.End(prof.EvStall)
+				stalling = false
+			}
+			tm.park(svc, w)
+			spins, idle, sleep = 0, 0, parkSleepMin
+			continue
+		}
 		if t := tm.sched.pop(w.id); t != nil {
 			if stalling {
 				th.End(prof.EvStall)
@@ -252,6 +351,83 @@ func (tm *Team) serve(svc *service, w *Worker) {
 			spins = 0
 		}
 	}
+}
+
+// park takes worker w out of the serving rotation until SetActive grows
+// the active set past it again (or Close stops the service). The park is
+// preceded by a queue drain — every task already routed to w is handed
+// off to an active worker or executed here — and the blocked wait is
+// punctuated by a slow stray sweep, because a producer that raced the
+// park (static push, DLB steal/redirect, both read the active bound
+// lock-free) may still land a task in w's queues after the drain. The
+// combination guarantees parking never strands a task. Parked time is
+// recorded as an EvPark timeline segment on w's thread.
+func (tm *Team) park(svc *service, w *Worker) {
+	th := w.prof
+	th.Begin(prof.EvPark)
+	tm.drainOnPark(w)
+	timer := time.NewTimer(parkSweep)
+	defer timer.Stop()
+	for {
+		// Load the wakeup channel before re-checking the condition: a
+		// concurrent SetActive/Close stores its state first and then
+		// closes exactly this channel, so the wake cannot be lost.
+		ch := svc.wakeChan()
+		if svc.stop.Load() || int32(w.id) < tm.active.Load() {
+			break
+		}
+		if !timer.Stop() {
+			select {
+			case <-timer.C:
+			default:
+			}
+		}
+		timer.Reset(parkSweep)
+		select {
+		case <-ch:
+		case <-timer.C:
+		}
+		tm.drainOnPark(w) // sweep strays from producers that raced the park
+	}
+	th.End(prof.EvPark)
+}
+
+// drainOnPark empties w's own queues on the way into (or during) a park:
+// each task is handed to an active worker, or executed here when every
+// active worker's queue from w is full. Substrates whose queues remain
+// reachable by active workers return nil from parkDrain immediately.
+func (tm *Team) drainOnPark(w *Worker) {
+	for {
+		t := tm.sched.parkDrain(w.id)
+		if t == nil {
+			return
+		}
+		if !tm.handOff(w, t) {
+			tm.execute(w, t)
+		}
+	}
+}
+
+// handOff pushes t from a parking worker w into some active worker's
+// queue, rotating the target across calls so a drained backlog spreads
+// over the whole active set. It reports false when every active target
+// is full (or w is the only candidate).
+func (tm *Team) handOff(w *Worker, t *Task) bool {
+	act := int(tm.active.Load())
+	for i := 0; i < act; i++ {
+		target := w.parkCur + i
+		for target >= act {
+			target -= act
+		}
+		if target == w.id {
+			continue
+		}
+		if tm.sched.pushTo(w.id, target, t) {
+			w.parkCur = target + 1
+			return true
+		}
+	}
+	return false
 }
 
 // adopt makes worker w the entry point of a submitted job: the worker

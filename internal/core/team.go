@@ -12,9 +12,16 @@ import (
 	"repro/internal/rng"
 )
 
-// Team is a fixed set of workers executing parallel regions, the analogue
-// of an OpenMP thread team. A Team is reusable: Run and Parallel may be
-// called any number of times, sequentially.
+// Team is a set of workers executing parallel regions, the analogue of an
+// OpenMP thread team. A Team is reusable: Run and Parallel may be called
+// any number of times, sequentially.
+//
+// Config.Workers is the team's maximum capacity, not a frozen size: in
+// task-service mode (Serve) the running worker set is an active mask over
+// that capacity — SetActive(n) keeps workers [0, n) serving and parks the
+// rest on a wakeup, so an elastic capacity controller can move worker
+// quota between teams at runtime. Parallel regions always run at full
+// capacity; the mask resets to Workers when the service closes.
 type Team struct {
 	cfg     Config
 	n       int
@@ -25,9 +32,16 @@ type Team struct {
 	alloc   alloc.Allocator[Task]
 	profile *prof.Profile
 	workers []*Worker
-	// remotes[z] lists the workers outside zone z (victim selection).
+	// remotes[z] lists the workers outside zone z in ascending id order
+	// (victim selection; the ordering lets the DLB take active prefixes).
 	remotes [][]int
 	dlbOn   bool
+	// active is the size of the active worker set: workers [0, active)
+	// run, workers [active, n) park. Outside task-service mode it is
+	// always n (SetActive is service-only and Close restores it), so
+	// regions and their barrier see the full team. Read on every spawn
+	// and victim pick; written by SetActive.
+	active atomic.Int32
 	// running guards against overlapping regions; atomic so the Serve
 	// lifecycle check cannot race a region opening on another goroutine.
 	running atomic.Bool
@@ -59,6 +73,7 @@ func NewTeam(cfg Config) (*Team, error) {
 	}
 	tm := &Team{cfg: cfg, n: cfg.Workers, top: cfg.Topology}
 	tm.dlbOn = cfg.DLB.Strategy != DLBNone
+	tm.active.Store(int32(cfg.Workers))
 
 	switch cfg.Sched {
 	case SchedGOMP:
@@ -138,8 +153,15 @@ func MustTeam(cfg Config) *Team {
 	return tm
 }
 
-// Workers returns the team size.
+// Workers returns the team's maximum capacity (Config.Workers). The
+// number of workers currently running may be smaller in task-service
+// mode; see ActiveWorkers and SetActive.
 func (tm *Team) Workers() int { return tm.n }
+
+// ActiveWorkers returns the size of the active worker set. It equals
+// Workers() except while a task service has parked part of the team with
+// SetActive.
+func (tm *Team) ActiveWorkers() int { return int(tm.active.Load()) }
 
 // Config returns the validated configuration the team runs with.
 func (tm *Team) Config() Config { return tm.cfg }

@@ -39,6 +39,9 @@ type Worker struct {
 	redirectLeft  int
 	redirectedAny bool
 	handlingReq   bool
+	// parkCur rotates the hand-off target over the active set while this
+	// worker drains its queues to park (owner-only).
+	parkCur int
 }
 
 // ID returns the worker's id in [0, Team.Workers()).
@@ -61,6 +64,7 @@ func (w *Worker) beginRegion() {
 	w.redirectLeft = 0
 	w.redirectedAny = false
 	w.handlingReq = false
+	w.parkCur = 0
 }
 
 // Spawn creates a task executing fn as a child of the current task. The

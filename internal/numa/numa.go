@@ -181,6 +181,55 @@ func (t Topology) SplitDomains() []Topology {
 // applies. It panics when z or local is out of range.
 func (t Topology) GlobalWorker(z, local int) int { return t.peers[z][local] }
 
+// ActivePrefix returns the leading portion of ids whose entries are below
+// active. ids must be in ascending order (Peers and the per-zone victim
+// lists derived from it are). It is the active-set view an elastic runtime
+// needs: with worker parking defined as "ids >= active are parked", the
+// returned slice is exactly the unparked members of ids. The result
+// aliases ids; callers must not modify it.
+func ActivePrefix(ids []int, active int) []int {
+	// ids is sorted, so binary-search the first parked entry.
+	lo, hi := 0, len(ids)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if ids[mid] < active {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return ids[:lo]
+}
+
+// ActivePeers returns the workers of zone z that are inside the active set
+// [0, active) — Peers restricted to unparked workers. The returned slice
+// aliases the topology's peer list; callers must not modify it.
+func (t Topology) ActivePeers(z, active int) []int {
+	return ActivePrefix(t.peers[z], active)
+}
+
+// Prefix returns the sub-topology covering only the first active workers —
+// the active-set view of a team whose trailing workers are parked. Zones
+// that lose all their workers disappear from the count of non-empty zones
+// only implicitly: the zone ids are preserved (Zones stays the same) so
+// zone-homed data keeps its addressing, but emptied zones simply have no
+// peers. Prefix(Workers) returns the topology itself.
+func (t Topology) Prefix(active int) Topology {
+	if active >= t.Workers {
+		return t
+	}
+	if active < 1 {
+		panic("numa: Prefix requires active >= 1")
+	}
+	sub := Topology{Workers: active, Zones: t.Zones}
+	sub.zoneOf = t.zoneOf[:active]
+	sub.peers = make([][]int, t.Zones)
+	for z := range sub.peers {
+		sub.peers[z] = ActivePrefix(t.peers[z], active)
+	}
+	return sub
+}
+
 // Classify returns the locality class of a task created by worker creator
 // and executed by worker executor.
 func (t Topology) Classify(creator, executor int) Locality {

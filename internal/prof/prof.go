@@ -38,11 +38,16 @@ const (
 	EvBarrier
 	// EvStall is time spent idle, polling empty queues (STALL).
 	EvStall
+	// EvPark is time a service-mode worker spent parked outside the active
+	// set (PARK): blocked on a wakeup after Team.SetActive shrank the
+	// team's active worker count. Park/unpark transitions are the segment
+	// boundaries of this event class.
+	EvPark
 	// NumEvents is the number of event classes.
 	NumEvents
 )
 
-var eventNames = [NumEvents]string{"TASK", "GOMP_TASK", "TASKWAIT", "BARRIER", "STALL"}
+var eventNames = [NumEvents]string{"TASK", "GOMP_TASK", "TASKWAIT", "BARRIER", "STALL", "PARK"}
 
 // String returns the paper's name for the event class.
 func (e Event) String() string {
@@ -208,6 +213,13 @@ type Profile struct {
 	queueDepth  atomic.Int64
 	migratedIn  atomic.Uint64
 	migratedOut atomic.Uint64
+
+	// workersActive is the NWORKERS_ACTIVE gauge: how many of the team's
+	// workers are currently in the active set (unparked). It starts at the
+	// worker count and is adjusted by Team.SetActive; an elastic capacity
+	// controller moving quota between shards is visible as steps in this
+	// gauge (and as PARK timeline segments on the parked threads).
+	workersActive atomic.Int64
 }
 
 // New returns a Profile for workers threads. When timeline is false the
@@ -218,6 +230,7 @@ func New(workers int, timeline bool) *Profile {
 	for i := range p.threads {
 		p.threads[i] = &Thread{id: i, timeline: timeline, base: p.base}
 	}
+	p.workersActive.Store(int64(workers))
 	return p
 }
 
@@ -295,6 +308,15 @@ func (p *Profile) IncMigratedOut() { p.migratedOut.Add(1) }
 func (p *Profile) JobsMigrated() (in, out uint64) {
 	return p.migratedIn.Load(), p.migratedOut.Load()
 }
+
+// SetWorkersActive sets the NWORKERS_ACTIVE gauge. The team writes it on
+// every SetActive transition; safe for any goroutine.
+func (p *Profile) SetWorkersActive(n int64) { p.workersActive.Store(n) }
+
+// WorkersActive returns the NWORKERS_ACTIVE gauge: the number of workers
+// currently in the team's active set. It equals Workers() unless a
+// capacity controller has parked part of the team.
+func (p *Profile) WorkersActive() int64 { return p.workersActive.Load() }
 
 // now returns nanoseconds since the profile base.
 func (t *Thread) now() int64 { return int64(time.Since(t.base)) }
@@ -402,6 +424,9 @@ type Snapshot struct {
 	QueueDepth      int64  `json:"queue_depth,omitempty"`
 	JobsMigratedIn  uint64 `json:"njobs_migrated_in,omitempty"`
 	JobsMigratedOut uint64 `json:"njobs_migrated_out,omitempty"`
+	// WorkersActive is the NWORKERS_ACTIVE gauge at snapshot time (0 in
+	// dumps predating elastic capacity; treat 0 as "all workers active").
+	WorkersActive int64 `json:"nworkers_active,omitempty"`
 }
 
 // Snapshot captures the current state. The per-thread counters and events
@@ -419,6 +444,7 @@ func (p *Profile) Snapshot() Snapshot {
 	s.Jobs = p.Jobs()
 	s.QueueDepth = p.QueueDepth()
 	s.JobsMigratedIn, s.JobsMigratedOut = p.JobsMigrated()
+	s.WorkersActive = p.WorkersActive()
 	return s
 }
 
@@ -453,7 +479,7 @@ func (s Snapshot) TimelineSummary(w io.Writer, width int) error {
 	if width < 10 {
 		width = 10
 	}
-	glyph := [NumEvents]byte{'#', '+', 'w', 'B', '.'}
+	glyph := [NumEvents]byte{'#', '+', 'w', 'B', '.', 'z'}
 	var legend strings.Builder
 	for ev := Event(0); ev < NumEvents; ev++ {
 		fmt.Fprintf(&legend, "%c=%s ", glyph[ev], ev)

@@ -143,6 +143,20 @@ func (m *Model) RemotePenaltyRatio() float64 {
 	return float64(m.unitsPerRemote) / float64(m.unitsPerLocal)
 }
 
+// Prefix returns the active-set view of the model: the same calibrated
+// local/remote costs over the sub-topology covering only the first active
+// workers (see numa.Topology.Prefix). Workloads priced against a team
+// whose trailing workers are parked use it so a stray access charged to a
+// parked worker id panics (out of the sub-topology's range) instead of
+// silently pricing work the scheduler can no longer run there.
+func (m *Model) Prefix(active int) *Model {
+	return &Model{
+		top:            m.top.Prefix(active),
+		unitsPerLocal:  m.unitsPerLocal,
+		unitsPerRemote: m.unitsPerRemote,
+	}
+}
+
 // ShardView charges the model's costs on behalf of a per-domain shard team
 // (see numa.Topology.SplitDomains): every worker of the shard lives in the
 // pinned zone, so workloads running on a sharded pool can price accesses

@@ -83,8 +83,29 @@ func (p *Pool) Submit(fn TaskFunc) (*Job, error) { return p.tm.Submit(fn) }
 // so a task calling Close deadlocks.
 func (p *Pool) Close() error { return p.tm.Close() }
 
-// Workers returns the pool's team size.
+// Workers returns the pool's maximum worker capacity.
 func (p *Pool) Workers() int { return p.tm.Workers() }
+
+// ActiveWorkers returns how many of the pool's workers are currently
+// active (unparked); see SetActive.
+func (p *Pool) ActiveWorkers() int { return p.tm.ActiveWorkers() }
+
+// SetActive resizes the pool's active worker set to n of its Workers()
+// capacity: shrinking parks the trailing workers (their queued tasks are
+// handed off first, never stranded), growing unparks them. It is the
+// capacity lever an external controller uses to take resources from a
+// cold pool and give them to a hot one.
+func (p *Pool) SetActive(n int) error { return p.tm.SetActive(n) }
+
+// QueueDepth returns the number of jobs submitted but not yet adopted by
+// a worker (including submitters currently blocked on a full admission
+// queue) — the pool's instantaneous backlog, the same load signal a
+// ShardedPool compares across shards.
+func (p *Pool) QueueDepth() int64 { return p.tm.QueueDepth() }
+
+// ActiveJobs returns the number of jobs submitted and not yet completed,
+// queued and running alike.
+func (p *Pool) ActiveJobs() int64 { return p.tm.ActiveJobs() }
 
 // Team returns the underlying team, e.g. for Profile() access. Do not call
 // Run/Parallel on it while the pool is open.

@@ -20,6 +20,59 @@ import (
 	"repro/internal/numa"
 )
 
+// ElasticConfig configures the third balancing level: an elastic capacity
+// controller that moves *worker quota* between shards, where the first
+// level places jobs and the second migrates queued jobs. Every Interval
+// the controller compares per-shard load (admission queue depth + jobs in
+// flight) against the shard's active worker count and, when one shard has
+// been oversubscribed while another has idle active workers for
+// Hysteresis consecutive ticks, parks one worker on the cold donor
+// (Team.SetActive down) and unparks one on the hot shard (SetActive up).
+// The sum of active workers never exceeds TotalBudget, so the pool can be
+// provisioned with per-shard capacity headroom (Team.Workers above the
+// per-shard share of the budget) that quota moves into whichever domain
+// the traffic actually hits.
+type ElasticConfig struct {
+	// Enabled turns the controller on. When false the other fields are
+	// ignored and every shard keeps all its workers active.
+	Enabled bool
+	// MinPerShard is the floor of active workers per shard (a shard must
+	// always be able to drain its own admission queue). 0 means 1.
+	MinPerShard int
+	// MaxPerShard caps active workers per shard. 0 means the shard's
+	// capacity (its team's Workers); values above capacity are clamped.
+	MaxPerShard int
+	// TotalBudget is the total number of active workers across all
+	// shards. 0 means the sum of the per-shard caps (shard capacities,
+	// or MaxPerShard where that is lower) — no headroom, so the
+	// controller then has nothing to move. It must admit a distribution
+	// within the per-shard min/max bounds.
+	TotalBudget int
+	// Interval is the controller's tick period. 0 means 1ms; negative
+	// disables the background loop (RebalanceQuota can still be called
+	// manually).
+	Interval time.Duration
+	// Hysteresis is how many consecutive ticks the same shard must stay
+	// the oversubscribed candidate before quota moves — the damping that
+	// keeps a transient burst from stealing a worker the donor is about
+	// to need back. 0 means 2.
+	Hysteresis int
+}
+
+// QuotaMove records one elastic quota reassignment: at time At (since
+// pool construction) one worker of quota moved from shard From to shard
+// To, leaving them with FromActive and ToActive active workers.
+type QuotaMove struct {
+	At         time.Duration
+	From, To   int
+	FromActive int
+	ToActive   int
+}
+
+// maxQuotaTrace bounds the retained quota-move trace; a long-lived pool
+// keeps the most recent moves (the lifetime count is in Stats).
+const maxQuotaTrace = 4096
+
 // ShardConfig assembles a ShardedPool.
 type ShardConfig struct {
 	// Shards is the number of per-domain teams. 0 derives it from the
@@ -43,13 +96,20 @@ type ShardConfig struct {
 	// MigrateThreshold is the minimum queue-depth gap (hottest minus
 	// coldest shard) that triggers migration. 0 means 2.
 	MigrateThreshold int
+
+	// Elastic configures the elastic capacity controller (the third
+	// balancing level: worker-quota moves between shards).
+	Elastic ElasticConfig
 }
 
 // ShardStats is one shard's load and migration picture at a point in time.
 type ShardStats struct {
-	// Shard is the shard index, Workers its team size.
-	Shard   int
-	Workers int
+	// Shard is the shard index, Workers its team's maximum capacity, and
+	// ActiveWorkers how many of those are currently unparked (equal to
+	// Workers unless the elastic controller moved quota away).
+	Shard         int
+	Workers       int
+	ActiveWorkers int
 	// QueueDepth is the shard's NJOBS_QUEUED gauge: jobs submitted but not
 	// yet adopted. ActiveJobs additionally counts adopted jobs still
 	// running.
@@ -83,12 +143,21 @@ type ShardStats struct {
 // detection, and panic isolation across a migration; a job that has begun
 // executing is never moved, so every task of one job always runs inside
 // one team, preserving the intra-team locality the paper's DLB exploits.
+// Level three (opt-in via ShardConfig.Elastic): an elastic capacity
+// controller moves *worker quota* between shards — sustained
+// oversubscription on one shard parks a worker on an idle shard
+// (Team.SetActive) and unparks one on the hot shard, so the resource
+// allocation itself follows the traffic instead of only the work
+// placement. Tasks move inside a team, jobs move between teams, workers'
+// quota moves between teams: three granularities of the same hot→cold
+// feedback loop.
 //
 // Jobs/IDs are issued per shard, so two jobs of one pool may share an ID if
 // they were submitted to (or migrated from) different shards.
 type ShardedPool struct {
 	shards    []*core.Team
 	threshold int64
+	start     time.Time
 
 	// seq and seed drive the dispatcher's placement randomness: a
 	// SplitMix64 stream indexed by an atomic counter, so concurrent
@@ -100,6 +169,22 @@ type ShardedPool struct {
 	stopBal chan struct{}
 	balOnce sync.Once
 	balWG   sync.WaitGroup
+
+	// el is the elastic capacity controller's state (third balancing
+	// level). mu serializes controller ticks (background loop and manual
+	// RebalanceQuota calls) and guards the hysteresis and trace state.
+	el struct {
+		enabled    bool
+		hysteresis int
+		minEff     []int // per-shard active floor
+		maxEff     []int // per-shard active cap (≤ capacity)
+		mu         sync.Mutex
+		lastHot    int
+		streak     int
+		moves      uint64
+		trace      []QuotaMove
+		traceHead  int
+	}
 }
 
 // NewShardedPool validates cfg, builds and starts one serving team per
@@ -148,8 +233,13 @@ func NewShardedPool(cfg ShardConfig) (*ShardedPool, error) {
 	p := &ShardedPool{
 		shards:    make([]*core.Team, len(shardTops)),
 		threshold: int64(threshold),
+		start:     time.Now(),
 		seed:      uint64(baseSeed) * 0x9e3779b97f4a7c15,
 		stopBal:   make(chan struct{}),
+	}
+	quota, err := p.initElastic(cfg.Elastic, shardTops)
+	if err != nil {
+		return nil, err
 	}
 	for s, st := range shardTops {
 		c := base
@@ -165,6 +255,9 @@ func NewShardedPool(cfg ShardConfig) (*ShardedPool, error) {
 		if err == nil {
 			err = tm.Serve()
 		}
+		if err == nil && quota != nil && quota[s] < tm.Workers() {
+			err = tm.SetActive(quota[s])
+		}
 		if err != nil {
 			for _, started := range p.shards[:s] {
 				started.Close()
@@ -177,7 +270,199 @@ func NewShardedPool(cfg ShardConfig) (*ShardedPool, error) {
 		p.balWG.Add(1)
 		go p.balance(interval)
 	}
+	if p.el.enabled && len(p.shards) > 1 && cfg.Elastic.Interval >= 0 {
+		tick := cfg.Elastic.Interval
+		if tick == 0 {
+			tick = time.Millisecond
+		}
+		p.balWG.Add(1)
+		go p.elasticLoop(tick)
+	}
 	return p, nil
+}
+
+// initElastic validates the elastic configuration against the shard
+// layout, fills the controller's per-shard bounds, and returns the
+// initial active-quota split (nil when elasticity is off). The budget is
+// spread evenly and then clamped into the per-shard [min, max] bounds,
+// pushing any remainder to shards that still have headroom.
+func (p *ShardedPool) initElastic(e ElasticConfig, shardTops []Topology) ([]int, error) {
+	if !e.Enabled {
+		return nil, nil
+	}
+	n := len(shardTops)
+	floor := e.MinPerShard
+	if floor == 0 {
+		floor = 1
+	}
+	if floor < 1 {
+		return nil, fmt.Errorf("xomp: Elastic.MinPerShard must be >= 1, got %d", e.MinPerShard)
+	}
+	if e.Hysteresis < 0 {
+		return nil, fmt.Errorf("xomp: Elastic.Hysteresis must be >= 0, got %d", e.Hysteresis)
+	}
+	p.el.enabled = true
+	p.el.hysteresis = e.Hysteresis
+	if p.el.hysteresis == 0 {
+		p.el.hysteresis = 2
+	}
+	p.el.lastHot = -1
+	p.el.minEff = make([]int, n)
+	p.el.maxEff = make([]int, n)
+	sumMin, sumMax := 0, 0
+	for s, st := range shardTops {
+		capacity := st.Workers
+		if floor > capacity {
+			return nil, fmt.Errorf("xomp: Elastic.MinPerShard %d exceeds shard %d capacity %d", floor, s, capacity)
+		}
+		ceil := e.MaxPerShard
+		if ceil == 0 || ceil > capacity {
+			ceil = capacity
+		}
+		if ceil < floor {
+			return nil, fmt.Errorf("xomp: Elastic.MaxPerShard %d below MinPerShard %d", e.MaxPerShard, floor)
+		}
+		p.el.minEff[s] = floor
+		p.el.maxEff[s] = ceil
+		sumMin += floor
+		sumMax += ceil
+	}
+	budget := e.TotalBudget
+	if budget == 0 {
+		budget = sumMax
+	}
+	if budget < sumMin || budget > sumMax {
+		return nil, fmt.Errorf("xomp: Elastic.TotalBudget %d outside [%d, %d] admitted by the per-shard bounds", budget, sumMin, sumMax)
+	}
+	quota := make([]int, n)
+	left := budget
+	for s := range quota {
+		quota[s] = floor
+		left -= floor
+	}
+	for left > 0 {
+		gave := false
+		for s := range quota {
+			if left > 0 && quota[s] < p.el.maxEff[s] {
+				quota[s]++
+				left--
+				gave = true
+			}
+		}
+		if !gave {
+			break
+		}
+	}
+	return quota, nil
+}
+
+// elasticLoop is the background capacity controller: one RebalanceQuota
+// tick per interval until Close.
+func (p *ShardedPool) elasticLoop(interval time.Duration) {
+	defer p.balWG.Done()
+	tick := time.NewTicker(interval)
+	defer tick.Stop()
+	for {
+		select {
+		case <-p.stopBal:
+			return
+		case <-tick.C:
+			p.RebalanceQuota()
+		}
+	}
+}
+
+// RebalanceQuota runs one elastic-controller tick synchronously: find the
+// shard whose load (queue depth + jobs in flight) most oversubscribes its
+// active workers and the shard with the most idle active capacity, and —
+// once the same hot candidate has persisted for the configured hysteresis
+// — move one worker of quota from cold to hot (donor parks first, so the
+// active total never exceeds the budget). It reports whether quota moved.
+// The background loop calls this every Elastic.Interval; tests and
+// latency-sensitive callers may invoke it directly.
+func (p *ShardedPool) RebalanceQuota() bool {
+	if !p.el.enabled || p.closed.Load() {
+		return false
+	}
+	p.el.mu.Lock()
+	defer p.el.mu.Unlock()
+	hot, cold := -1, -1
+	var hotLoad, hotAct, coldLoad, coldAct int64
+	for s, tm := range p.shards {
+		act := int64(tm.ActiveWorkers())
+		load := tm.QueueDepth() + tm.ActiveJobs()
+		// Hot candidates are oversubscribed (more live jobs than active
+		// workers) and still below their cap; rank by load/active,
+		// compared cross-multiplied to stay in integers.
+		if load > act && int(act) < p.el.maxEff[s] {
+			if hot < 0 || load*hotAct > hotLoad*act {
+				hot, hotLoad, hotAct = s, load, act
+			}
+		}
+		// Donors have at least one genuinely idle active worker and are
+		// above their floor; rank by most idle capacity.
+		if load < act && int(act) > p.el.minEff[s] {
+			if cold < 0 || act-load > coldAct-coldLoad {
+				cold, coldLoad, coldAct = s, load, act
+			}
+		}
+	}
+	if hot < 0 || cold < 0 || hot == cold {
+		p.el.lastHot, p.el.streak = -1, 0
+		return false
+	}
+	if hot != p.el.lastHot {
+		p.el.lastHot, p.el.streak = hot, 1
+	} else {
+		p.el.streak++
+	}
+	if p.el.streak < p.el.hysteresis {
+		return false
+	}
+	// Donor parks before the receiver unparks, so the sum of active
+	// workers never exceeds TotalBudget, not even transiently.
+	if err := p.shards[cold].SetActive(int(coldAct) - 1); err != nil {
+		return false
+	}
+	if err := p.shards[hot].SetActive(int(hotAct) + 1); err != nil {
+		p.shards[cold].SetActive(int(coldAct)) // return the donated quota
+		return false
+	}
+	p.el.lastHot, p.el.streak = -1, 0
+	p.el.moves++
+	mv := QuotaMove{
+		At:         time.Since(p.start),
+		From:       cold,
+		To:         hot,
+		FromActive: int(coldAct) - 1,
+		ToActive:   int(hotAct) + 1,
+	}
+	if len(p.el.trace) < maxQuotaTrace {
+		p.el.trace = append(p.el.trace, mv)
+	} else {
+		p.el.trace[p.el.traceHead] = mv
+		p.el.traceHead = (p.el.traceHead + 1) % len(p.el.trace)
+	}
+	return true
+}
+
+// QuotaMoves returns how many elastic quota reassignments the controller
+// has made over the pool's lifetime.
+func (p *ShardedPool) QuotaMoves() uint64 {
+	p.el.mu.Lock()
+	defer p.el.mu.Unlock()
+	return p.el.moves
+}
+
+// QuotaTrace returns a copy of the retained quota-move history in move
+// order (the most recent maxQuotaTrace moves; QuotaMoves counts all).
+func (p *ShardedPool) QuotaTrace() []QuotaMove {
+	p.el.mu.Lock()
+	defer p.el.mu.Unlock()
+	out := make([]QuotaMove, 0, len(p.el.trace))
+	out = append(out, p.el.trace[p.el.traceHead:]...)
+	out = append(out, p.el.trace[:p.el.traceHead]...)
+	return out
 }
 
 // MustShardedPool is NewShardedPool, panicking on configuration errors.
@@ -342,11 +627,22 @@ func (p *ShardedPool) Close() error {
 // Shards returns the number of shards.
 func (p *ShardedPool) Shards() int { return len(p.shards) }
 
-// Workers returns the total worker count across all shards.
+// Workers returns the total worker capacity across all shards.
 func (p *ShardedPool) Workers() int {
 	n := 0
 	for _, tm := range p.shards {
 		n += tm.Workers()
+	}
+	return n
+}
+
+// ActiveWorkers returns the total number of currently active (unparked)
+// workers across all shards — at most Elastic.TotalBudget when the
+// elastic controller is on, and equal to Workers otherwise.
+func (p *ShardedPool) ActiveWorkers() int {
+	n := 0
+	for _, tm := range p.shards {
+		n += tm.ActiveWorkers()
 	}
 	return n
 }
@@ -364,6 +660,7 @@ func (p *ShardedPool) Stats() []ShardStats {
 		out[i] = ShardStats{
 			Shard:         i,
 			Workers:       tm.Workers(),
+			ActiveWorkers: tm.ActiveWorkers(),
 			QueueDepth:    tm.QueueDepth(),
 			ActiveJobs:    tm.ActiveJobs(),
 			JobsCompleted: tm.Profile().JobsTotal(),

@@ -67,8 +67,11 @@
 // To scale the job server across NUMA domains, ShardedPool runs one
 // serving team per domain behind a two-level dynamic load balancer: jobs
 // are placed on the less loaded of two random shards and a second-level
-// balancer migrates queued jobs off overloaded shards. See ShardedPool
-// and ShardConfig.
+// balancer migrates queued jobs off overloaded shards. With
+// ShardConfig.Elastic a third level balances capacity itself: worker
+// quota moves from cold shards to sustained-hot ones (Team.SetActive
+// parks and unparks workers), keeping the active total at a budget. See
+// ShardedPool, ShardConfig, and ElasticConfig.
 package xomp
 
 import (
