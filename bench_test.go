@@ -10,6 +10,7 @@ package repro_test
 
 import (
 	"fmt"
+	"os"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -26,6 +27,20 @@ import (
 )
 
 const benchWorkers = 4
+
+// applyBenchPolicy applies the REPRO_BENCH_POLICY environment variable to
+// a pool benchmark's team configuration ("" keeps the preset's static
+// settings; "adaptive" runs the adaptive policy controller).
+// scripts/benchdiff.sh runs the pool benchmarks once per value and prints
+// a jobs/sec comparison, so the adaptive path cannot rot silently.
+// Policies need the XQueue substrate, so GOMP/LOMP presets stay static.
+func applyBenchPolicy(cfg *xomp.Config) {
+	name := os.Getenv("REPRO_BENCH_POLICY")
+	if name == "" || cfg.Sched != xomp.SchedXQueue {
+		return
+	}
+	cfg.Policy.Name = name
+}
 
 func benchTeam(b *testing.B, preset string) *xomp.Team {
 	b.Helper()
@@ -372,6 +387,7 @@ func BenchmarkPoolThroughput(b *testing.B) {
 			b.Run(fmt.Sprintf("%s/sub%d", preset, submitters), func(b *testing.B) {
 				cfg := xomp.Preset(preset, benchWorkers)
 				cfg.Topology = numa.Synthetic(benchWorkers, 2)
+				applyBenchPolicy(&cfg)
 				pool := xomp.MustPool(cfg)
 				// One app instance per submitter and mix entry, built before
 				// the clock starts: a submitter has at most one job in
@@ -544,6 +560,7 @@ func BenchmarkElasticShardedPool(b *testing.B) {
 				} else {
 					cfg.Team = xomp.Preset("xgomptb+naws", budget/shards)
 				}
+				applyBenchPolicy(&cfg.Team)
 				pool := xomp.MustShardedPool(cfg)
 				apps := make([][]bots.Benchmark, submitters)
 				for s := range apps {
@@ -601,6 +618,90 @@ func BenchmarkElasticShardedPool(b *testing.B) {
 				}
 			})
 		}
+	}
+}
+
+// BenchmarkPolicyPhase measures the adaptive policy against the two fixed
+// extremes of the policy library on a phase-changing workload: blocks of
+// fine-grained jobs (hundreds of empty tasks) alternate with blocks of
+// coarse-grained jobs (a few ~100µs tasks). A fixed policy is tuned for
+// one phase and pays in the other; the adaptive controller retunes at
+// each phase boundary. Compare the jobs/sec metric across the three
+// variants (scripts/benchdiff.sh prints the same comparison for the
+// uniform pool benchmarks).
+func BenchmarkPolicyPhase(b *testing.B) {
+	const (
+		submitters = 4
+		phaseBlock = 32 // jobs per phase before the workload flips
+	)
+	for _, pol := range []string{"ws-fine", "rp-coarse", "adaptive"} {
+		b.Run(pol, func(b *testing.B) {
+			cfg := xomp.Preset("xgomptb", benchWorkers)
+			cfg.Topology = numa.Synthetic(benchWorkers, 2)
+			cfg.Policy = xomp.Policy{Name: pol}
+			if pol == "adaptive" {
+				cfg.Policy.Interval = time.Millisecond
+				cfg.Policy.Hysteresis = 2
+			}
+			pool := xomp.MustPool(cfg)
+			fine := func(w *xomp.Worker) {
+				for i := 0; i < 800; i++ {
+					w.Spawn(func(*xomp.Worker) {})
+				}
+				w.TaskWait()
+			}
+			coarse := func(w *xomp.Worker) {
+				for i := 0; i < 8; i++ {
+					w.Spawn(func(*xomp.Worker) { simnuma.Spin(200_000) })
+				}
+				w.TaskWait()
+			}
+			var next atomic.Int64
+			b.ResetTimer()
+			start := time.Now()
+			var wg sync.WaitGroup
+			for s := 0; s < submitters; s++ {
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					for {
+						i := int(next.Add(1)) - 1
+						if i >= b.N {
+							return
+						}
+						body := fine
+						if (i/phaseBlock)%2 == 1 {
+							body = coarse
+						}
+						j, err := pool.Submit(body)
+						if err != nil {
+							b.Error(err)
+							return
+						}
+						if err := j.Wait(); err != nil {
+							b.Error(err)
+							return
+						}
+					}
+				}()
+			}
+			wg.Wait()
+			elapsed := time.Since(start)
+			b.StopTimer()
+			var switches uint64
+			if pol == "adaptive" {
+				switches = uint64(len(pool.PolicyTrace()))
+			}
+			if err := pool.Close(); err != nil {
+				b.Fatal(err)
+			}
+			if elapsed > 0 {
+				b.ReportMetric(float64(b.N)/elapsed.Seconds(), "jobs/sec")
+			}
+			if pol == "adaptive" {
+				b.ReportMetric(float64(switches), "switches")
+			}
+		})
 	}
 }
 

@@ -23,12 +23,22 @@
 // then includes each shard's active worker count and the quota-move
 // trajectory (the NWORKERS_ACTIVE story).
 //
+// -policy selects the balancing policy for every serving team: "static"
+// (the preset's DLB settings), a named fixed policy from the library, or
+// "adaptive" — the runtime controller that classifies workload
+// granularity from the load-signal plane and retunes the DLB
+// configuration live. -phase makes adaptive switching observable from the
+// CLI: it flips every submitter's workload mix between a fine-grained and
+// a coarse-grained preset at the given period, and the report prints the
+// policy-switch trace next to the quota trace.
+//
 // Usage:
 //
 //	loadgen -runtime xgomptb+naws -workers 8 -submitters 8 -jobs 20
 //	loadgen -mix fib,sort,nqueens -scale test -backlog 4 -v
 //	loadgen -workers 8 -shards 4 -skew 0.75 -jobs 40
 //	loadgen -workers 16 -shards 4 -skew 0.9 -elastic -budget 8
+//	loadgen -workers 8 -policy adaptive -phase 300ms -jobs 60
 package main
 
 import (
@@ -60,10 +70,18 @@ func main() {
 		skew       = flag.Float64("skew", 0, "fraction of each submitter's jobs pinned to shard 0 (hot-shard scenario; needs -shards > 1)")
 		elastic    = flag.Bool("elastic", false, "enable the elastic capacity controller (needs -shards > 1): shards keep full capacity but only -budget workers stay active, quota follows load")
 		budget     = flag.Int("budget", 0, "total active workers with -elastic (0 = half of -workers)")
+		policy     = flag.String("policy", "static", "balancing policy: "+strings.Join(xomp.PolicyNames(), "|"))
+		phase      = flag.Duration("phase", 0, "flip the workload mix between fine- and coarse-grained presets every period (makes -policy adaptive observable); overrides -mix")
 		noVerify   = flag.Bool("noverify", false, "skip per-job result verification")
 		verbose    = flag.Bool("v", false, "log every job")
 	)
 	flag.Parse()
+	if !xomp.ValidPolicyName(*policy) {
+		fatal(fmt.Errorf("-policy %q is not a policy (%s)", *policy, strings.Join(xomp.PolicyNames(), ", ")))
+	}
+	if *phase < 0 {
+		fatal(fmt.Errorf("-phase %v must be >= 0", *phase))
+	}
 	if *shards < 0 || (*shards > 0 && *workers%*shards != 0) {
 		fatal(fmt.Errorf("-shards %d must be positive and divide -workers %d", *shards, *workers))
 	}
@@ -97,25 +115,39 @@ func main() {
 	for i, name := range names {
 		names[i] = strings.TrimSpace(name)
 	}
+	// -phase alternates between a fine-grained and a coarse-grained mix
+	// preset instead of the static -mix list, so a phase-classifying
+	// adaptive policy has something to react to.
+	mixes := [][]string{names}
+	if *phase > 0 {
+		mixes = [][]string{{"fib", "nqueens"}, {"sort", "strassen"}}
+		names = []string{"fib", "nqueens", "|", "sort", "strassen"}
+	}
 
 	// One benchmark instance per submitter and mix entry, built before the
 	// clock starts so jobs/sec measures the task service, not sequential
 	// input generation. A submitter has at most one job in flight and
 	// RunTask re-initializes per-run state, so reuse across jobs is safe.
-	apps := make([][]bots.Benchmark, *submitters)
+	apps := make([][][]bots.Benchmark, *submitters)
 	for s := range apps {
-		apps[s] = make([]bots.Benchmark, len(names))
-		for m, name := range names {
-			b, err := bots.New(name, sc)
-			if err != nil {
-				fatal(err)
+		apps[s] = make([][]bots.Benchmark, len(mixes))
+		for x, mx := range mixes {
+			apps[s][x] = make([]bots.Benchmark, len(mx))
+			for m, name := range mx {
+				b, err := bots.New(name, sc)
+				if err != nil {
+					fatal(err)
+				}
+				apps[s][x][m] = b
 			}
-			apps[s][m] = b
 		}
 	}
 
 	cfg := xomp.Preset(*preset, *workers)
 	cfg.Backlog = *backlog
+	if *policy != "static" {
+		cfg.Policy.Name = *policy
+	}
 
 	// Either a single shared team or a NUMA-sharded pool serves the same
 	// submit/wait traffic; submit hides the difference (pin routes a job to
@@ -152,8 +184,8 @@ func main() {
 		if *elastic {
 			elasticNote = fmt.Sprintf(", elastic budget %d", sp.ActiveWorkers())
 		}
-		fmt.Printf("loadgen: %d submitters x %d jobs, mix [%s] at scale %s, on %s (%d shards x %d workers, skew %.0f%%%s)\n",
-			*submitters, *jobs, strings.Join(names, " "), sc, *preset, *shards, *workers / *shards, *skew*100, elasticNote)
+		fmt.Printf("loadgen: %d submitters x %d jobs, mix [%s] at scale %s, on %s (%d shards x %d workers, skew %.0f%%%s, policy %s)\n",
+			*submitters, *jobs, strings.Join(names, " "), sc, *preset, *shards, *workers / *shards, *skew*100, elasticNote, *policy)
 	} else {
 		cfg.Topology = numa.Synthetic(*workers, *zones)
 		p, err := xomp.NewPool(cfg)
@@ -163,8 +195,8 @@ func main() {
 		pool = p
 		submit = func(_ bool, fn xomp.TaskFunc) (*xomp.Job, error) { return p.Submit(fn) }
 		closePool = p.Close
-		fmt.Printf("loadgen: %d submitters x %d jobs, mix [%s] at scale %s, on %s (%d workers, %d zones)\n",
-			*submitters, *jobs, strings.Join(names, " "), sc, *preset, *workers, *zones)
+		fmt.Printf("loadgen: %d submitters x %d jobs, mix [%s] at scale %s, on %s (%d workers, %d zones, policy %s)\n",
+			*submitters, *jobs, strings.Join(names, " "), sc, *preset, *workers, *zones, *policy)
 	}
 
 	var (
@@ -183,9 +215,14 @@ func main() {
 		go func(s int) {
 			defer wg.Done()
 			for k := 0; k < *jobs; k++ {
-				m := (s + k) % len(names)
-				name := names[m]
-				b := apps[s][m]
+				x := 0
+				if *phase > 0 {
+					x = int(time.Since(start) / *phase) % len(mixes)
+				}
+				cur := mixes[x]
+				m := (s + k) % len(cur)
+				name := cur[m]
+				b := apps[s][x][m]
 				// The leading -skew fraction of every submitter's jobs is
 				// pinned to shard 0, front-loading the hot shard.
 				pin := *skew > 0 && k < int(*skew*float64(*jobs))
@@ -251,8 +288,16 @@ func main() {
 					mv.At.Round(time.Microsecond), mv.From, mv.To, mv.FromActive, mv.ToActive)
 			}
 		}
+		if *policy == "adaptive" {
+			for s := 0; s < sharded.Shards(); s++ {
+				printPolicyTrace(fmt.Sprintf("shard %d", s), sharded.Team(s).PolicyTrace())
+			}
+		}
 	} else {
 		recs = pool.Team().Profile().Jobs()
+		if *policy == "adaptive" {
+			printPolicyTrace("pool", pool.PolicyTrace())
+		}
 	}
 	if len(recs) > 0 {
 		queue := make([]time.Duration, 0, len(recs))
@@ -266,6 +311,15 @@ func main() {
 	if n := failures.Load(); n > 0 {
 		fmt.Fprintf(os.Stderr, "%d job(s) failed\n", n)
 		os.Exit(1)
+	}
+}
+
+// printPolicyTrace renders one serving team's adaptive retune history.
+func printPolicyTrace(who string, trace []xomp.PolicySwitch) {
+	fmt.Printf("policy (%s): %d switches by the adaptive controller\n", who, len(trace))
+	for _, sw := range trace {
+		fmt.Printf("  %10v  %s  =>  %s\n",
+			time.Duration(sw.At).Round(time.Microsecond), sw.From, sw.To)
 	}
 }
 

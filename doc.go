@@ -19,6 +19,16 @@
 // BenchmarkShardedPoolThroughput in bench_test.go measure jobs/sec by
 // preset, submitter count, and shard count.
 //
+// All balancing levels decide from one load-signal plane (internal/load):
+// per-worker EWMA-smoothed signals (queue depth, service time, task and
+// steal rates, idle ratio) published lock-free and consumed through
+// pluggable policy interfaces — victim selection, job dispatch, job
+// migration, quota moves. xomp.Config.Policy selects a named fixed policy
+// or "adaptive", the runtime controller that classifies workload
+// granularity from the plane and retunes the DLB configuration live
+// (loadgen -policy adaptive -phase 300ms shows it switching; dlbsweep
+// -policy all reports the fixed point it converges to per BOTS app).
+//
 // The public API lives in repro/xomp. ARCHITECTURE.md maps the paper's
 // sections onto the packages and traces a job end to end; cmd/README.md
 // documents the seven command-line tools. The root package exists to host

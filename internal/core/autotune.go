@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"time"
 
+	"repro/internal/load"
 	"repro/internal/prof"
 )
 
@@ -27,9 +28,10 @@ type Measurement struct {
 	Imbalance float64
 }
 
-// Retune replaces the team's DLB configuration. It must be called between
-// parallel regions, never while one is running or while the team is
-// serving jobs (serving workers read the DLB settings continuously).
+// Retune replaces the team's DLB configuration (both the stored Config
+// and the live settings). It must be called between parallel regions,
+// never while one is running or while the team is serving jobs; a live
+// team is retuned with RetuneLive instead.
 func (tm *Team) Retune(d DLBConfig) error {
 	tm.lifeMu.Lock()
 	defer tm.lifeMu.Unlock()
@@ -37,15 +39,30 @@ func (tm *Team) Retune(d DLBConfig) error {
 		return fmt.Errorf("core: Retune during a parallel region")
 	}
 	if svc := tm.svc.Load(); svc != nil && !svc.done.Load() {
-		return fmt.Errorf("core: Retune on a serving team (Close the service first)")
+		return fmt.Errorf("core: Retune on a serving team (use RetuneLive, or Close the service first)")
 	}
-	probe := tm.cfg
-	probe.DLB = d
-	if err := probe.validate(); err != nil {
+	if err := d.validate(tm.cfg.Sched); err != nil {
 		return err
 	}
 	tm.cfg.DLB = d
-	tm.dlbOn = d.Strategy != DLBNone
+	tm.dlb.Store(&d)
+	return nil
+}
+
+// RetuneLive atomically replaces the team's *effective* DLB configuration
+// while workers keep running — the retuning lever of the adaptive policy
+// controller. Workers read the settings through an atomic pointer once
+// per scheduling point, so a swap takes effect within one scheduling
+// point per worker with no synchronization barrier; an in-flight steal or
+// redirect finishes under the settings it started with. Unlike Retune it
+// does not rewrite Config().DLB (see Team.DLB for the live value). Safe
+// for any goroutine, in every team mode (it reads only cfg.Sched, which
+// is immutable after construction — never the mutable cfg.DLB).
+func (tm *Team) RetuneLive(d DLBConfig) error {
+	if err := d.validate(tm.cfg.Sched); err != nil {
+		return err
+	}
+	tm.dlb.Store(&d)
 	return nil
 }
 
@@ -86,28 +103,13 @@ func (tm *Team) AutoTune(workload TaskFunc) (DLBConfig, Measurement, error) {
 }
 
 // GuidelineFor maps a mean task duration to DLB settings following the
-// paper's Table IV: fine-grained tasks → NA-WS with small steal sizes and
-// fully local victims; coarse tasks → larger steals, with the coarsest
-// class on NA-RP. Plocal only matters on multi-zone topologies.
+// paper's Table IV. The duration is classified into the shared
+// granularity classes of the load-signal plane (load.GrainOf), then
+// mapped through DLBForGrain — the same class → settings table the
+// adaptive runtime controller uses, so a one-shot probe and a converged
+// controller agree.
 func GuidelineFor(meanTask time.Duration, zones int) DLBConfig {
-	ns := meanTask.Nanoseconds()
-	var cfg DLBConfig
-	switch {
-	case ns < 500: // ~10¹–10² cycles: smallest steals
-		cfg = DLBConfig{Strategy: DLBWorkSteal, NVictim: 1, NSteal: 1, TInterval: 100, PLocal: 1}
-	case ns < 5_000: // ~10² cycles class
-		cfg = DLBConfig{Strategy: DLBWorkSteal, NVictim: 2, NSteal: 8, TInterval: 100, PLocal: 1}
-	case ns < 50_000: // ~10³ cycles class
-		cfg = DLBConfig{Strategy: DLBWorkSteal, NVictim: 4, NSteal: 16, TInterval: 100, PLocal: 1}
-	case ns < 500_000: // 10³–10⁴ cycles: bigger steals, some remote
-		cfg = DLBConfig{Strategy: DLBWorkSteal, NVictim: 8, NSteal: 32, TInterval: 100, PLocal: 0.5}
-	default: // >10⁴ cycles: redirect-push with the largest steals
-		cfg = DLBConfig{Strategy: DLBRedirectPush, NVictim: 8, NSteal: 32, TInterval: 100, PLocal: 1}
-	}
-	if zones <= 1 {
-		cfg.PLocal = 1
-	}
-	return cfg
+	return DLBForGrain(load.GrainOf(float64(meanTask.Nanoseconds())), zones)
 }
 
 // snapshotExecuted copies the per-worker executed-task counters.

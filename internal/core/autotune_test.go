@@ -44,7 +44,7 @@ func TestRetune(t *testing.T) {
 	if err := tm.Retune(DLBConfig{Strategy: DLBWorkSteal, NVictim: 1, NSteal: 1, TInterval: 10, PLocal: 1}); err != nil {
 		t.Fatal(err)
 	}
-	if !tm.dlbOn || tm.cfg.DLB.Strategy != DLBWorkSteal {
+	if tm.DLB().Strategy != DLBWorkSteal || tm.cfg.DLB.Strategy != DLBWorkSteal {
 		t.Fatal("Retune did not install config")
 	}
 	// Invalid settings rejected, previous config retained.
@@ -58,7 +58,7 @@ func TestRetune(t *testing.T) {
 	if err := tm.Retune(DLBConfig{}); err != nil {
 		t.Fatal(err)
 	}
-	if tm.dlbOn {
+	if tm.DLB().Strategy != DLBNone {
 		t.Fatal("static retune left DLB on")
 	}
 	// Retune on GOMP teams must fail (DLB needs XQueue).

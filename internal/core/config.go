@@ -148,6 +148,10 @@ type Config struct {
 	Alloc   Alloc
 	// DLB configures dynamic load balancing; requires SchedXQueue.
 	DLB DLBConfig
+	// Policy selects a named balancing policy or the adaptive runtime
+	// controller; see the Policy type. The zero value keeps the static
+	// DLB configuration above.
+	Policy Policy
 	// Topology maps workers to NUMA zones. Zero value → detected topology.
 	Topology numa.Topology
 	// QueueSize is the per-SPSC-queue capacity for XQueue and the deque
@@ -228,23 +232,35 @@ func (c *Config) validate() error {
 	if c.Seed == 0 {
 		c.Seed = 1
 	}
-	d := &c.DLB
-	if d.Strategy != DLBNone {
-		if c.Sched != SchedXQueue {
-			return fmt.Errorf("core: DLB strategy %v requires SchedXQueue, got %v", d.Strategy, c.Sched)
-		}
-		if d.NVictim < 1 {
-			return fmt.Errorf("core: DLB NVictim must be >= 1, got %d", d.NVictim)
-		}
-		if d.NSteal < 1 {
-			return fmt.Errorf("core: DLB NSteal must be >= 1, got %d", d.NSteal)
-		}
-		if d.TInterval < 1 {
-			return fmt.Errorf("core: DLB TInterval must be >= 1, got %d", d.TInterval)
-		}
-		if d.PLocal < 0 || d.PLocal > 1 {
-			return fmt.Errorf("core: DLB PLocal must be in [0,1], got %v", d.PLocal)
-		}
+	if err := c.Policy.resolve(c); err != nil {
+		return err
+	}
+	return c.DLB.validate(c.Sched)
+}
+
+// validate checks a DLB configuration against the bounds of §IV-E for a
+// team on the given substrate. It is the shared check of Config
+// validation and of Retune/RetuneLive (which must not re-run policy
+// resolution — a named policy would silently replace the caller's
+// settings before they were ever checked).
+func (d *DLBConfig) validate(sched Sched) error {
+	if d.Strategy == DLBNone {
+		return nil
+	}
+	if sched != SchedXQueue {
+		return fmt.Errorf("core: DLB strategy %v requires SchedXQueue, got %v", d.Strategy, sched)
+	}
+	if d.NVictim < 1 {
+		return fmt.Errorf("core: DLB NVictim must be >= 1, got %d", d.NVictim)
+	}
+	if d.NSteal < 1 {
+		return fmt.Errorf("core: DLB NSteal must be >= 1, got %d", d.NSteal)
+	}
+	if d.TInterval < 1 {
+		return fmt.Errorf("core: DLB TInterval must be >= 1, got %d", d.TInterval)
+	}
+	if d.PLocal < 0 || d.PLocal > 1 {
+		return fmt.Errorf("core: DLB PLocal must be in [0,1], got %v", d.PLocal)
 	}
 	return nil
 }

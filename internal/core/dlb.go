@@ -1,8 +1,10 @@
 package core
 
 import (
+	"repro/internal/load"
 	"repro/internal/numa"
 	"repro/internal/prof"
+	"repro/internal/rng"
 )
 
 // The lock-less messaging protocol (§IV-B): each worker owns two padded
@@ -13,6 +15,11 @@ import (
 // (thiefID << 40) | victimRound when the pending request is stale. All
 // accesses are plain atomic loads and stores — overwrites between racing
 // thieves are tolerated by design and recovered by the thief timeout.
+//
+// The strategy and its tunables are read per scheduling point through the
+// team's atomic DLB pointer (Team.dlb), so the adaptive policy controller
+// can retune a live team; victim selection is delegated to the team's
+// load.VictimPolicy, consuming the worker's victimView.
 const (
 	roundBits = 40
 	roundMask = (uint64(1) << roundBits) - 1
@@ -21,17 +28,17 @@ const (
 )
 
 // thiefStep runs at every idle scheduling point. It counts idle visits and,
-// every TInterval visits, sends steal requests to NVictim victims chosen
-// with probability PLocal from the worker's own NUMA zone (Alg. 1).
-func (tm *Team) thiefStep(w *Worker) {
-	cfg := &tm.cfg.DLB
+// every TInterval visits, sends steal requests to NVictim victims chosen by
+// the team's victim policy (conditionally random by default, Alg. 1). cfg
+// is the effective DLB configuration the caller loaded for this visit.
+func (tm *Team) thiefStep(w *Worker, cfg *DLBConfig) {
 	w.timeoutCtr++
 	if w.timeoutCtr < cfg.TInterval {
 		return
 	}
 	w.timeoutCtr = 0
 	for i := 0; i < cfg.NVictim; i++ {
-		v := tm.pickVictim(w)
+		v := tm.pickVictim(w, cfg.PLocal)
 		if v < 0 {
 			return
 		}
@@ -41,51 +48,56 @@ func (tm *Team) thiefStep(w *Worker) {
 		if req&roundMask != round { // stale (curr < round, wrap-safe)
 			vw.request.Store(uint64(w.id)<<roundBits | round)
 			w.prof.Inc(prof.CntReqSent)
+			w.sig.Steal(1)
 		}
 	}
 }
 
-// pickVictim implements conditionally random victim selection: NUMA-local
-// with probability PLocal, NUMA-remote otherwise, never self, and never a
-// parked worker — a parked victim has drained its queues and stopped
-// handling requests, so targeting it would only waste the thief's round.
-// All candidate lists are in ascending id order, so the active set is
-// their prefix below the team's active bound. It returns -1 when no other
-// active worker exists.
-func (tm *Team) pickVictim(w *Worker) int {
-	act := int(tm.active.Load())
-	if act <= 1 || w.id >= act {
-		return -1
-	}
-	if w.rng.Bool(tm.cfg.DLB.PLocal) {
-		peers := numa.ActivePrefix(tm.top.Peers(w.zone), act)
-		if len(peers) > 1 {
-			idx := w.rng.Intn(len(peers) - 1)
-			v := peers[idx]
-			if v == w.id {
-				v = peers[len(peers)-1]
-			}
-			return v
-		}
-		// Alone in the zone: fall through to a remote pick.
-	}
-	if remotes := numa.ActivePrefix(tm.remotes[w.zone], act); len(remotes) > 0 {
-		return remotes[w.rng.Intn(len(remotes))]
-	}
-	// Single zone: any other active worker.
-	v := w.rng.Intn(act - 1)
-	if v >= w.id {
-		v++
-	}
-	return v
+// pickVictim delegates victim selection to the team's VictimPolicy. The
+// default, load.CondRandom, is the paper's conditionally random pick:
+// NUMA-local with probability plocal, NUMA-remote otherwise, never self,
+// and never a parked worker — a parked victim has drained its queues and
+// stopped handling requests, so targeting it would only waste the thief's
+// round. It returns -1 when no other active worker exists.
+func (tm *Team) pickVictim(w *Worker, plocal float64) int {
+	return tm.victim.Pick(&w.view, plocal)
+}
+
+// victimView adapts one worker to load.VictimView: the read-only window a
+// victim policy gets onto the team. All candidate lists are in ascending
+// id order, so the active set is their prefix below the team's active
+// bound; the slices alias the team's candidate tables and must not be
+// mutated.
+type victimView struct{ w *Worker }
+
+var _ load.VictimView = (*victimView)(nil)
+
+func (v *victimView) Thief() int  { return v.w.id }
+func (v *victimView) Active() int { return int(v.w.team.active.Load()) }
+
+func (v *victimView) LocalPeers() []int {
+	tm := v.w.team
+	return numa.ActivePrefix(tm.top.Peers(v.w.zone), int(tm.active.Load()))
+}
+
+func (v *victimView) RemotePeers() []int {
+	tm := v.w.team
+	return numa.ActivePrefix(tm.remotes[v.w.zone], int(tm.active.Load()))
+}
+
+func (v *victimView) Rand() *rng.State { return &v.w.rng }
+
+func (v *victimView) Signals(worker int) load.Signals {
+	return v.w.team.plane.Cell(worker).Snapshot()
 }
 
 // victimCheck runs whenever a worker finds a task to execute (it has become
 // a victim, Alg. 2). A request is valid when its round number equals the
 // victim's current round; the victim then applies the configured strategy
 // and increments its round to accept new requests — immediately for NA-WS,
-// or once the redirect completes for NA-RP (§IV-C).
-func (tm *Team) victimCheck(w *Worker) {
+// or once the redirect completes for NA-RP (§IV-C). cfg is the effective
+// DLB configuration the caller loaded for this scheduling point.
+func (tm *Team) victimCheck(w *Worker, cfg *DLBConfig) {
 	if w.handlingReq {
 		return // re-entrant scheduling point inside doLoadBalancing
 	}
@@ -103,16 +115,16 @@ func (tm *Team) victimCheck(w *Worker) {
 		w.round.Store(round + 1)
 		return
 	}
-	switch tm.cfg.DLB.Strategy {
+	switch cfg.Strategy {
 	case DLBWorkSteal:
 		w.handlingReq = true
-		tm.doWorkSteal(w, thief)
+		tm.doWorkSteal(w, thief, cfg)
 		w.handlingReq = false
 		w.round.Store(round + 1)
 	case DLBRedirectPush:
 		if w.redirectThief < 0 {
 			w.redirectThief = thief
-			w.redirectLeft = tm.cfg.DLB.NSteal
+			w.redirectLeft = cfg.NSteal
 			w.redirectedAny = false
 			// round advances in finishRedirect.
 		}
@@ -122,8 +134,7 @@ func (tm *Team) victimCheck(w *Worker) {
 // doWorkSteal is NA-WS (Alg. 4): migrate up to NSteal tasks from the
 // victim's own queues into the thief's queue. The round of stealing stops
 // when the victim runs dry, the thief's queue fills, or NSteal moved.
-func (tm *Team) doWorkSteal(w *Worker, thief int) {
-	cfg := &tm.cfg.DLB
+func (tm *Team) doWorkSteal(w *Worker, thief int, cfg *DLBConfig) {
 	moved := 0
 	for moved < cfg.NSteal {
 		if tm.sched.targetFull(w.id, thief) {

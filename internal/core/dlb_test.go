@@ -32,7 +32,7 @@ func TestPickVictimNeverSelf(t *testing.T) {
 	tm := MustTeam(cfg)
 	w := tm.workers[3]
 	for i := 0; i < 10000; i++ {
-		v := tm.pickVictim(w)
+		v := tm.pickVictim(w, tm.DLB().PLocal)
 		if v == 3 {
 			t.Fatal("picked self as victim")
 		}
@@ -48,9 +48,8 @@ func TestPickVictimRespectsPLocal(t *testing.T) {
 	tm := MustTeam(cfg)
 
 	count := func(w *Worker, plocal float64, draws int) (local, remote int) {
-		tm.cfg.DLB.PLocal = plocal
 		for i := 0; i < draws; i++ {
-			v := tm.pickVictim(w)
+			v := tm.pickVictim(w, plocal)
 			if tm.top.SameZone(w.id, v) {
 				local++
 			} else {
@@ -82,7 +81,7 @@ func TestPickVictimSingleWorkerZone(t *testing.T) {
 	tm := MustTeam(cfg)
 	w := tm.workers[0]
 	for i := 0; i < 100; i++ {
-		v := tm.pickVictim(w)
+		v := tm.pickVictim(w, tm.DLB().PLocal)
 		if v == 0 || v < 0 {
 			t.Fatalf("bad victim %d", v)
 		}
@@ -92,7 +91,7 @@ func TestPickVictimSingleWorkerZone(t *testing.T) {
 func TestPickVictimSoloTeam(t *testing.T) {
 	cfg := Preset("xgomptb+naws", 1)
 	tm := MustTeam(cfg)
-	if v := tm.pickVictim(tm.workers[0]); v != -1 {
+	if v := tm.pickVictim(tm.workers[0], 1); v != -1 {
 		t.Fatalf("solo team picked victim %d", v)
 	}
 }
@@ -119,7 +118,7 @@ func TestVictimHandlesRequestOnce(t *testing.T) {
 	round := victim.round.Load()
 	victim.request.Store(uint64(1)<<roundBits | (round & roundMask))
 
-	tm.victimCheck(victim)
+	tm.victimCheck(victim, tm.dlb.Load())
 	if got := victim.round.Load(); got != round+1 {
 		t.Fatalf("round after handling = %d, want %d", got, round+1)
 	}
@@ -139,7 +138,7 @@ func TestVictimHandlesRequestOnce(t *testing.T) {
 	}
 
 	// Replay the stale request: round no longer matches.
-	tm.victimCheck(victim)
+	tm.victimCheck(victim, tm.dlb.Load())
 	if got := tm.profile.Thread(0).Counter(prof.CntReqHandled); got != 1 {
 		t.Fatalf("stale request handled: %d", got)
 	}
@@ -156,7 +155,7 @@ func TestRedirectPushArming(t *testing.T) {
 
 	round := victim.round.Load()
 	victim.request.Store(uint64(1)<<roundBits | (round & roundMask))
-	tm.victimCheck(victim)
+	tm.victimCheck(victim, tm.dlb.Load())
 	if victim.redirectThief != 1 {
 		t.Fatalf("redirect not armed: thief=%d", victim.redirectThief)
 	}
@@ -238,18 +237,18 @@ func TestThiefTimeoutGating(t *testing.T) {
 	w := tm.workers[0]
 	w.beginRegion()
 	for i := 0; i < 9; i++ {
-		tm.thiefStep(w)
+		tm.thiefStep(w, tm.dlb.Load())
 	}
 	if got := tm.profile.Thread(0).Counter(prof.CntReqSent); got != 0 {
 		t.Fatalf("request sent before TInterval: %d", got)
 	}
-	tm.thiefStep(w)
+	tm.thiefStep(w, tm.dlb.Load())
 	if got := tm.profile.Thread(0).Counter(prof.CntReqSent); got != 1 {
 		t.Fatalf("requests after TInterval = %d, want 1", got)
 	}
 	// A pending (equal-round) request must not be overwritten.
 	for i := 0; i < 10; i++ {
-		tm.thiefStep(w)
+		tm.thiefStep(w, tm.dlb.Load())
 	}
 	if got := tm.profile.Thread(0).Counter(prof.CntReqSent); got != 1 {
 		t.Fatalf("pending request overwritten: sent=%d", got)

@@ -268,7 +268,7 @@ func TestParkedVictimNeverPicked(t *testing.T) {
 		tm.active.Store(3) // workers 3..7 parked (zone 1 fully parked)
 		for _, w := range []*Worker{tm.workers[0], tm.workers[2]} {
 			for i := 0; i < 4096; i++ {
-				v := tm.pickVictim(w)
+				v := tm.pickVictim(w, pl)
 				if v == w.id {
 					t.Fatalf("PLocal=%v: worker %d picked itself", pl, w.id)
 				}
@@ -282,7 +282,7 @@ func TestParkedVictimNeverPicked(t *testing.T) {
 		}
 		// A single active worker has no victims at all.
 		tm.active.Store(1)
-		if v := tm.pickVictim(tm.workers[0]); v != -1 {
+		if v := tm.pickVictim(tm.workers[0], pl); v != -1 {
 			t.Fatalf("PLocal=%v: lone active worker picked victim %d", pl, v)
 		}
 	}
@@ -298,7 +298,7 @@ func TestVictimDropsParkedThief(t *testing.T) {
 	round := v.round.Load() & roundMask
 	v.request.Store(uint64(3)<<roundBits | round) // thief 3 requests
 	tm.active.Store(3)                            // ... then parks
-	tm.victimCheck(v)
+	tm.victimCheck(v, tm.dlb.Load())
 	if got := v.round.Load(); got != round+1 {
 		t.Fatalf("round = %d, want %d (request from parked thief dropped)", got, round+1)
 	}

@@ -9,6 +9,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/load"
 	"repro/internal/prof"
 )
 
@@ -73,6 +74,11 @@ type service struct {
 	// every parked worker at once.
 	parkMu sync.Mutex
 	parkCh chan struct{}
+
+	// ctlStop stops the adaptive policy controller's background loop
+	// (nil when the policy is static or its loop is disabled); the
+	// controller goroutine is counted in wg like the workers.
+	ctlStop chan struct{}
 }
 
 // wakeChan returns the current park-wakeup channel. A parking worker must
@@ -122,6 +128,18 @@ func (tm *Team) Serve() error {
 	svc.wg.Add(tm.n)
 	for _, w := range tm.workers {
 		go tm.serve(svc, w)
+	}
+	if tm.cfg.Policy.Adaptive() {
+		// Fresh classifier state per Serve generation; the background
+		// loop is optional (Interval < 0 → manual PolicyTick only).
+		tm.polMu.Lock()
+		tm.adapt = load.NewAdaptive(load.AdaptiveConfig{Hysteresis: tm.cfg.Policy.Hysteresis})
+		tm.polMu.Unlock()
+		if tm.cfg.Policy.Interval > 0 {
+			svc.ctlStop = make(chan struct{})
+			svc.wg.Add(1)
+			go tm.runPolicyController(svc, svc.ctlStop)
+		}
 	}
 	return nil
 }
@@ -256,6 +274,11 @@ func (tm *Team) Close() error {
 	}
 	svc.stop.Store(true)
 	svc.wakeParked() // parked workers must observe stop and exit
+	if svc.ctlStop != nil {
+		// The teardown section runs exactly once (the done guard above),
+		// so this close cannot double-fire.
+		close(svc.ctlStop)
+	}
 	svc.wg.Wait()
 	svc.done.Store(true)
 	// Restore the full-capacity invariant regions (and the next Serve)
@@ -332,8 +355,9 @@ func (tm *Team) serve(svc *service, w *Worker) {
 			}
 			return
 		}
-		if tm.dlbOn {
-			tm.thiefStep(w)
+		w.sig.Idle()
+		if d := tm.dlb.Load(); d.Strategy != DLBNone {
+			tm.thiefStep(w, d)
 		}
 		if !stalling {
 			th.Begin(prof.EvStall)

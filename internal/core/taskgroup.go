@@ -56,8 +56,9 @@ func (w *Worker) waitFor(done func() bool) {
 			spins = 0
 			continue
 		}
-		if tm.dlbOn {
-			tm.thiefStep(w)
+		w.sig.Idle()
+		if d := tm.dlb.Load(); d.Strategy != DLBNone {
+			tm.thiefStep(w, d)
 		}
 		spins++
 		if spins > stallSpins {

@@ -5,8 +5,10 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/alloc"
+	"repro/internal/load"
 	"repro/internal/numa"
 	"repro/internal/prof"
 	"repro/internal/rng"
@@ -35,7 +37,28 @@ type Team struct {
 	// remotes[z] lists the workers outside zone z in ascending id order
 	// (victim selection; the ordering lets the DLB take active prefixes).
 	remotes [][]int
-	dlbOn   bool
+	// dlb is the team's *effective* DLB configuration, read through an
+	// atomic pointer at every scheduling point so the adaptive policy
+	// controller (and RetuneLive) can swap it while workers run. cfg.DLB
+	// keeps the construction-time value; Team.DLB reads the live one.
+	dlb atomic.Pointer[DLBConfig]
+	// victim selects steal victims for idle thieves (Config.Policy.Victim,
+	// default load.CondRandom — the paper's conditionally random pick).
+	victim load.VictimPolicy
+	// plane is the team's load-signal plane: one lock-free cell per
+	// worker, written by that worker's Sampler at a uniform cadence and
+	// aggregated by Team.Signals for the balancing policies above.
+	plane *load.Plane
+	// sigAgg/sigStamp cache the plane aggregation for sigCacheTTL so hot
+	// readers (a sharded pool's dispatcher on every Submit) do not rescan
+	// every worker cell.
+	sigAgg   atomic.Pointer[load.Signals]
+	sigStamp atomic.Int64
+	// polMu serializes adaptive-controller ticks; adapt is the
+	// controller's classifier state, created per Serve generation when
+	// the adaptive policy is on.
+	polMu sync.Mutex
+	adapt *load.Adaptive
 	// active is the size of the active worker set: workers [0, active)
 	// run, workers [active, n) park. Outside task-service mode it is
 	// always n (SetActive is service-only and Close restores it), so
@@ -72,7 +95,13 @@ func NewTeam(cfg Config) (*Team, error) {
 		return nil, err
 	}
 	tm := &Team{cfg: cfg, n: cfg.Workers, top: cfg.Topology}
-	tm.dlbOn = cfg.DLB.Strategy != DLBNone
+	d := cfg.DLB
+	tm.dlb.Store(&d)
+	tm.victim = cfg.Policy.Victim
+	if tm.victim == nil {
+		tm.victim = load.CondRandom{}
+	}
+	tm.plane = load.NewPlane(cfg.Workers)
 	tm.active.Store(int32(cfg.Workers))
 
 	switch cfg.Sched {
@@ -130,6 +159,8 @@ func NewTeam(cfg Config) (*Team, error) {
 			redirectThief: -1,
 		}
 		w.round.Store(1) // the protocol's round numbers start at 1
+		w.view.w = w
+		w.sig.Init(tm.plane.Cell(i))
 		tm.workers[i] = w
 	}
 	tm.remotes = make([][]int, tm.top.Zones)
@@ -163,8 +194,56 @@ func (tm *Team) Workers() int { return tm.n }
 // SetActive.
 func (tm *Team) ActiveWorkers() int { return int(tm.active.Load()) }
 
-// Config returns the validated configuration the team runs with.
+// Config returns the validated configuration the team runs with. Its DLB
+// field is the construction-time value; see DLB for the live one.
 func (tm *Team) Config() Config { return tm.cfg }
+
+// DLB returns the team's effective DLB configuration — cfg.DLB as
+// constructed, unless Retune/RetuneLive (e.g. the adaptive policy
+// controller) has since replaced it.
+func (tm *Team) DLB() DLBConfig { return *tm.dlb.Load() }
+
+// sigCacheTTL bounds how stale Team.Signals' worker-plane aggregation may
+// be. Queue depth, running jobs, and capacity are always read fresh; only
+// the per-worker EWMA aggregation (an O(workers) scan) is cached, so a
+// dispatcher calling Signals on every placement stays O(1).
+const sigCacheTTL = 200 * time.Microsecond
+
+// Signals returns the team's current load signals — the uniform surface
+// every balancing level consumes instead of probing team internals. For a
+// serving team, QueueDepth/Running/Capacity are the admission backlog,
+// jobs in flight, and active workers (the shard-level signals a pool's
+// dispatch, migration, and quota policies compare); ServiceNS, TaskRate,
+// StealRate, and IdleRatio aggregate the active workers' signal-plane
+// cells (what the adaptive controller classifies). Safe for any
+// goroutine.
+func (tm *Team) Signals() load.Signals {
+	now := tm.profile.Now()
+	var agg load.Signals
+	if p := tm.sigAgg.Load(); p != nil && now-tm.sigStamp.Load() < int64(sigCacheTTL) {
+		agg = *p
+	} else {
+		act := int(tm.active.Load())
+		agg = load.Aggregate(tm.plane.Snapshot()[:act])
+		// Publish a private copy: agg itself is overlaid with the fresh
+		// service-mode gauges below, which must not mutate what cached
+		// readers dereference.
+		cached := agg
+		tm.sigAgg.Store(&cached)
+		tm.sigStamp.Store(now)
+		tm.profile.SetLoadSignals(agg.ServiceNS, agg.TaskRate, agg.StealRate, agg.IdleRatio)
+	}
+	if tm.Serving() {
+		agg.QueueDepth = float64(tm.profile.QueueDepth())
+		running := float64(tm.ActiveJobs()) - agg.QueueDepth
+		if running < 0 {
+			running = 0
+		}
+		agg.Running = running
+	}
+	agg.Capacity = float64(tm.ActiveWorkers())
+	return agg
+}
 
 // Topology returns the team's NUMA topology.
 func (tm *Team) Topology() numa.Topology { return tm.top }
@@ -260,18 +339,20 @@ func (tm *Team) recordPanic(r any) {
 // victim), the body, completion accounting, and descriptor recycling.
 func (tm *Team) execute(w *Worker, t *Task) {
 	w.timeoutCtr = 0 // no longer idle
-	if tm.dlbOn {
-		tm.victimCheck(w)
+	if d := tm.dlb.Load(); d.Strategy != DLBNone {
+		tm.victimCheck(w, d)
 	}
 	th := w.prof
 	th.Begin(prof.EvTask)
 	prev := w.cur
 	w.cur = t
+	sample := w.sig.TaskStart()
 	if j := t.job; j != nil {
 		tm.runJobTask(w, t, j) // per-job panic isolation and cancellation
 	} else {
 		t.fn(w)
 	}
+	w.sig.TaskDone(sample)
 	w.cur = prev
 	th.End(prof.EvTask)
 
@@ -348,8 +429,9 @@ func (tm *Team) barrierWait(w *Worker) {
 		if tm.bar.done(w.id) {
 			break
 		}
-		if tm.dlbOn {
-			tm.thiefStep(w)
+		w.sig.Idle()
+		if d := tm.dlb.Load(); d.Strategy != DLBNone {
+			tm.thiefStep(w, d)
 		}
 		if !stalling {
 			th.Begin(prof.EvStall)

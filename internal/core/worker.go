@@ -3,6 +3,7 @@ package core
 import (
 	"sync/atomic"
 
+	"repro/internal/load"
 	"repro/internal/prof"
 	"repro/internal/rng"
 )
@@ -42,6 +43,13 @@ type Worker struct {
 	// parkCur rotates the hand-off target over the active set while this
 	// worker drains its queues to park (owner-only).
 	parkCur int
+
+	// sig samples this worker's load signals (service time, task rate,
+	// idle ratio, steal rate) into its cell of the team's signal plane
+	// (owner-only; the cell hand-off is lock-free).
+	sig load.Sampler
+	// view is the worker's read-only window for victim policies.
+	view victimView
 }
 
 // ID returns the worker's id in [0, Team.Workers()).

@@ -1,0 +1,390 @@
+package load
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/rng"
+)
+
+func TestCellPublishSnapshot(t *testing.T) {
+	var c Cell
+	if got := c.Snapshot(); got != (Signals{}) {
+		t.Fatalf("zero cell reads %+v", got)
+	}
+	in := Signals{QueueDepth: 3, Running: 2, Capacity: 4, ServiceNS: 1500, TaskRate: 10, StealRate: 0.5, IdleRatio: 0.25}
+	c.Publish(in)
+	if got := c.Snapshot(); got != in {
+		t.Fatalf("snapshot %+v, want %+v", got, in)
+	}
+}
+
+func TestCellConcurrentReaders(t *testing.T) {
+	var c Cell
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-done:
+					return
+				default:
+				}
+				s := c.Snapshot()
+				if s.QueueDepth < 0 || s.IdleRatio < 0 || s.IdleRatio > 1 {
+					t.Error("torn field value")
+					return
+				}
+			}
+		}()
+	}
+	for i := 0; i < 10000; i++ {
+		c.Publish(Signals{QueueDepth: float64(i % 7), IdleRatio: float64(i%5) / 4})
+	}
+	close(done)
+	wg.Wait()
+}
+
+func TestSignalsLoad(t *testing.T) {
+	s := Signals{QueueDepth: 3, Running: 2, Capacity: 2}
+	if got := s.Load(); got != 2.5 {
+		t.Fatalf("Load = %v, want 2.5", got)
+	}
+	// Zero capacity must not divide by zero.
+	if got := (Signals{QueueDepth: 4}).Load(); got != 4 {
+		t.Fatalf("zero-capacity Load = %v, want 4", got)
+	}
+}
+
+func TestAggregate(t *testing.T) {
+	per := []Signals{
+		{Capacity: 1, ServiceNS: 1000, TaskRate: 10, StealRate: 1, IdleRatio: 0.2, Running: 0.8},
+		{Capacity: 1, ServiceNS: 3000, TaskRate: 30, StealRate: 3, IdleRatio: 0.6, Running: 0.4},
+	}
+	agg := Aggregate(per)
+	if agg.Capacity != 2 || agg.TaskRate != 40 || agg.StealRate != 4 {
+		t.Fatalf("sums wrong: %+v", agg)
+	}
+	// Service time is task-rate weighted: (1000*10 + 3000*30)/40 = 2500.
+	if agg.ServiceNS != 2500 {
+		t.Fatalf("ServiceNS = %v, want 2500", agg.ServiceNS)
+	}
+	if agg.IdleRatio != 0.4 {
+		t.Fatalf("IdleRatio = %v, want 0.4", agg.IdleRatio)
+	}
+	if got := Aggregate(nil); got != (Signals{}) {
+		t.Fatalf("empty aggregate %+v", got)
+	}
+}
+
+// viewStub implements VictimView over a synthetic two-zone, eight-worker
+// team with a configurable active bound.
+type viewStub struct {
+	thief  int
+	active int
+	r      rng.State
+	sig    map[int]Signals
+}
+
+func (v *viewStub) Thief() int  { return v.thief }
+func (v *viewStub) Active() int { return v.active }
+func (v *viewStub) LocalPeers() []int {
+	// Zones of 4: [0..3] and [4..7], clipped to the active bound.
+	lo := v.thief / 4 * 4
+	var out []int
+	for w := lo; w < lo+4 && w < v.active; w++ {
+		out = append(out, w)
+	}
+	return out
+}
+func (v *viewStub) RemotePeers() []int {
+	lo := v.thief / 4 * 4
+	var out []int
+	for w := 0; w < v.active; w++ {
+		if w < lo || w >= lo+4 {
+			out = append(out, w)
+		}
+	}
+	return out
+}
+func (v *viewStub) Rand() *rng.State      { return &v.r }
+func (v *viewStub) Signals(w int) Signals { return v.sig[w] }
+
+func TestCondRandomNeverSelfNeverParked(t *testing.T) {
+	v := &viewStub{thief: 1, active: 6, r: rng.New(7)}
+	var cr CondRandom
+	for i := 0; i < 10000; i++ {
+		vic := cr.Pick(v, 0.5)
+		if vic == v.thief {
+			t.Fatal("picked self")
+		}
+		if vic < 0 || vic >= v.active {
+			t.Fatalf("victim %d outside active set [0,%d)", vic, v.active)
+		}
+	}
+	// A parked thief (id >= active) must not pick at all.
+	v.thief = 7
+	if vic := cr.Pick(v, 1); vic != -1 {
+		t.Fatalf("parked thief picked %d", vic)
+	}
+	// A solo team has no victim.
+	v2 := &viewStub{thief: 0, active: 1, r: rng.New(3)}
+	if vic := cr.Pick(v2, 1); vic != -1 {
+		t.Fatalf("solo pick %d", vic)
+	}
+}
+
+func TestCondRandomRespectsPLocal(t *testing.T) {
+	v := &viewStub{thief: 1, active: 8, r: rng.New(11)}
+	var cr CondRandom
+	count := func(plocal float64, draws int) (local, remote int) {
+		for i := 0; i < draws; i++ {
+			vic := cr.Pick(v, plocal)
+			if vic/4 == v.thief/4 {
+				local++
+			} else {
+				remote++
+			}
+		}
+		return
+	}
+	if local, remote := count(1, 3000); remote != 0 || local == 0 {
+		t.Errorf("plocal=1: local=%d remote=%d", local, remote)
+	}
+	if local, remote := count(0, 3000); local != 0 || remote == 0 {
+		t.Errorf("plocal=0: local=%d remote=%d", local, remote)
+	}
+	local, remote := count(0.5, 20000)
+	frac := float64(local) / float64(local+remote)
+	if frac < 0.45 || frac > 0.55 {
+		t.Errorf("plocal=0.5: local fraction %v", frac)
+	}
+}
+
+func TestBusyVictimPrefersBusy(t *testing.T) {
+	sig := map[int]Signals{}
+	for w := 0; w < 8; w++ {
+		sig[w] = Signals{IdleRatio: 0.9}
+	}
+	sig[2] = Signals{IdleRatio: 0.0} // the one busy worker
+	v := &viewStub{thief: 1, active: 8, r: rng.New(5), sig: sig}
+	var bv BusyVictim
+	hits := 0
+	const draws = 4000
+	for i := 0; i < draws; i++ {
+		if bv.Pick(v, 1) == 2 {
+			hits++
+		}
+	}
+	// With plocal=1 the candidates come from the 3 local peers; two draws
+	// preferring the busy one should pick worker 2 well above the uniform
+	// 1/3 a single draw would give.
+	if frac := float64(hits) / draws; frac < 0.45 {
+		t.Fatalf("busy victim picked %.0f%%, want > 45%%", frac*100)
+	}
+}
+
+func TestPowerOfTwoPrefersShallow(t *testing.T) {
+	depths := []float64{9, 0, 9, 9}
+	sig := func(i int) Signals { return Signals{QueueDepth: depths[i]} }
+	var p2 PowerOfTwo
+	r := rng.New(13)
+	wins := 0
+	const draws = 4000
+	for i := 0; i < draws; i++ {
+		if p2.Pick(r.Uint64(), len(depths), sig) == 1 {
+			wins++
+		}
+	}
+	// Shard 1 wins whenever it is drawn (p = 1 - (3/4 * 2/4) ≈ 0.44 with
+	// distinct-pair redraw; well above the uniform 1/4 either way).
+	if frac := float64(wins) / draws; frac < 0.35 {
+		t.Fatalf("shallow shard picked %.0f%%, want > 35%%", frac*100)
+	}
+	if got := p2.Pick(123, 1, sig); got != 0 {
+		t.Fatalf("single shard pick %d", got)
+	}
+}
+
+func TestLeastLoaded(t *testing.T) {
+	sigs := []Signals{
+		{QueueDepth: 4, Running: 2, Capacity: 2},
+		{QueueDepth: 0, Running: 1, Capacity: 2},
+		{QueueDepth: 2, Running: 2, Capacity: 2},
+	}
+	var ll LeastLoaded
+	for r := uint64(0); r < 50; r++ {
+		if got := ll.Pick(r, len(sigs), func(i int) Signals { return sigs[i] }); got != 1 {
+			t.Fatalf("least loaded pick %d, want 1", got)
+		}
+	}
+}
+
+func TestGapHalvingBulkMove(t *testing.T) {
+	g := GapHalving{Threshold: 2}
+	from, to, n := g.Plan([]Signals{
+		{QueueDepth: 8, Running: 2, Capacity: 2},
+		{QueueDepth: 0, Running: 0, Capacity: 2},
+	})
+	if from != 0 || to != 1 || n != 4 {
+		t.Fatalf("plan = (%d,%d,%d), want (0,1,4) — half the gap", from, to, n)
+	}
+}
+
+func TestGapHalvingRescue(t *testing.T) {
+	g := GapHalving{Threshold: 2}
+	// One queued job behind a fully busy shard, cold shard empty and idle:
+	// must move despite the sub-threshold gap.
+	from, to, n := g.Plan([]Signals{
+		{QueueDepth: 1, Running: 2, Capacity: 2},
+		{QueueDepth: 0, Running: 0, Capacity: 2},
+	})
+	if from != 0 || to != 1 || n != 1 {
+		t.Fatalf("rescue plan = (%d,%d,%d), want (0,1,1)", from, to, n)
+	}
+	// Hot shard still has adoption capacity: no rescue.
+	if _, _, n := g.Plan([]Signals{
+		{QueueDepth: 1, Running: 1, Capacity: 2},
+		{QueueDepth: 0, Running: 0, Capacity: 2},
+	}); n != 0 {
+		t.Fatalf("rescue moved %d with idle hot workers", n)
+	}
+	// Cold shard saturated: no rescue.
+	if _, _, n := g.Plan([]Signals{
+		{QueueDepth: 1, Running: 2, Capacity: 2},
+		{QueueDepth: 0, Running: 2, Capacity: 2},
+	}); n != 0 {
+		t.Fatalf("rescue moved %d onto a saturated cold shard", n)
+	}
+	// Balanced: nothing to do.
+	if _, _, n := g.Plan([]Signals{{}, {}}); n != 0 {
+		t.Fatalf("balanced plan moved %d", n)
+	}
+}
+
+func TestOversubscribedQuotaHysteresis(t *testing.T) {
+	q := &OversubscribedQuota{Hysteresis: 3}
+	min, max := []int{1, 1}, []int{4, 4}
+	hotCold := []Signals{
+		{QueueDepth: 4, Running: 2, Capacity: 2}, // oversubscribed
+		{QueueDepth: 0, Running: 0, Capacity: 2}, // idle donor
+	}
+	for i := 0; i < 2; i++ {
+		if _, _, ok := q.Plan(hotCold, min, max); ok {
+			t.Fatalf("moved on plan %d, before hysteresis", i+1)
+		}
+	}
+	from, to, ok := q.Plan(hotCold, min, max)
+	if !ok || from != 1 || to != 0 {
+		t.Fatalf("plan 3 = (%d,%d,%v), want (1,0,true)", from, to, ok)
+	}
+	// The streak resets after a move.
+	if _, _, ok := q.Plan(hotCold, min, max); ok {
+		t.Fatal("moved immediately after a move")
+	}
+	// A balanced interlude resets the streak too.
+	q2 := &OversubscribedQuota{Hysteresis: 2}
+	q2.Plan(hotCold, min, max)
+	q2.Plan([]Signals{{Running: 1, Capacity: 2}, {Running: 1, Capacity: 2}}, min, max)
+	if _, _, ok := q2.Plan(hotCold, min, max); ok {
+		t.Fatal("streak survived a balanced interlude")
+	}
+	// Bounds: a hot shard at its cap cannot receive.
+	q3 := &OversubscribedQuota{Hysteresis: 1}
+	capped := []Signals{
+		{QueueDepth: 4, Running: 2, Capacity: 4},
+		{QueueDepth: 0, Running: 0, Capacity: 2},
+	}
+	if _, _, ok := q3.Plan(capped, min, []int{4, 4}); ok {
+		t.Fatal("receiver above max accepted quota")
+	}
+}
+
+func TestGrainOf(t *testing.T) {
+	cases := []struct {
+		ns   float64
+		want Grain
+	}{
+		{0, GrainUnknown}, {100, GrainFine}, {2_000, GrainSmall},
+		{20_000, GrainMid}, {200_000, GrainCoarse}, {2_000_000, GrainXCoarse},
+	}
+	for _, c := range cases {
+		if got := GrainOf(c.ns); got != c.want {
+			t.Errorf("GrainOf(%v) = %v, want %v", c.ns, got, c.want)
+		}
+	}
+}
+
+func TestAdaptiveGuardBand(t *testing.T) {
+	a := NewAdaptive(AdaptiveConfig{Hysteresis: 1, GuardBand: 1.25})
+	mid := Signals{ServiceNS: 20_000, TaskRate: 100}
+	if _, sw := a.Observe(mid); !sw {
+		t.Fatal("initial class not established")
+	}
+	// Hovering just across the mid/coarse boundary (50µs) must never
+	// switch, no matter how long it persists: 55µs is inside the 25%
+	// guard band.
+	for i := 0; i < 20; i++ {
+		if _, sw := a.Observe(Signals{ServiceNS: 55_000, TaskRate: 100}); sw {
+			t.Fatalf("switched inside the guard band on observation %d", i)
+		}
+	}
+	// Clearing the boundary by the margin switches (with hysteresis 1).
+	g, sw := a.Observe(Signals{ServiceNS: 70_000, TaskRate: 100})
+	if !sw || g != GrainCoarse {
+		t.Fatalf("observation beyond the band gave (%v, %v)", g, sw)
+	}
+	// Same on the way down: 45µs hovers, 35µs switches back.
+	for i := 0; i < 20; i++ {
+		if _, sw := a.Observe(Signals{ServiceNS: 45_000, TaskRate: 100}); sw {
+			t.Fatal("downward hover switched inside the guard band")
+		}
+	}
+	if g, sw := a.Observe(Signals{ServiceNS: 35_000, TaskRate: 100}); !sw || g != GrainMid {
+		t.Fatalf("downward clear gave (%v, %v)", g, sw)
+	}
+}
+
+func TestAdaptiveHysteresisAndSwitching(t *testing.T) {
+	a := NewAdaptive(AdaptiveConfig{Hysteresis: 2})
+	fine := Signals{ServiceNS: 200, TaskRate: 1000}
+	coarse := Signals{ServiceNS: 1_000_000, TaskRate: 100}
+
+	// Establishing the first class takes the hysteresis too.
+	if _, sw := a.Observe(fine); sw {
+		t.Fatal("switched on one observation")
+	}
+	g, sw := a.Observe(fine)
+	if !sw || g != GrainFine {
+		t.Fatalf("fine not established: (%v, %v)", g, sw)
+	}
+	// One coarse blip must not flip the class...
+	if _, sw := a.Observe(coarse); sw {
+		t.Fatal("switched on a single blip")
+	}
+	// ...and returning to fine resets the candidate streak.
+	a.Observe(fine)
+	if _, sw := a.Observe(coarse); sw {
+		t.Fatal("streak survived an interleaved fine observation")
+	}
+	// A sustained coarse phase switches exactly once.
+	g, sw = a.Observe(coarse)
+	if !sw || g != GrainXCoarse {
+		t.Fatalf("coarse not established: (%v, %v)", g, sw)
+	}
+	if a.Current() != GrainXCoarse {
+		t.Fatalf("Current = %v", a.Current())
+	}
+	// Idle observations never disturb the established class.
+	for i := 0; i < 10; i++ {
+		if _, sw := a.Observe(Signals{}); sw {
+			t.Fatal("idle observation switched the class")
+		}
+	}
+	if a.Current() != GrainXCoarse {
+		t.Fatal("idle observations changed the class")
+	}
+}

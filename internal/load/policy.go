@@ -1,0 +1,283 @@
+package load
+
+import "repro/internal/rng"
+
+// Policy interfaces — one per balancing level. Implementations decide
+// *where* work or capacity should move; the callers own the mechanism
+// (steal protocol, job migration, SetActive) and the cadence. All
+// decisions are made from Signals, never by probing another layer's
+// internals, so any level can be re-pointed at a different policy without
+// touching the mechanisms.
+
+// VictimView is what a victim-selection policy may consult when picking a
+// steal victim for an idle worker (the thief). Implementations are
+// provided by the runtime per worker; all methods are cheap and
+// allocation-free.
+type VictimView interface {
+	// Thief is the requesting worker's id.
+	Thief() int
+	// Active is the team's active-worker bound: workers [0, Active) run,
+	// the rest are parked and must not be picked.
+	Active() int
+	// LocalPeers lists the active workers in the thief's NUMA zone in
+	// ascending id order (the thief included).
+	LocalPeers() []int
+	// RemotePeers lists the active workers outside the thief's zone in
+	// ascending id order.
+	RemotePeers() []int
+	// Rand is the thief's private RNG.
+	Rand() *rng.State
+	// Signals returns worker w's current load signals from the team's
+	// signal plane.
+	Signals(w int) Signals
+}
+
+// VictimPolicy selects a steal victim for an idle worker. plocal is the
+// configured probability of preferring a NUMA-local victim (§IV-E's
+// Plocal). Pick returns a worker id, or -1 when no victim exists.
+type VictimPolicy interface {
+	Pick(v VictimView, plocal float64) int
+}
+
+// CondRandom is the paper's conditionally random victim selection
+// (§IV-B): NUMA-local with probability plocal, NUMA-remote otherwise,
+// never self, never parked. A thief alone in its zone falls through to a
+// remote pick; a single-zone team picks any other active worker.
+type CondRandom struct{}
+
+func (CondRandom) Pick(v VictimView, plocal float64) int {
+	act := v.Active()
+	t := v.Thief()
+	if act <= 1 || t >= act {
+		return -1
+	}
+	if v.Rand().Bool(plocal) {
+		peers := v.LocalPeers()
+		if len(peers) > 1 {
+			idx := v.Rand().Intn(len(peers) - 1)
+			vic := peers[idx]
+			if vic == t {
+				vic = peers[len(peers)-1]
+			}
+			return vic
+		}
+		// Alone in the zone: fall through to a remote pick.
+	}
+	if remotes := v.RemotePeers(); len(remotes) > 0 {
+		return remotes[v.Rand().Intn(len(remotes))]
+	}
+	// Single zone: any other active worker.
+	vic := v.Rand().Intn(act - 1)
+	if vic >= t {
+		vic++
+	}
+	return vic
+}
+
+// BusyVictim is signal-aware victim selection: draw two candidates with
+// CondRandom and keep the one whose signal plane shows the lower idle
+// ratio — a busier worker is likelier to hold stealable tasks, so fewer
+// requests land on empty queues (NREQ_SRC_EMPTY). Falls back to plain
+// CondRandom when the draws coincide.
+type BusyVictim struct{}
+
+func (BusyVictim) Pick(v VictimView, plocal float64) int {
+	var cr CondRandom
+	a := cr.Pick(v, plocal)
+	if a < 0 {
+		return a
+	}
+	b := cr.Pick(v, plocal)
+	if b < 0 || b == a {
+		return a
+	}
+	if v.Signals(b).IdleRatio < v.Signals(a).IdleRatio {
+		return b
+	}
+	return a
+}
+
+// DispatchPolicy places one incoming job on a shard. r is a fresh uniform
+// 64-bit random draw (so stateless policies need no RNG of their own),
+// n the shard count, and sig returns shard i's current signals. Pick
+// returns a shard index in [0, n).
+type DispatchPolicy interface {
+	Pick(r uint64, n int, sig func(int) Signals) int
+}
+
+// PowerOfTwo is power-of-two-choices placement: draw two distinct shards,
+// compare their admission queue depths, and take the shallower (ties
+// break to the fewer running jobs, then to the first draw). Two signal
+// reads per placement, no shared coordination point, and an expected
+// max-load exponentially better than one random choice.
+type PowerOfTwo struct{}
+
+func (PowerOfTwo) Pick(r uint64, n int, sig func(int) Signals) int {
+	if n <= 1 {
+		return 0
+	}
+	a := int(r % uint64(n))
+	b := int((r >> 32) % uint64(n))
+	if a == b {
+		b = (b + 1) % n
+	}
+	sa, sb := sig(a), sig(b)
+	switch {
+	case sb.QueueDepth < sa.QueueDepth:
+		return b
+	case sa.QueueDepth < sb.QueueDepth:
+		return a
+	case sb.Running < sa.Running:
+		return b
+	}
+	return a
+}
+
+// LeastLoaded scans every shard and places on the minimum Load() (queued
+// plus running work over active capacity). O(n) signal reads per
+// placement — the accuracy end of the dispatch spectrum, for small shard
+// counts or placement-sensitive tenants.
+type LeastLoaded struct{}
+
+func (LeastLoaded) Pick(r uint64, n int, sig func(int) Signals) int {
+	if n <= 1 {
+		return 0
+	}
+	best := int(r % uint64(n)) // random start breaks systematic ties
+	bestLoad := sig(best).Load()
+	for i := 0; i < n; i++ {
+		if i == best {
+			continue
+		}
+		if l := sig(i).Load(); l < bestLoad {
+			best, bestLoad = i, l
+		}
+	}
+	return best
+}
+
+// MigratePolicy plans one round of whole-job migration between shards
+// from a snapshot of every shard's signals. Plan returns the donor, the
+// receiver, and how many queued jobs to move; n == 0 means no move.
+type MigratePolicy interface {
+	Plan(shards []Signals) (from, to, n int)
+}
+
+// GapHalving is the second-level balancer's default plan: find the shards
+// with the deepest and shallowest admission queues and, when the gap
+// reaches Threshold, move half the gap (halving can never invert the
+// imbalance, so repeated application converges). Below the threshold only
+// a *rescue* moves: a queued job stuck behind a shard whose active
+// workers are all occupied, while the coldest shard sits empty with idle
+// capacity, must always drain — it would otherwise wait out the hot
+// shard's running work — whereas a forced move between two live shards
+// would just ping-pong the job back on the next scan.
+type GapHalving struct {
+	// Threshold is the minimum hot-cold queue-depth gap that triggers a
+	// bulk move. Values below 1 behave as 1.
+	Threshold int
+}
+
+func (g GapHalving) Plan(shards []Signals) (from, to, n int) {
+	if len(shards) < 2 {
+		return 0, 0, 0
+	}
+	hot, cold := -1, -1
+	var hi, lo, coldRunning float64
+	for i, s := range shards {
+		if hot < 0 || s.QueueDepth > hi {
+			hot, hi = i, s.QueueDepth
+		}
+		// Equal-depth ties prefer the shard with the fewest running jobs:
+		// depth alone cannot distinguish a shard that is busily draining
+		// from one whose workers are wedged on long-running jobs, so at
+		// least steer migrated jobs toward real adoption capacity.
+		if cold < 0 || s.QueueDepth < lo || (s.QueueDepth == lo && s.Running < coldRunning) {
+			cold, lo, coldRunning = i, s.QueueDepth, s.Running
+		}
+	}
+	if hot == cold {
+		return 0, 0, 0
+	}
+	threshold := float64(g.Threshold)
+	if threshold < 1 {
+		threshold = 1
+	}
+	gap := hi - lo
+	moves := int(gap / 2)
+	if gap < threshold || moves < 1 {
+		hotS, coldS := shards[hot], shards[cold]
+		if hi == 0 || lo != 0 ||
+			hotS.Running < hotS.Capacity ||
+			coldS.Running+coldS.QueueDepth >= coldS.Capacity {
+			return 0, 0, 0
+		}
+		moves = 1
+	}
+	return hot, cold, moves
+}
+
+// QuotaPolicy plans one worker-quota move between shards from a snapshot
+// of every shard's signals and the per-shard active-worker bounds. Plan
+// returns the donor, the receiver, and whether a move should happen now.
+// Implementations may be stateful (hysteresis); callers must serialize
+// Plan calls on one instance.
+type QuotaPolicy interface {
+	Plan(shards []Signals, min, max []int) (from, to int, ok bool)
+}
+
+// OversubscribedQuota is the elastic controller's default plan: the shard
+// whose load (queued + running jobs) most oversubscribes its active
+// workers receives one worker of quota from the shard with the most idle
+// active capacity — but only after the same hot candidate has persisted
+// for Hysteresis consecutive Plan calls, the damping that keeps a
+// transient burst from stealing a worker the donor is about to need back.
+// The streak resets when a plan is returned, whether or not the caller
+// manages to apply it: a SetActive on a serving shard can only fail while
+// the pool is closing, where re-accumulating the streak costs nothing.
+type OversubscribedQuota struct {
+	// Hysteresis is how many consecutive plans the same shard must stay
+	// the oversubscribed candidate before quota moves. Values below 1
+	// behave as 1 (move on first sight).
+	Hysteresis int
+
+	lastHot int
+	streak  int
+}
+
+func (q *OversubscribedQuota) Plan(shards []Signals, min, max []int) (from, to int, ok bool) {
+	hot, cold := -1, -1
+	var hotLoad, hotAct, coldLoad, coldAct float64
+	for s, sig := range shards {
+		act := sig.Capacity
+		load := sig.QueueDepth + sig.Running
+		// Hot candidates are oversubscribed (more live jobs than active
+		// workers) and still below their cap; rank by load/active.
+		if load > act && int(act) < max[s] {
+			if hot < 0 || load*hotAct > hotLoad*act {
+				hot, hotLoad, hotAct = s, load, act
+			}
+		}
+		// Donors have at least one genuinely idle active worker and are
+		// above their floor; rank by most idle capacity.
+		if load < act && int(act) > min[s] {
+			if cold < 0 || act-load > coldAct-coldLoad {
+				cold, coldLoad, coldAct = s, load, act
+			}
+		}
+	}
+	if hot < 0 || cold < 0 || hot == cold {
+		q.lastHot, q.streak = -1, 0
+		return 0, 0, false
+	}
+	if hot != q.lastHot {
+		q.lastHot, q.streak = hot, 1
+	} else {
+		q.streak++
+	}
+	if q.streak < q.Hysteresis {
+		return 0, 0, false
+	}
+	q.lastHot, q.streak = -1, 0
+	return cold, hot, true
+}

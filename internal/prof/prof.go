@@ -17,6 +17,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"math"
 	"sort"
 	"strings"
 	"sync"
@@ -220,7 +221,37 @@ type Profile struct {
 	// controller moving quota between shards is visible as steps in this
 	// gauge (and as PARK timeline segments on the parked threads).
 	workersActive atomic.Int64
+
+	// Load-signal gauges: the most recent aggregation of the team's
+	// load-signal plane (internal/load) — EWMA mean task service time in
+	// ns, task completion rate and steal-request rate per second, and the
+	// idle ratio. Written whenever Team.Signals refreshes its aggregate;
+	// float bits in atomics so any goroutine can read them live.
+	sigServiceNS atomic.Uint64
+	sigTaskRate  atomic.Uint64
+	sigStealRate atomic.Uint64
+	sigIdleRatio atomic.Uint64
+
+	// Policy switches: the adaptive controller's retune trace (the
+	// POLICY_SWITCH timeline), a bounded ring like the job record log.
+	polMu       sync.Mutex
+	polSwitches []PolicySwitch
+	polHead     int
+	polTotal    uint64
 }
+
+// PolicySwitch records one adaptive-policy retune: at time At (ns since
+// the profile base) the controller replaced configuration From with To
+// (human-readable descriptions; To is prefixed with the granularity class
+// that triggered the switch).
+type PolicySwitch struct {
+	At   int64  `json:"at"`
+	From string `json:"from"`
+	To   string `json:"to"`
+}
+
+// MaxPolicySwitches bounds the retained policy-switch trace.
+const MaxPolicySwitches = 1024
 
 // New returns a Profile for workers threads. When timeline is false the
 // event-recording methods become cheap no-ops and only counters are kept.
@@ -307,6 +338,62 @@ func (p *Profile) IncMigratedOut() { p.migratedOut.Add(1) }
 // second-level balancer moved into and out of this team.
 func (p *Profile) JobsMigrated() (in, out uint64) {
 	return p.migratedIn.Load(), p.migratedOut.Load()
+}
+
+// SetLoadSignals updates the load-signal gauges: the EWMA mean task
+// service time (ns), task and steal-request rates (per second), and idle
+// ratio of the team's signal plane. Safe for any goroutine.
+func (p *Profile) SetLoadSignals(serviceNS, taskRate, stealRate, idleRatio float64) {
+	p.sigServiceNS.Store(math.Float64bits(serviceNS))
+	p.sigTaskRate.Store(math.Float64bits(taskRate))
+	p.sigStealRate.Store(math.Float64bits(stealRate))
+	p.sigIdleRatio.Store(math.Float64bits(idleRatio))
+}
+
+// LoadSignals returns the load-signal gauges last set by SetLoadSignals.
+func (p *Profile) LoadSignals() (serviceNS, taskRate, stealRate, idleRatio float64) {
+	return math.Float64frombits(p.sigServiceNS.Load()),
+		math.Float64frombits(p.sigTaskRate.Load()),
+		math.Float64frombits(p.sigStealRate.Load()),
+		math.Float64frombits(p.sigIdleRatio.Load())
+}
+
+// RecordPolicySwitch appends one adaptive-policy retune to the bounded
+// policy-switch trace. Safe for any goroutine.
+func (p *Profile) RecordPolicySwitch(s PolicySwitch) {
+	p.polMu.Lock()
+	if len(p.polSwitches) < MaxPolicySwitches {
+		p.polSwitches = append(p.polSwitches, s)
+	} else {
+		p.polSwitches[p.polHead] = s
+		p.polHead++
+		if p.polHead == len(p.polSwitches) {
+			p.polHead = 0
+		}
+	}
+	p.polTotal++
+	p.polMu.Unlock()
+}
+
+// PolicySwitches returns a copy of the retained policy-switch trace in
+// switch order (the most recent MaxPolicySwitches; PolicySwitchTotal
+// counts all).
+func (p *Profile) PolicySwitches() []PolicySwitch {
+	p.polMu.Lock()
+	out := make([]PolicySwitch, 0, len(p.polSwitches))
+	out = append(out, p.polSwitches[p.polHead:]...)
+	out = append(out, p.polSwitches[:p.polHead]...)
+	p.polMu.Unlock()
+	return out
+}
+
+// PolicySwitchTotal returns how many policy switches have been recorded
+// over the profile's lifetime, including evicted ones.
+func (p *Profile) PolicySwitchTotal() uint64 {
+	p.polMu.Lock()
+	n := p.polTotal
+	p.polMu.Unlock()
+	return n
 }
 
 // SetWorkersActive sets the NWORKERS_ACTIVE gauge. The team writes it on
@@ -427,6 +514,13 @@ type Snapshot struct {
 	// WorkersActive is the NWORKERS_ACTIVE gauge at snapshot time (0 in
 	// dumps predating elastic capacity; treat 0 as "all workers active").
 	WorkersActive int64 `json:"nworkers_active,omitempty"`
+	// Load-signal gauges at snapshot time (see SetLoadSignals) and the
+	// adaptive controller's policy-switch trace.
+	SigServiceNS   float64        `json:"sig_service_ns,omitempty"`
+	SigTaskRate    float64        `json:"sig_task_rate,omitempty"`
+	SigStealRate   float64        `json:"sig_steal_rate,omitempty"`
+	SigIdleRatio   float64        `json:"sig_idle_ratio,omitempty"`
+	PolicySwitches []PolicySwitch `json:"policy_switches,omitempty"`
 }
 
 // Snapshot captures the current state. The per-thread counters and events
@@ -445,6 +539,8 @@ func (p *Profile) Snapshot() Snapshot {
 	s.QueueDepth = p.QueueDepth()
 	s.JobsMigratedIn, s.JobsMigratedOut = p.JobsMigrated()
 	s.WorkersActive = p.WorkersActive()
+	s.SigServiceNS, s.SigTaskRate, s.SigStealRate, s.SigIdleRatio = p.LoadSignals()
+	s.PolicySwitches = p.PolicySwitches()
 	return s
 }
 

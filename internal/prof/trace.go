@@ -10,45 +10,66 @@ import (
 // ExportTraceEvents writes the snapshot's timeline in the Chrome
 // trace-event format (the JSON array form), loadable in chrome://tracing
 // or Perfetto. Each worker becomes a thread; each timeline record becomes
-// a complete ("X") event with microsecond timestamps. This complements
-// the paper's ASCII summaries with an interactive view of the same data.
+// a complete ("X") event with microsecond timestamps, and each adaptive
+// policy switch becomes an instant ("i") POLICY_SWITCH event on a
+// synthetic controller thread (tid = worker count), so retunes line up
+// against the worker rows they affected. This complements the paper's
+// ASCII summaries with an interactive view of the same data.
 func (s Snapshot) ExportTraceEvents(w io.Writer) error {
 	bw := bufio.NewWriter(w)
 	if _, err := bw.WriteString("[\n"); err != nil {
 		return err
 	}
 	type traceEvent struct {
-		Name string  `json:"name"`
-		Ph   string  `json:"ph"`
-		TS   float64 `json:"ts"`  // microseconds
-		Dur  float64 `json:"dur"` // microseconds
-		PID  int     `json:"pid"`
-		TID  int     `json:"tid"`
+		Name string         `json:"name"`
+		Ph   string         `json:"ph"`
+		TS   float64        `json:"ts"`            // microseconds
+		Dur  float64        `json:"dur,omitempty"` // microseconds
+		PID  int            `json:"pid"`
+		TID  int            `json:"tid"`
+		S    string         `json:"s,omitempty"` // instant-event scope
+		Args map[string]any `json:"args,omitempty"`
 	}
 	first := true
+	emit := func(ev traceEvent) error {
+		if !first {
+			if _, err := bw.WriteString(",\n"); err != nil {
+				return err
+			}
+		}
+		first = false
+		data, err := json.Marshal(ev)
+		if err != nil {
+			return fmt.Errorf("prof: trace export: %w", err)
+		}
+		_, err = bw.Write(data)
+		return err
+	}
 	for tid := 0; tid < s.Workers; tid++ {
 		for _, r := range s.Events[tid] {
-			if !first {
-				if _, err := bw.WriteString(",\n"); err != nil {
-					return err
-				}
-			}
-			first = false
-			ev := traceEvent{
+			if err := emit(traceEvent{
 				Name: r.Ev.String(),
 				Ph:   "X",
 				TS:   float64(r.Start) / 1e3,
 				Dur:  float64(r.End-r.Start) / 1e3,
 				PID:  1,
 				TID:  tid,
-			}
-			data, err := json.Marshal(ev)
-			if err != nil {
-				return fmt.Errorf("prof: trace export: %w", err)
-			}
-			if _, err := bw.Write(data); err != nil {
+			}); err != nil {
 				return err
 			}
+		}
+	}
+	for _, ps := range s.PolicySwitches {
+		if err := emit(traceEvent{
+			Name: "POLICY_SWITCH",
+			Ph:   "i",
+			TS:   float64(ps.At) / 1e3,
+			PID:  1,
+			TID:  s.Workers, // the controller's own row
+			S:    "p",       // process-scoped marker line
+			Args: map[string]any{"from": ps.From, "to": ps.To},
+		}); err != nil {
+			return err
 		}
 	}
 	if _, err := bw.WriteString("\n]\n"); err != nil {

@@ -121,6 +121,50 @@ func (s *Sample) String() string {
 	return fmt.Sprintf("%.4gs ±%.2gs (n=%d)", s.mean, s.CI95(), s.n)
 }
 
+// EWMA is an exponentially weighted moving average: each Update moves the
+// value a fixed fraction (the smoothing factor alpha) toward the new
+// observation, so recent observations dominate while older ones decay
+// geometrically. The load-signal plane uses it to smooth per-worker
+// samples (queue depth, service time, idle ratio) into stable signals
+// without retaining history. The zero value is empty; the first Update
+// adopts the observation unsmoothed so a fresh signal does not start from
+// a meaningless zero.
+type EWMA struct {
+	alpha float64
+	value float64
+	set   bool
+}
+
+// NewEWMA returns an EWMA with the given smoothing factor in (0, 1];
+// higher alpha reacts faster, lower alpha smooths harder. Out-of-range
+// alphas are clamped into (0, 1] (non-positive becomes 0.2, the plane's
+// default).
+func NewEWMA(alpha float64) EWMA {
+	if alpha <= 0 {
+		alpha = 0.2
+	}
+	if alpha > 1 {
+		alpha = 1
+	}
+	return EWMA{alpha: alpha}
+}
+
+// Update folds one observation into the average and returns the new value.
+func (e *EWMA) Update(x float64) float64 {
+	if !e.set {
+		e.value, e.set = x, true
+		return x
+	}
+	e.value += e.alpha * (x - e.value)
+	return e.value
+}
+
+// Value returns the current smoothed value (0 when no Update has run).
+func (e *EWMA) Value() float64 { return e.value }
+
+// Set reports whether at least one observation has been folded in.
+func (e *EWMA) Set() bool { return e.set }
+
 // Speedup summarizes a ratio of two samples (baseline mean over variant
 // mean) with a first-order propagated uncertainty.
 func Speedup(baseline, variant *Sample) (ratio, halfWidth float64) {

@@ -1,0 +1,59 @@
+#!/bin/sh
+# benchdiff: run the pool benchmarks twice — once with the presets' static
+# DLB configuration and once under the adaptive policy controller
+# (REPRO_BENCH_POLICY=adaptive, see applyBenchPolicy in bench_test.go) —
+# and print a jobs/sec comparison table. The bench-smoke CI job runs this
+# with the default -benchtime 1x, so the adaptive path is exercised (and
+# compiled, and non-panicking) on every push even though a 1x run is not a
+# statistically meaningful measurement. Set BENCHTIME=3s for real numbers.
+set -eu
+cd "$(dirname "$0")/.."
+
+benchtime="${BENCHTIME:-1x}"
+pattern="${BENCHPATTERN:-BenchmarkPoolThroughput\$|BenchmarkElasticShardedPool\$|BenchmarkPolicyPhase\$}"
+
+run() {
+	REPRO_BENCH_POLICY="$1" go test -run '^$' -bench "$pattern" -benchtime "$benchtime" -timeout 20m . 2>&1
+}
+
+echo "benchdiff: static pass (-benchtime $benchtime)"
+static_out=$(run "")
+echo "$static_out" | grep -E '^(Benchmark|FAIL|ok)' || true
+echo
+echo "benchdiff: adaptive pass (REPRO_BENCH_POLICY=adaptive)"
+adaptive_out=$(run adaptive)
+echo "$adaptive_out" | grep -E '^(Benchmark|FAIL|ok)' || true
+
+case "$static_out$adaptive_out" in
+*FAIL*)
+	echo "benchdiff: benchmark failure" >&2
+	exit 1
+	;;
+esac
+
+echo
+echo "benchdiff: jobs/sec comparison (static vs adaptive)"
+# Benchmark output lines look like:
+#   BenchmarkPoolThroughput/xgomptb/sub4-8  1  12345 ns/op  678.9 jobs/sec
+# Join the two passes on the benchmark name and print both metrics.
+{
+	echo "$static_out" | awk '/jobs\/sec/ {
+		for (i = 1; i <= NF; i++) if ($(i) == "jobs/sec") print "S", $1, $(i-1)
+	}'
+	echo "$adaptive_out" | awk '/jobs\/sec/ {
+		for (i = 1; i <= NF; i++) if ($(i) == "jobs/sec") print "A", $1, $(i-1)
+	}'
+} | awk '
+	$1 == "S" { s[$2] = $3 }
+	$1 == "A" { a[$2] = $3; order[n++] = $2 }
+	END {
+		printf "%-52s %12s %12s %8s\n", "benchmark", "static", "adaptive", "ratio"
+		for (i = 0; i < n; i++) {
+			name = order[i]
+			if (name in s && s[name] + 0 > 0)
+				printf "%-52s %12s %12s %7.2fx\n", name, s[name], a[name], a[name] / s[name]
+			else
+				printf "%-52s %12s %12s %8s\n", name, (name in s ? s[name] : "-"), a[name], "-"
+		}
+	}
+'

@@ -24,7 +24,7 @@ var cmdMains = []string{
 // exampleMains only need to build: they are demos with fixed inputs, some
 // of them long-running, so the smoke test stops at the compile boundary.
 var exampleMains = []string{
-	"autotune", "elasticpool", "imbalance", "mergesort", "posp-farm", "quickstart", "shardedpool",
+	"adaptive", "autotune", "elasticpool", "imbalance", "mergesort", "posp-farm", "quickstart", "shardedpool",
 }
 
 // buildMains compiles every main package once per test binary (both smoke

@@ -20,6 +20,9 @@ import (
 //	XOMP_DLB        "narp" or "naws" to force a DLB strategy
 //	XOMP_NVICTIM, XOMP_NSTEAL, XOMP_TINTERVAL, XOMP_PLOCAL
 //	                DLB tunables (§IV-E), applied when XOMP_DLB is set
+//	XOMP_POLICY     balancing policy name (PolicyNames): a fixed library
+//	                entry overriding the DLB settings, or "adaptive" for
+//	                the runtime controller
 //
 // Unset variables keep preset defaults; malformed values return an error
 // naming the offending variable.
@@ -93,6 +96,14 @@ func FromEnv() (Config, error) {
 		} else {
 			cfg.DLB.PLocal = v
 		}
+	}
+
+	if name := envStr("XOMP_POLICY", ""); name != "" {
+		if !ValidPolicyName(name) {
+			return Config{}, fmt.Errorf("xomp: XOMP_POLICY=%q is not a policy (%s)",
+				name, strings.Join(PolicyNames(), ", "))
+		}
+		cfg.Policy.Name = name
 	}
 	return cfg, nil
 }

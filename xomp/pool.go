@@ -107,6 +107,17 @@ func (p *Pool) QueueDepth() int64 { return p.tm.QueueDepth() }
 // queued and running alike.
 func (p *Pool) ActiveJobs() int64 { return p.tm.ActiveJobs() }
 
+// Signals returns the pool's current load signals (queue depth, running
+// jobs, active workers, and the worker plane's smoothed task
+// measurements) — the same uniform surface a ShardedPool's balancing
+// policies consume per shard.
+func (p *Pool) Signals() Signals { return p.tm.Signals() }
+
+// PolicyTrace returns the adaptive policy controller's recorded
+// configuration switches (empty unless Config.Policy.Name was
+// "adaptive").
+func (p *Pool) PolicyTrace() []PolicySwitch { return p.tm.PolicyTrace() }
+
 // Team returns the underlying team, e.g. for Profile() access. Do not call
 // Run/Parallel on it while the pool is open.
 func (p *Pool) Team() *Team { return p.tm }

@@ -17,6 +17,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/load"
 	"repro/internal/numa"
 )
 
@@ -100,6 +101,32 @@ type ShardConfig struct {
 	// Elastic configures the elastic capacity controller (the third
 	// balancing level: worker-quota moves between shards).
 	Elastic ElasticConfig
+
+	// Policy overrides the pool's balancing policy implementations. Zero
+	// fields keep the defaults; Team.Policy (inside the per-shard team
+	// configuration above) separately selects each shard's task-level
+	// policy, including the adaptive controller.
+	Policy ShardPolicy
+}
+
+// ShardPolicy selects the pool-level balancing policies. All three
+// consume the shards' load signals (Team.Signals → load.Signals) through
+// the load package's policy interfaces — the pool never reaches into a
+// team's internals to make a balancing decision, so alternative policies
+// can be swapped in without touching the mechanisms (dispatch, job
+// migration, quota moves).
+type ShardPolicy struct {
+	// Dispatch places each submitted job on a shard.
+	// nil → load.PowerOfTwo (power-of-two-choices by queue depth).
+	Dispatch load.DispatchPolicy
+	// Migrate plans the second-level balancer's hot→cold queued-job
+	// moves. nil → load.GapHalving{Threshold: MigrateThreshold}.
+	Migrate load.MigratePolicy
+	// Quota plans the elastic controller's worker-quota moves; only used
+	// with Elastic.Enabled. Stateful implementations are called under the
+	// controller's lock. nil → load.OversubscribedQuota with
+	// Elastic.Hysteresis.
+	Quota load.QuotaPolicy
 }
 
 // ShardStats is one shard's load and migration picture at a point in time.
@@ -155,9 +182,13 @@ type ShardStats struct {
 // Jobs/IDs are issued per shard, so two jobs of one pool may share an ID if
 // they were submitted to (or migrated from) different shards.
 type ShardedPool struct {
-	shards    []*core.Team
-	threshold int64
-	start     time.Time
+	shards []*core.Team
+	start  time.Time
+
+	// dispatch and migrate are the first- and second-level balancing
+	// policies; both consume per-shard load.Signals only.
+	dispatch load.DispatchPolicy
+	migrate  load.MigratePolicy
 
 	// seq and seed drive the dispatcher's placement randomness: a
 	// SplitMix64 stream indexed by an atomic counter, so concurrent
@@ -172,19 +203,28 @@ type ShardedPool struct {
 
 	// el is the elastic capacity controller's state (third balancing
 	// level). mu serializes controller ticks (background loop and manual
-	// RebalanceQuota calls) and guards the hysteresis and trace state.
+	// RebalanceQuota calls) and guards the quota policy's hysteresis
+	// state and the trace.
 	el struct {
-		enabled    bool
-		hysteresis int
-		minEff     []int // per-shard active floor
-		maxEff     []int // per-shard active cap (≤ capacity)
-		mu         sync.Mutex
-		lastHot    int
-		streak     int
-		moves      uint64
-		trace      []QuotaMove
-		traceHead  int
+		enabled   bool
+		policy    load.QuotaPolicy
+		minEff    []int // per-shard active floor
+		maxEff    []int // per-shard active cap (≤ capacity)
+		mu        sync.Mutex
+		moves     uint64
+		trace     []QuotaMove
+		traceHead int
 	}
+}
+
+// signals snapshots every shard's current load signals — the one view all
+// three balancing policies decide from.
+func (p *ShardedPool) signals() []load.Signals {
+	out := make([]load.Signals, len(p.shards))
+	for i, tm := range p.shards {
+		out[i] = tm.Signals()
+	}
+	return out
 }
 
 // NewShardedPool validates cfg, builds and starts one serving team per
@@ -231,13 +271,20 @@ func NewShardedPool(cfg ShardConfig) (*ShardedPool, error) {
 		baseSeed = 1
 	}
 	p := &ShardedPool{
-		shards:    make([]*core.Team, len(shardTops)),
-		threshold: int64(threshold),
-		start:     time.Now(),
-		seed:      uint64(baseSeed) * 0x9e3779b97f4a7c15,
-		stopBal:   make(chan struct{}),
+		shards:   make([]*core.Team, len(shardTops)),
+		dispatch: cfg.Policy.Dispatch,
+		migrate:  cfg.Policy.Migrate,
+		start:    time.Now(),
+		seed:     uint64(baseSeed) * 0x9e3779b97f4a7c15,
+		stopBal:  make(chan struct{}),
 	}
-	quota, err := p.initElastic(cfg.Elastic, shardTops)
+	if p.dispatch == nil {
+		p.dispatch = load.PowerOfTwo{}
+	}
+	if p.migrate == nil {
+		p.migrate = load.GapHalving{Threshold: threshold}
+	}
+	quota, err := p.initElastic(cfg.Elastic, cfg.Policy.Quota, shardTops)
 	if err != nil {
 		return nil, err
 	}
@@ -286,7 +333,7 @@ func NewShardedPool(cfg ShardConfig) (*ShardedPool, error) {
 // initial active-quota split (nil when elasticity is off). The budget is
 // spread evenly and then clamped into the per-shard [min, max] bounds,
 // pushing any remainder to shards that still have headroom.
-func (p *ShardedPool) initElastic(e ElasticConfig, shardTops []Topology) ([]int, error) {
+func (p *ShardedPool) initElastic(e ElasticConfig, quota load.QuotaPolicy, shardTops []Topology) ([]int, error) {
 	if !e.Enabled {
 		return nil, nil
 	}
@@ -302,11 +349,14 @@ func (p *ShardedPool) initElastic(e ElasticConfig, shardTops []Topology) ([]int,
 		return nil, fmt.Errorf("xomp: Elastic.Hysteresis must be >= 0, got %d", e.Hysteresis)
 	}
 	p.el.enabled = true
-	p.el.hysteresis = e.Hysteresis
-	if p.el.hysteresis == 0 {
-		p.el.hysteresis = 2
+	p.el.policy = quota
+	hysteresis := e.Hysteresis
+	if hysteresis == 0 {
+		hysteresis = 2
 	}
-	p.el.lastHot = -1
+	if p.el.policy == nil {
+		p.el.policy = &load.OversubscribedQuota{Hysteresis: hysteresis}
+	}
 	p.el.minEff = make([]int, n)
 	p.el.maxEff = make([]int, n)
 	sumMin, sumMax := 0, 0
@@ -334,17 +384,17 @@ func (p *ShardedPool) initElastic(e ElasticConfig, shardTops []Topology) ([]int,
 	if budget < sumMin || budget > sumMax {
 		return nil, fmt.Errorf("xomp: Elastic.TotalBudget %d outside [%d, %d] admitted by the per-shard bounds", budget, sumMin, sumMax)
 	}
-	quota := make([]int, n)
+	split := make([]int, n)
 	left := budget
-	for s := range quota {
-		quota[s] = floor
+	for s := range split {
+		split[s] = floor
 		left -= floor
 	}
 	for left > 0 {
 		gave := false
-		for s := range quota {
-			if left > 0 && quota[s] < p.el.maxEff[s] {
-				quota[s]++
+		for s := range split {
+			if left > 0 && split[s] < p.el.maxEff[s] {
+				split[s]++
 				left--
 				gave = true
 			}
@@ -353,7 +403,7 @@ func (p *ShardedPool) initElastic(e ElasticConfig, shardTops []Topology) ([]int,
 			break
 		}
 	}
-	return quota, nil
+	return split, nil
 }
 
 // elasticLoop is the background capacity controller: one RebalanceQuota
@@ -372,13 +422,13 @@ func (p *ShardedPool) elasticLoop(interval time.Duration) {
 	}
 }
 
-// RebalanceQuota runs one elastic-controller tick synchronously: find the
-// shard whose load (queue depth + jobs in flight) most oversubscribes its
-// active workers and the shard with the most idle active capacity, and —
-// once the same hot candidate has persisted for the configured hysteresis
-// — move one worker of quota from cold to hot (donor parks first, so the
-// active total never exceeds the budget). It reports whether quota moved.
-// The background loop calls this every Elastic.Interval; tests and
+// RebalanceQuota runs one elastic-controller tick synchronously: snapshot
+// every shard's load signals, let the quota policy pick a donor and a
+// receiver (the default, load.OversubscribedQuota, moves one worker of
+// quota toward the shard whose live jobs most oversubscribe its active
+// workers, with hysteresis), and apply the move — donor parks first, so
+// the active total never exceeds the budget. It reports whether quota
+// moved. The background loop calls this every Elastic.Interval; tests and
 // latency-sensitive callers may invoke it directly.
 func (p *ShardedPool) RebalanceQuota() bool {
 	if !p.el.enabled || p.closed.Load() {
@@ -386,56 +436,32 @@ func (p *ShardedPool) RebalanceQuota() bool {
 	}
 	p.el.mu.Lock()
 	defer p.el.mu.Unlock()
-	hot, cold := -1, -1
-	var hotLoad, hotAct, coldLoad, coldAct int64
-	for s, tm := range p.shards {
-		act := int64(tm.ActiveWorkers())
-		load := tm.QueueDepth() + tm.ActiveJobs()
-		// Hot candidates are oversubscribed (more live jobs than active
-		// workers) and still below their cap; rank by load/active,
-		// compared cross-multiplied to stay in integers.
-		if load > act && int(act) < p.el.maxEff[s] {
-			if hot < 0 || load*hotAct > hotLoad*act {
-				hot, hotLoad, hotAct = s, load, act
-			}
-		}
-		// Donors have at least one genuinely idle active worker and are
-		// above their floor; rank by most idle capacity.
-		if load < act && int(act) > p.el.minEff[s] {
-			if cold < 0 || act-load > coldAct-coldLoad {
-				cold, coldLoad, coldAct = s, load, act
-			}
-		}
-	}
-	if hot < 0 || cold < 0 || hot == cold {
-		p.el.lastHot, p.el.streak = -1, 0
+	sigs := p.signals()
+	cold, hot, ok := p.el.policy.Plan(sigs, p.el.minEff, p.el.maxEff)
+	if !ok || cold == hot || cold < 0 || hot < 0 ||
+		cold >= len(p.shards) || hot >= len(p.shards) {
+		// Also rejects out-of-range indices from a misbehaving custom
+		// policy, like pick() and Rebalance() do for theirs.
 		return false
 	}
-	if hot != p.el.lastHot {
-		p.el.lastHot, p.el.streak = hot, 1
-	} else {
-		p.el.streak++
-	}
-	if p.el.streak < p.el.hysteresis {
-		return false
-	}
+	coldAct := int(sigs[cold].Capacity)
+	hotAct := int(sigs[hot].Capacity)
 	// Donor parks before the receiver unparks, so the sum of active
 	// workers never exceeds TotalBudget, not even transiently.
-	if err := p.shards[cold].SetActive(int(coldAct) - 1); err != nil {
+	if err := p.shards[cold].SetActive(coldAct - 1); err != nil {
 		return false
 	}
-	if err := p.shards[hot].SetActive(int(hotAct) + 1); err != nil {
-		p.shards[cold].SetActive(int(coldAct)) // return the donated quota
+	if err := p.shards[hot].SetActive(hotAct + 1); err != nil {
+		p.shards[cold].SetActive(coldAct) // return the donated quota
 		return false
 	}
-	p.el.lastHot, p.el.streak = -1, 0
 	p.el.moves++
 	mv := QuotaMove{
 		At:         time.Since(p.start),
 		From:       cold,
 		To:         hot,
-		FromActive: int(coldAct) - 1,
-		ToActive:   int(hotAct) + 1,
+		FromActive: coldAct - 1,
+		ToActive:   hotAct + 1,
 	}
 	if len(p.el.trace) < maxQuotaTrace {
 		p.el.trace = append(p.el.trace, mv)
@@ -500,30 +526,20 @@ func (p *ShardedPool) SubmitTo(shard int, fn TaskFunc) (*Job, error) {
 	return p.shards[shard].Submit(fn)
 }
 
-// pick implements power-of-two-choices placement: draw two distinct
-// shards, compare their admission queue depths, and take the shallower
-// (ties break to running-job count, then to the first draw).
+// pick delegates placement to the dispatch policy (power-of-two-choices
+// over shard queue depth by default), feeding it a fresh SplitMix64 draw
+// and per-shard signal access.
 func (p *ShardedPool) pick() int {
 	n := len(p.shards)
 	if n == 1 {
 		return 0
 	}
 	r := splitmix64(p.seed + p.seq.Add(1))
-	a := int(r % uint64(n))
-	b := int((r >> 32) % uint64(n))
-	if a == b {
-		b = (b + 1) % n
+	s := p.dispatch.Pick(r, n, func(i int) load.Signals { return p.shards[i].Signals() })
+	if s < 0 || s >= n {
+		s = int(r % uint64(n)) // a misbehaving policy cannot crash Submit
 	}
-	da, db := p.shards[a].QueueDepth(), p.shards[b].QueueDepth()
-	switch {
-	case db < da:
-		return b
-	case da < db:
-		return a
-	case p.shards[b].ActiveJobs() < p.shards[a].ActiveJobs():
-		return b
-	}
-	return a
+	return s
 }
 
 // splitmix64 is the SplitMix64 output function: a bijective mixer turning
@@ -551,54 +567,21 @@ func (p *ShardedPool) balance(interval time.Duration) {
 	}
 }
 
-// Rebalance runs one second-level balancing scan synchronously: it finds
-// the shards with the deepest and shallowest admission queues and, when
-// the gap reaches the migration threshold, migrates queued jobs from hot
-// to cold until the depths would meet in the middle. It returns the number
-// of jobs moved. The background balancer calls this on every tick; tests
-// and latency-sensitive callers may invoke it directly.
+// Rebalance runs one second-level balancing scan synchronously: snapshot
+// every shard's load signals, let the migrate policy plan a hot→cold move
+// (the default, load.GapHalving, halves the deepest-shallowest queue gap
+// once it reaches the migration threshold, plus a rescue rule for a job
+// stuck behind a saturated shard), and migrate that many queued jobs. It
+// returns the number of jobs moved. The background balancer calls this on
+// every tick; tests and latency-sensitive callers may invoke it directly.
 func (p *ShardedPool) Rebalance() int {
-	hot, cold := -1, -1
-	var hi, lo, coldRunning int64
-	for i, tm := range p.shards {
-		d := tm.QueueDepth()
-		running := tm.ActiveJobs() - d
-		if hot < 0 || d > hi {
-			hot, hi = i, d
-		}
-		// Equal-depth ties prefer the shard with the most idle workers:
-		// depth alone cannot distinguish a shard that is busily draining
-		// from one whose workers are wedged on long-running jobs, so at
-		// least steer migrated jobs toward real adoption capacity.
-		if cold < 0 || d < lo || (d == lo && running < coldRunning) {
-			cold, lo, coldRunning = i, d, running
-		}
-	}
-	if hot == cold {
+	hot, cold, n := p.migrate.Plan(p.signals())
+	if n <= 0 || hot == cold || hot < 0 || cold < 0 ||
+		hot >= len(p.shards) || cold >= len(p.shards) {
 		return 0
 	}
-	// Move half the gap; halving can never invert the imbalance, so the
-	// loop converges. Below the hysteresis threshold — or when the gap is
-	// too small to halve — only a *rescue* moves: a queued job stuck
-	// behind a shard whose workers are all occupied, while the cold shard
-	// sits empty with idle capacity, must always drain (it would otherwise
-	// wait for the full length of the hot shard's running work), whereas a
-	// forced move between two live shards would just ping-pong the job
-	// back on the next scan.
-	gap := hi - lo
-	n := gap / 2
-	if gap < p.threshold || n < 1 {
-		hotTm, coldTm := p.shards[hot], p.shards[cold]
-		hotRunning := hotTm.ActiveJobs() - hotTm.QueueDepth()
-		if hi == 0 || lo != 0 ||
-			hotRunning < int64(hotTm.Workers()) ||
-			coldTm.ActiveJobs() >= int64(coldTm.Workers()) {
-			return 0
-		}
-		n = 1
-	}
 	moved := 0
-	for int64(moved) < n {
+	for moved < n {
 		if !core.MigrateQueuedJob(p.shards[hot], p.shards[cold]) {
 			break
 		}

@@ -78,6 +78,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/load"
 	"repro/internal/numa"
 	"repro/internal/prof"
 )
@@ -155,6 +156,58 @@ func PresetNames() []string { return core.PresetNames() }
 // DefaultDLB returns mid-range DLB settings for the given strategy, the
 // starting point of the paper's parameter sweeps.
 func DefaultDLB(s DLBStrategy) DLBConfig { return core.DefaultDLB(s) }
+
+// Policy selects a team's balancing policy: a named fixed configuration
+// from the policy library, or "adaptive" for the runtime controller that
+// classifies the workload's granularity from the load-signal plane and
+// retunes the DLB configuration live. Assign to Config.Policy.
+type Policy = core.Policy
+
+// PolicyNames lists the selectable policy names.
+func PolicyNames() []string { return core.PolicyNames() }
+
+// ValidPolicyName reports whether name is a selectable policy name.
+func ValidPolicyName(name string) bool { return core.ValidPolicyName(name) }
+
+// PolicyDLB maps a fixed policy name to its DLB configuration for a
+// topology with the given zone count (false for unknown names and for
+// "adaptive").
+func PolicyDLB(name string, zones int) (DLBConfig, bool) { return core.PolicyDLB(name, zones) }
+
+// Signals is one entity's (worker's, team's, or shard's) load picture on
+// the unified load-signal plane; see Pool.Signals and Team.Signals.
+type Signals = load.Signals
+
+// Balancing policy interfaces (see package load): victim selection inside
+// a team, job dispatch across shards, queued-job migration, and worker
+// quota moves. Custom implementations plug in via Config.Policy.Victim
+// and ShardConfig.Policy.
+type (
+	VictimPolicy   = load.VictimPolicy
+	DispatchPolicy = load.DispatchPolicy
+	MigratePolicy  = load.MigratePolicy
+	QuotaPolicy    = load.QuotaPolicy
+)
+
+// Built-in policy implementations.
+type (
+	// CondRandom is the paper's conditionally random victim selection.
+	CondRandom = load.CondRandom
+	// BusyVictim prefers the less idle of two victim candidates.
+	BusyVictim = load.BusyVictim
+	// PowerOfTwo places jobs on the shallower of two random shards.
+	PowerOfTwo = load.PowerOfTwo
+	// LeastLoaded places jobs on the globally least loaded shard.
+	LeastLoaded = load.LeastLoaded
+	// GapHalving migrates half the hot-cold queue-depth gap.
+	GapHalving = load.GapHalving
+	// OversubscribedQuota moves quota toward oversubscribed shards.
+	OversubscribedQuota = load.OversubscribedQuota
+)
+
+// PolicySwitch is one recorded adaptive-controller retune; see
+// Pool.PolicyTrace and Team.PolicyTrace.
+type PolicySwitch = prof.PolicySwitch
 
 // Dep is a task depend clause (OpenMP depend(in/out/inout)); build them
 // with In, Out, and InOut and pass them to Worker.SpawnDeps to order
