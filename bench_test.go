@@ -9,6 +9,8 @@
 package repro_test
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"os"
 	"sync"
@@ -23,6 +25,7 @@ import (
 	"repro/internal/posp"
 	"repro/internal/prof"
 	"repro/internal/simnuma"
+	"repro/internal/stats"
 	"repro/xomp"
 )
 
@@ -700,6 +703,128 @@ func BenchmarkPolicyPhase(b *testing.B) {
 			}
 			if pol == "adaptive" {
 				b.ReportMetric(float64(switches), "switches")
+			}
+		})
+	}
+}
+
+// BenchmarkAdmissionSaturation drives a deliberately undersized pool far
+// past its capacity with mixed-class, deadline-carrying traffic and
+// compares admission policies: "block" (pure backpressure — a
+// full-queue submission waits until its 20ms deadline cuts it off, so
+// the wait is paid and then wasted) against "shed" (deadline-aware
+// shedding — hopeless submissions are dropped at the door immediately,
+// so no time is spent waiting on work that cannot make its deadline and
+// the capacity goes to work that still can). Interactive
+// jobs are the minority class whose p99 admission latency the shed
+// policy must keep bounded while the background flood is shed; the
+// reported metrics are completed jobs/sec, the interactive-class p99
+// admission latency in milliseconds, and the background shed fraction.
+// scripts/benchdiff.sh runs the block-vs-shed comparison and emits the
+// BENCH_5.json perf-trajectory snapshot from it.
+func BenchmarkAdmissionSaturation(b *testing.B) {
+	const (
+		submitters = 8
+		saturWork  = 120_000 // simnuma spin units per task: ~ms-scale jobs
+	)
+	for _, mode := range []string{"block", "shed"} {
+		b.Run(mode, func(b *testing.B) {
+			cfg := xomp.Preset("xgomptb", 2)
+			cfg.Topology = numa.Synthetic(2, 1)
+			cfg.Backlog = 2
+			if mode == "shed" {
+				cfg.Admit = xomp.DeadlineShed{}
+			}
+			pool := xomp.MustPool(cfg)
+			body := func(w *xomp.Worker) {
+				for i := 0; i < 4; i++ {
+					w.Spawn(func(*xomp.Worker) { simnuma.Spin(saturWork) })
+				}
+				w.TaskWait()
+			}
+			// Warm the job-time estimate so the shed predictor is live
+			// from the first measured submission.
+			if j, err := pool.Submit(body); err != nil {
+				b.Fatal(err)
+			} else if err := j.Wait(); err != nil {
+				b.Fatal(err)
+			}
+			var (
+				next      atomic.Int64
+				completed atomic.Int64
+				bgShed    atomic.Int64
+				bgTotal   atomic.Int64
+				latMu     sync.Mutex
+				intLat    stats.Sample
+			)
+			b.ResetTimer()
+			start := time.Now()
+			var wg sync.WaitGroup
+			for s := 0; s < submitters; s++ {
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					for {
+						i := int(next.Add(1)) - 1
+						if i >= b.N {
+							return
+						}
+						// 1-in-4 interactive, the rest background; every
+						// submission carries a deadline the saturated pool
+						// cannot meet for deep backlogs.
+						class := xomp.ClassBackground
+						if i%4 == 0 {
+							class = xomp.ClassInteractive
+						}
+						opts := xomp.SubmitOpts{
+							Priority: class,
+							Deadline: time.Now().Add(20 * time.Millisecond),
+						}
+						if class == xomp.ClassBackground {
+							bgTotal.Add(1)
+						}
+						t0 := time.Now()
+						j, err := pool.SubmitCtx(context.Background(), body, opts)
+						admit := time.Since(t0)
+						switch {
+						case err == nil:
+							if class == xomp.ClassInteractive {
+								latMu.Lock()
+								intLat.AddDuration(admit)
+								latMu.Unlock()
+							}
+							if err := j.Wait(); err != nil {
+								b.Error(err)
+								return
+							}
+							completed.Add(1)
+						case errors.Is(err, xomp.ErrShed),
+							errors.Is(err, xomp.ErrBacklogFull),
+							errors.Is(err, xomp.ErrDeadlineExceeded):
+							if class == xomp.ClassBackground {
+								bgShed.Add(1)
+							}
+						default:
+							b.Error(err)
+							return
+						}
+					}
+				}()
+			}
+			wg.Wait()
+			elapsed := time.Since(start)
+			b.StopTimer()
+			if err := pool.Close(); err != nil {
+				b.Fatal(err)
+			}
+			if elapsed > 0 {
+				b.ReportMetric(float64(completed.Load())/elapsed.Seconds(), "jobs/sec")
+			}
+			if intLat.N() > 0 {
+				b.ReportMetric(intLat.Percentile(99)*1e3, "int-p99-admit-ms")
+			}
+			if bgTotal.Load() > 0 {
+				b.ReportMetric(float64(bgShed.Load())/float64(bgTotal.Load()), "bg-shed-frac")
 			}
 		})
 	}

@@ -32,6 +32,18 @@
 // a coarse-grained preset at the given period, and the report prints the
 // policy-switch trace next to the quota trace.
 //
+// The admission edge is exercised with three flags. -priority-mix
+// "I:B:G" spreads each submitter's jobs over the interactive, batch, and
+// background classes by integer weight (default 0:1:0, everything
+// batch). -deadline d stamps every job with a completion deadline d from
+// its submission. -admit selects the admission policy: "block" (wait for
+// backlog space, the default), "reject" (ErrBacklogFull instead of
+// blocking), or "shed" (deadline-aware shedding under saturation).
+// Rejected, shed, and expired submissions are not failures — they are
+// the admission layer working — and the report counts them per class
+// next to the p50/p99 admission latency (time a Submit call spent at the
+// edge before its job entered a queue).
+//
 // Usage:
 //
 //	loadgen -runtime xgomptb+naws -workers 8 -submitters 8 -jobs 20
@@ -39,12 +51,16 @@
 //	loadgen -workers 8 -shards 4 -skew 0.75 -jobs 40
 //	loadgen -workers 16 -shards 4 -skew 0.9 -elastic -budget 8
 //	loadgen -workers 8 -policy adaptive -phase 300ms -jobs 60
+//	loadgen -workers 2 -submitters 16 -backlog 2 -priority-mix 1:1:6 -deadline 50ms -admit shed
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -72,10 +88,24 @@ func main() {
 		budget     = flag.Int("budget", 0, "total active workers with -elastic (0 = half of -workers)")
 		policy     = flag.String("policy", "static", "balancing policy: "+strings.Join(xomp.PolicyNames(), "|"))
 		phase      = flag.Duration("phase", 0, "flip the workload mix between fine- and coarse-grained presets every period (makes -policy adaptive observable); overrides -mix")
+		prioMix    = flag.String("priority-mix", "0:1:0", "interactive:batch:background integer weights for each submitter's jobs")
+		deadline   = flag.Duration("deadline", 0, "per-job completion deadline from submission (0 = none)")
+		admitName  = flag.String("admit", "block", "admission policy: block|reject|shed")
 		noVerify   = flag.Bool("noverify", false, "skip per-job result verification")
 		verbose    = flag.Bool("v", false, "log every job")
 	)
 	flag.Parse()
+	classPattern, err := parsePriorityMix(*prioMix)
+	if err != nil {
+		fatal(err)
+	}
+	admit, err := parseAdmit(*admitName)
+	if err != nil {
+		fatal(err)
+	}
+	if *deadline < 0 {
+		fatal(fmt.Errorf("-deadline %v must be >= 0", *deadline))
+	}
 	if !xomp.ValidPolicyName(*policy) {
 		fatal(fmt.Errorf("-policy %q is not a policy (%s)", *policy, strings.Join(xomp.PolicyNames(), ", ")))
 	}
@@ -145,6 +175,7 @@ func main() {
 
 	cfg := xomp.Preset(*preset, *workers)
 	cfg.Backlog = *backlog
+	cfg.Admit = admit
 	if *policy != "static" {
 		cfg.Policy.Name = *policy
 	}
@@ -153,11 +184,12 @@ func main() {
 	// submit/wait traffic; submit hides the difference (pin routes a job to
 	// shard 0, the skewed hot-shard scenario).
 	var (
-		submit    func(pin bool, fn xomp.TaskFunc) (*xomp.Job, error)
+		submit    func(pin bool, fn xomp.TaskFunc, opts xomp.SubmitOpts) (*xomp.Job, error)
 		closePool func() error
 		sharded   *xomp.ShardedPool
 		pool      *xomp.Pool
 	)
+	ctx := context.Background()
 	if *shards > 0 {
 		scfg := xomp.ShardConfig{Shards: *shards, Team: cfg}
 		scfg.Team.Workers = *workers / *shards
@@ -173,19 +205,19 @@ func main() {
 			fatal(err)
 		}
 		sharded = sp
-		submit = func(pin bool, fn xomp.TaskFunc) (*xomp.Job, error) {
+		submit = func(pin bool, fn xomp.TaskFunc, opts xomp.SubmitOpts) (*xomp.Job, error) {
 			if pin {
-				return sp.SubmitTo(0, fn)
+				return sp.SubmitToCtx(ctx, 0, fn, opts)
 			}
-			return sp.Submit(fn)
+			return sp.SubmitCtx(ctx, fn, opts)
 		}
 		closePool = sp.Close
 		elasticNote := ""
 		if *elastic {
 			elasticNote = fmt.Sprintf(", elastic budget %d", sp.ActiveWorkers())
 		}
-		fmt.Printf("loadgen: %d submitters x %d jobs, mix [%s] at scale %s, on %s (%d shards x %d workers, skew %.0f%%%s, policy %s)\n",
-			*submitters, *jobs, strings.Join(names, " "), sc, *preset, *shards, *workers / *shards, *skew*100, elasticNote, *policy)
+		fmt.Printf("loadgen: %d submitters x %d jobs, mix [%s] at scale %s, on %s (%d shards x %d workers, skew %.0f%%%s, policy %s, admit %s)\n",
+			*submitters, *jobs, strings.Join(names, " "), sc, *preset, *shards, *workers / *shards, *skew*100, elasticNote, *policy, *admitName)
 	} else {
 		cfg.Topology = numa.Synthetic(*workers, *zones)
 		p, err := xomp.NewPool(cfg)
@@ -193,16 +225,19 @@ func main() {
 			fatal(err)
 		}
 		pool = p
-		submit = func(_ bool, fn xomp.TaskFunc) (*xomp.Job, error) { return p.Submit(fn) }
+		submit = func(_ bool, fn xomp.TaskFunc, opts xomp.SubmitOpts) (*xomp.Job, error) {
+			return p.SubmitCtx(ctx, fn, opts)
+		}
 		closePool = p.Close
-		fmt.Printf("loadgen: %d submitters x %d jobs, mix [%s] at scale %s, on %s (%d workers, %d zones, policy %s)\n",
-			*submitters, *jobs, strings.Join(names, " "), sc, *preset, *workers, *zones, *policy)
+		fmt.Printf("loadgen: %d submitters x %d jobs, mix [%s] at scale %s, on %s (%d workers, %d zones, policy %s, admit %s)\n",
+			*submitters, *jobs, strings.Join(names, " "), sc, *preset, *workers, *zones, *policy, *admitName)
 	}
 
 	var (
 		wg       sync.WaitGroup
 		failures atomic.Int64
 		perApp   sync.Map // app name -> *atomic.Int64
+		classes  [int(xomp.NumClasses)]classStats
 	)
 	count := func(app string) {
 		v, _ := perApp.LoadOrStore(app, new(atomic.Int64))
@@ -226,8 +261,22 @@ func main() {
 				// The leading -skew fraction of every submitter's jobs is
 				// pinned to shard 0, front-loading the hot shard.
 				pin := *skew > 0 && k < int(*skew*float64(*jobs))
-				j, err := submit(pin, b.RunTask)
+				class := classPattern[(s+k)%len(classPattern)]
+				opts := xomp.SubmitOpts{Priority: class}
+				if *deadline > 0 {
+					opts.Deadline = time.Now().Add(*deadline)
+				}
+				cs := &classes[int(class)]
+				t0 := time.Now()
+				j, err := submit(pin, b.RunTask, opts)
+				cs.observe(time.Since(t0), err)
 				if err != nil {
+					// Rejections, sheds, and expiries are the admission
+					// layer doing its job under load, not failures.
+					if errors.Is(err, xomp.ErrBacklogFull) || errors.Is(err, xomp.ErrShed) ||
+						errors.Is(err, xomp.ErrDeadlineExceeded) {
+						continue
+					}
 					fmt.Fprintf(os.Stderr, "submitter %d: submit %s: %v\n", s, name, err)
 					failures.Add(1)
 					return
@@ -246,8 +295,8 @@ func main() {
 				}
 				count(name)
 				if *verbose {
-					fmt.Printf("submitter %d: job %d %s (%s) ok: queue %v run %v on worker %d\n",
-						s, j.ID(), name, b.Params(), j.QueueDelay().Round(time.Microsecond),
+					fmt.Printf("submitter %d: job %d %s (%s, %v) ok: queue %v run %v on worker %d\n",
+						s, j.ID(), name, b.Params(), class, j.QueueDelay().Round(time.Microsecond),
 						j.RunTime().Round(time.Microsecond), j.Worker())
 				}
 			}
@@ -266,12 +315,29 @@ func main() {
 	}
 
 	total := *submitters * *jobs
-	fmt.Printf("\n%d jobs in %v: %.1f jobs/sec\n", total, elapsed.Round(time.Millisecond),
-		float64(total)/elapsed.Seconds())
+	var admittedTotal int64
+	for c := range classes {
+		admittedTotal += classes[c].admitted.Load()
+	}
+	fmt.Printf("\n%d/%d jobs admitted in %v: %.1f jobs/sec\n", admittedTotal, total,
+		elapsed.Round(time.Millisecond), float64(admittedTotal)/elapsed.Seconds())
 	perApp.Range(func(k, v any) bool {
 		fmt.Printf("  %-10s %d ok\n", k, v.(*atomic.Int64).Load())
 		return true
 	})
+	fmt.Println("admission:")
+	fmt.Printf("  %-12s %9s %9s %9s %9s %12s %12s\n",
+		"class", "admitted", "rejected", "shed", "expired", "p50-admit", "p99-admit")
+	for c := range classes {
+		cs := &classes[c]
+		if cs.attempts() == 0 {
+			continue
+		}
+		p50, p99 := cs.latency()
+		fmt.Printf("  %-12s %9d %9d %9d %9d %12v %12v\n",
+			xomp.Class(c), cs.admitted.Load(), cs.rejected.Load(), cs.shed.Load(),
+			cs.expired.Load(), p50.Round(time.Microsecond), p99.Round(time.Microsecond))
+	}
 
 	var recs []xomp.JobRecord
 	if sharded != nil {
@@ -335,6 +401,80 @@ func distString(d []time.Duration) string {
 	}
 	return fmt.Sprintf("min %v  median %v  p95 %v  max %v",
 		dur(s.Min()), dur(s.Percentile(50)), dur(s.Percentile(95)), dur(s.Max()))
+}
+
+// classStats accumulates one admission class's client-side counters and
+// admission latencies (the time a Submit call spent at the edge).
+type classStats struct {
+	admitted, rejected, shed, expired atomic.Int64
+	mu                                sync.Mutex
+	lat                               stats.Sample
+}
+
+func (cs *classStats) observe(admitTime time.Duration, err error) {
+	switch {
+	case err == nil:
+		cs.admitted.Add(1)
+		cs.mu.Lock()
+		cs.lat.AddDuration(admitTime)
+		cs.mu.Unlock()
+	case errors.Is(err, xomp.ErrBacklogFull):
+		cs.rejected.Add(1)
+	case errors.Is(err, xomp.ErrShed):
+		cs.shed.Add(1)
+	case errors.Is(err, xomp.ErrDeadlineExceeded):
+		cs.expired.Add(1)
+	}
+}
+
+func (cs *classStats) attempts() int64 {
+	return cs.admitted.Load() + cs.rejected.Load() + cs.shed.Load() + cs.expired.Load()
+}
+
+func (cs *classStats) latency() (p50, p99 time.Duration) {
+	cs.mu.Lock()
+	defer cs.mu.Unlock()
+	toDur := func(secs float64) time.Duration { return time.Duration(secs * float64(time.Second)) }
+	return toDur(cs.lat.Percentile(50)), toDur(cs.lat.Percentile(99))
+}
+
+// parsePriorityMix expands "I:B:G" integer weights into a class pattern
+// submitters rotate through, e.g. "1:1:2" → [interactive batch background
+// background].
+func parsePriorityMix(s string) ([]xomp.Class, error) {
+	parts := strings.Split(s, ":")
+	if len(parts) != int(xomp.NumClasses) {
+		return nil, fmt.Errorf("-priority-mix %q: want %d colon-separated weights (interactive:batch:background)", s, xomp.NumClasses)
+	}
+	order := [...]xomp.Class{xomp.ClassInteractive, xomp.ClassBatch, xomp.ClassBackground}
+	var pattern []xomp.Class
+	for c, p := range parts {
+		w, err := strconv.Atoi(strings.TrimSpace(p))
+		if err != nil || w < 0 {
+			return nil, fmt.Errorf("-priority-mix %q: bad weight %q", s, p)
+		}
+		for i := 0; i < w; i++ {
+			pattern = append(pattern, order[c])
+		}
+	}
+	if len(pattern) == 0 {
+		return nil, fmt.Errorf("-priority-mix %q: all weights zero", s)
+	}
+	return pattern, nil
+}
+
+// parseAdmit maps the -admit flag to an admission policy (nil = block,
+// the default).
+func parseAdmit(name string) (xomp.AdmitPolicy, error) {
+	switch name {
+	case "block":
+		return nil, nil
+	case "reject":
+		return xomp.RejectWhenFull{}, nil
+	case "shed":
+		return xomp.DeadlineShed{}, nil
+	}
+	return nil, fmt.Errorf("-admit %q: want block, reject, or shed", name)
 }
 
 func parseScale(s string) (bots.Scale, error) {

@@ -58,6 +58,10 @@ func main() {
 	}
 	fmt.Printf("\nimbalance max/mean executed: %.2f\nutilization min/max: %.2f\n",
 		snap.ImbalanceRatio(), snap.UtilizationRatio())
+	fmt.Println()
+	if err := snap.AdmissionSummary(os.Stdout); err != nil {
+		fatal(err)
+	}
 }
 
 func fatal(err error) {

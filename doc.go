@@ -22,12 +22,23 @@
 // All balancing levels decide from one load-signal plane (internal/load):
 // per-worker EWMA-smoothed signals (queue depth, service time, task and
 // steal rates, idle ratio) published lock-free and consumed through
-// pluggable policy interfaces — victim selection, job dispatch, job
-// migration, quota moves. xomp.Config.Policy selects a named fixed policy
-// or "adaptive", the runtime controller that classifies workload
-// granularity from the plane and retunes the DLB configuration live
-// (loadgen -policy adaptive -phase 300ms shows it switching; dlbsweep
-// -policy all reports the fixed point it converges to per BOTS app).
+// pluggable policy interfaces — admission, victim selection, job
+// dispatch, job migration, quota moves. xomp.Config.Policy selects a
+// named fixed policy or "adaptive", the runtime controller that
+// classifies workload granularity from the plane and retunes the DLB
+// configuration live (loadgen -policy adaptive -phase 300ms shows it
+// switching; dlbsweep -policy all reports the fixed point it converges
+// to per BOTS app).
+//
+// Admission itself is policy-driven: SubmitCtx submissions carry a
+// priority class (per-class bounded queues, adopted interactive-first)
+// and an optional deadline, and xomp.Config.Admit selects what a full
+// backlog means — wait (BlockWhenFull), fail fast (RejectWhenFull,
+// ErrBacklogFull), or deadline-aware load shedding under saturation
+// (DeadlineShed, ErrShed). A waiting submitter unblocks on context
+// cancellation or deadline expiry instead of hanging forever (loadgen
+// -priority-mix/-deadline/-admit drive it; BenchmarkAdmissionSaturation
+// compares block vs shed).
 //
 // The public API lives in repro/xomp. ARCHITECTURE.md maps the paper's
 // sections onto the packages and traces a job end to end; cmd/README.md

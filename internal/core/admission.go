@@ -1,0 +1,259 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"time"
+
+	"repro/internal/load"
+	"repro/internal/prof"
+)
+
+// Admission: the policy-driven entry edge of the job dataflow.
+//
+// Submit used to end in a bare blocking channel send — once the backlog
+// filled, every submitter hung indefinitely with no cancellation,
+// timeout, or rejection path. SubmitCtx replaces that edge with a
+// first-class admission level: per-priority-class bounded queues (workers
+// adopt strictly in class order, so background floods cannot
+// head-of-line-block interactive jobs), context- and deadline-aware
+// waiting with typed errors, and a pluggable load.AdmitPolicy deciding
+// whether a submission waits, is rejected, or is shed. Plain Submit
+// remains the blocking-compatibility wrapper.
+
+// The profile's per-class admission state is sized by its own constant so
+// prof stays a leaf package; this assignment fails to compile if the two
+// class counts ever drift apart.
+var _ [prof.AdmitClasses]struct{} = [load.NumClasses]struct{}{}
+
+var (
+	// ErrBacklogFull is returned by SubmitCtx when the submission's class
+	// queue is full and the admission policy does not allow waiting.
+	ErrBacklogFull = errors.New("core: admission backlog full")
+	// ErrShed is returned by SubmitCtx when the admission policy shed the
+	// submission: under saturation, its deadline could not be met given
+	// the current job service time and queue depth.
+	ErrShed = errors.New("core: job shed by admission policy")
+	// ErrDeadlineExceeded is returned by SubmitCtx when the submission's
+	// own deadline (SubmitOpts.Deadline) expired before the job could be
+	// admitted — already past at submit, or reached while waiting for
+	// queue space.
+	ErrDeadlineExceeded = errors.New("core: submission deadline exceeded before admission")
+)
+
+// SubmitOpts qualifies one submission.
+type SubmitOpts struct {
+	// Priority is the submission's class. The zero value is ClassBatch —
+	// the same neutral class plain Submit uses — so leaving it unset
+	// never grants an accidental priority boost; interactive service
+	// must be requested explicitly. Each class has its own bounded
+	// admission queue of Config.Backlog jobs and workers adopt strictly
+	// in priority order (interactive, batch, background).
+	Priority load.Class
+	// Deadline, when non-zero, is the absolute time by which the caller
+	// needs the job complete. An already-expired deadline returns
+	// ErrDeadlineExceeded immediately; a deadline reached while waiting
+	// for queue space unblocks the wait with the same error; and a
+	// deadline-aware admission policy (load.DeadlineShed) sheds the
+	// submission when the deadline cannot plausibly be met. The deadline
+	// is an admission contract only: a job admitted in time is run to
+	// completion even if it finishes late.
+	Deadline time.Time
+}
+
+// Submit enqueues fn as a new job's root task and returns the job handle
+// — the compatibility wrapper over SubmitCtx with the batch class, no
+// deadline, and no cancellation. Under the default admission policy it
+// blocks while the batch queue is full (backpressure) and returns
+// ErrClosed once Close has begun; a non-blocking Config.Admit governs
+// plain Submit too — the policy is the team's overload regime, so a
+// RejectWhenFull or DeadlineShed team returns ErrBacklogFull rather than
+// letting legacy callers block past the operator's chosen bound. Submit
+// is safe for concurrent use from any goroutine *outside* the team; task
+// bodies must use Worker.Spawn, not Submit — a worker blocked on a full
+// admission queue cannot help drain it.
+func (tm *Team) Submit(fn TaskFunc) (*Job, error) {
+	return tm.SubmitCtx(context.Background(), fn, SubmitOpts{Priority: load.ClassBatch})
+}
+
+// SubmitCtx enqueues fn as a new job's root task under an admission
+// contract: the submission carries a priority class and an optional
+// deadline, the team's admission policy (Config.Admit) decides whether a
+// full backlog means waiting, rejection, or shedding, and a wait unblocks
+// promptly when ctx is cancelled or the deadline arrives. The error is
+// typed: ctx.Err() on cancellation, ErrDeadlineExceeded on an expired
+// deadline, ErrBacklogFull on a non-blocking rejection, ErrShed when the
+// policy dropped the job, ErrClosed once Close has begun. Like Submit it
+// must be called from outside the team's task bodies.
+func (tm *Team) SubmitCtx(ctx context.Context, fn TaskFunc, opts SubmitOpts) (*Job, error) {
+	svc := tm.svc.Load()
+	if svc == nil {
+		return nil, errors.New("core: team is not serving; call Serve first")
+	}
+	if fn == nil {
+		return nil, errors.New("core: Submit(nil)")
+	}
+	class := opts.Priority
+	if class < 0 || class >= load.NumClasses {
+		return nil, fmt.Errorf("core: priority class %d outside [0, %d)", class, load.NumClasses)
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if err := ctx.Err(); err != nil {
+		tm.admitFailed(int(class), prof.AdmitCancelled)
+		return nil, err
+	}
+	var remaining time.Duration
+	if !opts.Deadline.IsZero() {
+		remaining = time.Until(opts.Deadline)
+		if remaining <= 0 {
+			tm.admitFailed(int(class), prof.AdmitExpired)
+			return nil, ErrDeadlineExceeded
+		}
+	}
+
+	// The admission policy decides the enqueue *mode* (wait / no-wait /
+	// shed) before any accounting, from the same signal plane the other
+	// balancing levels read. Both built-in non-shedding policies skip
+	// the signal aggregation entirely — they never consult it — so plain
+	// backpressure and fail-fast admission cost no plane scan; only
+	// shedding-capable policies pay for signals.
+	decision := load.AdmitWait
+	switch tm.admit.(type) {
+	case load.BlockWhenFull:
+	case load.RejectWhenFull:
+		decision = load.AdmitReject
+	default:
+		ch := svc.submit[class]
+		sig := tm.Signals()
+		decision = tm.admit.Admit(load.AdmitRequest{
+			Class:     class,
+			Deadline:  remaining,
+			Queued:    len(ch),
+			Capacity:  cap(ch),
+			Saturated: tm.saturated(sig),
+		}, sig)
+	}
+	if decision == load.AdmitShed {
+		// A closing team reports ErrClosed, not ErrShed: the reject and
+		// wait paths pass the authoritative closed check under svc.mu
+		// below, and this early return must not mask a Close already
+		// begun (a caller backs off and retries on ErrShed; it stops on
+		// ErrClosed).
+		svc.mu.Lock()
+		closed := svc.closed
+		svc.mu.Unlock()
+		if closed {
+			return nil, ErrClosed
+		}
+		tm.admitFailed(int(class), prof.AdmitShed)
+		return nil, ErrShed
+	}
+
+	j := &Job{done: make(chan struct{}), class: class}
+	j.worker.Store(-1)
+	j.root.reset(fn, nil, 0, 0)
+	j.root.noRecycle = true // the root outlives the region; never pool it
+	j.root.job = j
+
+	svc.mu.Lock()
+	if svc.closed {
+		svc.mu.Unlock()
+		return nil, ErrClosed
+	}
+	svc.active++
+	j.id = tm.jobSeq.Add(1)
+	svc.mu.Unlock()
+
+	admitStart := tm.profile.Now()
+	j.submitNS.Store(admitStart)
+	// Raise the queue-depth gauges before the send so a blocked submitter
+	// still counts as demand against this team (the signal a sharded
+	// dispatcher compares); adoption, migration, and the rollback below
+	// decrement them.
+	tm.profile.AddQueueDepth(1)
+	tm.profile.AddClassQueued(int(class), 1)
+
+	ch := svc.submit[class]
+	select {
+	case ch <- &j.root:
+		tm.admitted(int(class), admitStart)
+		return j, nil
+	default:
+	}
+	if decision == load.AdmitReject {
+		tm.rollbackSubmit(svc, j, prof.AdmitRejected)
+		return nil, ErrBacklogFull
+	}
+	// Blocked wait, cancellable. The select commits to exactly one arm:
+	// either the send happens (the queue owns the job from then on) or it
+	// never happens and the rollback undoes the accounting above — there
+	// is no state in which a worker can adopt a job whose submission also
+	// rolled back.
+	var timeout <-chan time.Time
+	if !opts.Deadline.IsZero() {
+		timer := time.NewTimer(time.Until(opts.Deadline))
+		defer timer.Stop()
+		timeout = timer.C
+	}
+	select {
+	case ch <- &j.root:
+		tm.admitted(int(class), admitStart)
+		return j, nil
+	case <-ctx.Done():
+		tm.rollbackSubmit(svc, j, prof.AdmitCancelled)
+		return nil, ctx.Err()
+	case <-timeout:
+		tm.rollbackSubmit(svc, j, prof.AdmitExpired)
+		return nil, ErrDeadlineExceeded
+	}
+}
+
+// admitted records one successful admission: the per-class counter and
+// the admission latency (time the submitter spent at the edge before the
+// enqueue).
+func (tm *Team) admitted(class int, admitStart int64) {
+	tm.profile.CountAdmit(class, prof.AdmitAdmitted)
+	tm.profile.RecordAdmitLatency(class, tm.profile.Now()-admitStart)
+}
+
+// admitFailed records a submission that never reached the accounting
+// stage (shed, pre-expired deadline, pre-cancelled context).
+func (tm *Team) admitFailed(class int, o prof.AdmitOutcome) {
+	tm.profile.CountAdmit(class, o)
+	tm.profile.RecordAdmitEvent(prof.AdmitEvent{At: tm.profile.Now(), Class: class, Outcome: o})
+}
+
+// rollbackSubmit undoes the admission accounting of a job whose enqueue
+// did not happen (rejected, cancelled, or expired while waiting): the
+// queue-depth gauges and the service's active count, exactly once — the
+// caller's select guarantees the send arm did not fire, so no worker can
+// have adopted the job. If this was the last active job and a Close is
+// waiting for quiescence, the broadcast releases it.
+func (tm *Team) rollbackSubmit(svc *service, j *Job, o prof.AdmitOutcome) {
+	tm.profile.AddQueueDepth(-1)
+	tm.profile.AddClassQueued(int(j.class), -1)
+	svc.mu.Lock()
+	svc.active--
+	if svc.active == 0 {
+		svc.cond.Broadcast()
+	}
+	svc.mu.Unlock()
+	tm.admitFailed(int(j.class), o)
+}
+
+// saturated is the runtime's saturation verdict for the admission edge:
+// the adaptive controller's hysteresis-damped trigger when a controller
+// is running (see Team.PolicyTick), an instantaneous Load() >= 1 check
+// otherwise.
+func (tm *Team) saturated(sig load.Signals) bool {
+	switch tm.satState.Load() {
+	case satOn:
+		return true
+	case satOff:
+		return false
+	}
+	return sig.Load() >= 1
+}

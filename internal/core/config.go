@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 
+	"repro/internal/load"
 	"repro/internal/numa"
 )
 
@@ -158,9 +159,19 @@ type Config struct {
 	// capacity for LOMP; a power of two. 0 → 256.
 	QueueSize int
 	// Backlog is the admission-queue capacity of the task-service mode
-	// (Serve/Submit): how many submitted jobs may wait for adoption before
-	// Submit blocks, the service's backpressure bound. 0 → 4×Workers.
+	// (Serve/Submit), per priority class: how many submitted jobs of one
+	// class may wait for adoption before Submit blocks (or the admission
+	// policy rejects/sheds), the service's backpressure bound. Classes
+	// are bounded independently so a full background queue cannot crowd
+	// out interactive admissions. 0 → 4×Workers.
 	Backlog int
+	// Admit is the admission policy of the task-service mode: when a
+	// submission arrives, it decides from the load signals whether the
+	// submitter waits for queue space, is rejected on a full class queue
+	// (ErrBacklogFull), or is shed because its deadline cannot be met
+	// (ErrShed). nil → load.BlockWhenFull, the pure-backpressure
+	// compatibility behavior.
+	Admit load.AdmitPolicy
 	// Profile enables the event timeline (counters are always on).
 	Profile bool
 	// Pin locks each worker goroutine to an OS thread for the duration of

@@ -5,6 +5,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"repro/internal/load"
 )
 
 // Job is the handle to one unit of work submitted to a serving Team (see
@@ -26,6 +28,12 @@ type Job struct {
 	id   int64
 	root Task
 	done chan struct{}
+
+	// class is the job's admission priority class (SubmitOpts.Priority),
+	// fixed at submission: it selects the admission queue, survives
+	// migration (the job re-enters the destination team's same-class
+	// queue), and is recorded on the JobRecord.
+	class load.Class
 
 	// failed is raised by the first panicking task; later tasks of this
 	// job skip their bodies (cancellation) but keep completion accounting,
@@ -104,6 +112,9 @@ func (j *Job) Worker() int { return int(j.worker.Load()) }
 // Migrated reports whether a second-level balancer moved this job off the
 // team it was submitted to while it was still queued (see MigrateQueuedJob).
 func (j *Job) Migrated() bool { return j.migrated.Load() }
+
+// Class returns the job's admission priority class.
+func (j *Job) Class() load.Class { return j.class }
 
 // QueueDelay returns how long the job waited in the admission queue before
 // a worker adopted it. Valid once the job has started.

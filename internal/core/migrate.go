@@ -1,5 +1,7 @@
 package core
 
+import "repro/internal/load"
+
 // Second-level load balancing: whole-job migration between serving teams.
 //
 // The DLB strategies in dlb.go balance tasks *within* one team; they never
@@ -21,7 +23,14 @@ package core
 //
 // The job's completion accounting transfers with it: dst counts the job
 // active before src uncounts it, so no Close on either team can observe
-// the job unaccounted. The job keeps the ID issued by src; its JobRecord
+// the job unaccounted. The job keeps the ID issued by src — and its
+// admission priority class: it re-enters dst's queue for the same class,
+// so migration can never promote background work past interactive jobs
+// (or demote interactive work behind them). Candidates are drawn from
+// src's lowest-priority non-empty class queue first: under strict
+// class-order adoption the hot shard serves its interactive backlog
+// soonest anyway, so the jobs that gain the most from moving to an idle
+// shard are the ones furthest back in the adoption order. Its JobRecord
 // lands on dst's profile with Migrated set.
 func MigrateQueuedJob(src, dst *Team) bool {
 	if src == dst {
@@ -33,15 +42,23 @@ func MigrateQueuedJob(src, dst *Team) bool {
 		return false
 	}
 	// A task still in the admission channel is by definition unadopted;
-	// receiving it makes this goroutine its exclusive owner.
+	// receiving it makes this goroutine its exclusive owner. Candidates
+	// come from the lowest-priority non-empty queue first (ByPriority
+	// reversed).
 	var t *Task
-	select {
-	case t = <-ssvc.submit:
-	default:
+	for i := len(load.ByPriority) - 1; i >= 0 && t == nil; i-- {
+		select {
+		case t = <-ssvc.submit[load.ByPriority[i]]:
+		default:
+		}
+	}
+	if t == nil {
 		return false
 	}
-	src.profile.AddQueueDepth(-1)
 	j := t.job
+	class := int(j.class)
+	src.profile.AddQueueDepth(-1)
+	src.profile.AddClassQueued(class, -1)
 
 	// Count the job into dst before uncounting it from src. A dst that
 	// has begun closing is refused: its Close may already be past the
@@ -53,7 +70,8 @@ func MigrateQueuedJob(src, dst *Team) bool {
 		// still in src's active count, so src's workers keep serving (and
 		// draining this channel) until it is adopted and completed.
 		src.profile.AddQueueDepth(1)
-		ssvc.submit <- t
+		src.profile.AddClassQueued(class, 1)
+		ssvc.submit[class] <- t
 		return false
 	}
 	dsvc.active++
@@ -68,10 +86,11 @@ func MigrateQueuedJob(src, dst *Team) bool {
 	src.profile.IncMigratedOut()
 	dst.profile.IncMigratedIn()
 	dst.profile.AddQueueDepth(1)
+	dst.profile.AddClassQueued(class, 1)
 	// Blocking send is safe for the same reason as the rollback above,
 	// now on dst: the job is in dst's active count, so dst's workers
 	// cannot stop before draining it.
-	dsvc.submit <- t
+	dsvc.submit[class] <- t
 
 	ssvc.mu.Lock()
 	ssvc.active--

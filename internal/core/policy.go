@@ -149,12 +149,25 @@ func (p *Policy) resolve(c *Config) error {
 	return nil
 }
 
+// The admission edge's saturation verdict (Team.satState): auto means no
+// adaptive controller has established one, so SubmitCtx falls back to an
+// instantaneous Load() check; on/off are the controller's hysteresis-
+// damped verdict (load.Adaptive.ObserveSaturation).
+const (
+	satAuto int32 = iota
+	satOn
+	satOff
+)
+
 // PolicyTick runs one adaptive-controller observation synchronously:
-// aggregate the team's signal plane, classify the workload's granularity,
-// and — once the classification has durably changed (hysteresis) — retune
-// the live DLB configuration to the guideline for the new class,
-// recording a policy switch on the team's profile. It reports whether a
-// retune happened. The background controller calls this every
+// aggregate the team's signal plane, track saturation for the admission
+// edge (deadline-aware shedding engages only while the hysteresis-damped
+// tracker says the team is oversubscribed), classify the workload's
+// granularity, and — once the classification has durably changed
+// (hysteresis) — retune the live DLB configuration to the guideline for
+// the new class, recording a policy switch on the team's profile. It
+// reports whether a retune happened (saturation flips are recorded on the
+// trace but not reported). The background controller calls this every
 // Policy.Interval while the team serves; tests and external controllers
 // may invoke it directly (also with Policy.Interval < 0, which suppresses
 // the background loop). It returns false when the team was not built with
@@ -166,6 +179,28 @@ func (tm *Team) PolicyTick() bool {
 		return false
 	}
 	sig := tm.Signals()
+	sat, flipped := tm.adapt.ObserveSaturation(sig)
+	state := satOff
+	if sat {
+		state = satOn
+	}
+	// Publish the tracker's verdict every tick (not only on flips): from
+	// the controller's first observation onward the admission edge uses
+	// the hysteresis-damped verdict, never the raw per-call Load check it
+	// falls back to without a controller — so a queue blip between flips
+	// cannot shed work on a team the tracker still considers healthy.
+	tm.satState.Store(state)
+	if flipped {
+		verdict := "admission: shed disengaged (load normal)"
+		if sat {
+			verdict = "admission: shed engaged (saturated)"
+		}
+		tm.profile.RecordPolicySwitch(prof.PolicySwitch{
+			At:   tm.profile.Now(),
+			From: fmt.Sprintf("load %.2f", sig.Load()),
+			To:   verdict,
+		})
+	}
 	grain, switched := tm.adapt.Observe(sig)
 	if !switched {
 		return false

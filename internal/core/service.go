@@ -49,10 +49,14 @@ const (
 
 // service is the per-Serve state of a team in task-service mode.
 type service struct {
-	// submit is the bounded admission queue. Any worker may receive from
-	// it, which keeps the SPSC discipline of the queueing substrates: a
-	// root task enters a worker's domain only on that worker's goroutine.
-	submit chan *Task
+	// submit is the bounded admission queue, one channel per priority
+	// class (each Config.Backlog deep) so a flood in one class can never
+	// head-of-line-block another: workers adopt strictly in class order
+	// (tryRecv), but a full background queue leaves the interactive
+	// queue's space untouched. Any worker may receive, which keeps the
+	// SPSC discipline of the queueing substrates: a root task enters a
+	// worker's domain only on that worker's goroutine.
+	submit [load.NumClasses]chan *Task
 
 	// mu guards the admission/drain state below.
 	mu     sync.Mutex
@@ -117,13 +121,19 @@ func (tm *Team) Serve() error {
 		return errors.New("core: team is already serving")
 	}
 	svc := &service{
-		submit: make(chan *Task, tm.cfg.Backlog),
 		parkCh: make(chan struct{}),
+	}
+	for c := range svc.submit {
+		svc.submit[c] = make(chan *Task, tm.cfg.Backlog)
 	}
 	svc.cond = sync.NewCond(&svc.mu)
 	// Each Serve generation starts at full capacity (Close restored the
-	// mask; see SetActive for shrinking it while serving).
+	// mask; see SetActive for shrinking it while serving) and
+	// re-establishes the admission saturation verdict from scratch (auto
+	// until a controller has observed enough), published before the
+	// service so no submission can read a stale verdict.
 	tm.setActiveLocked(tm.n)
+	tm.satState.Store(satAuto)
 	tm.svc.Store(svc)
 	svc.wg.Add(tm.n)
 	for _, w := range tm.workers {
@@ -188,41 +198,21 @@ func (tm *Team) SetActive(n int) error {
 	return nil
 }
 
-// Submit enqueues fn as a new job's root task and returns the job handle.
-// It blocks while the admission queue is full (backpressure) and returns
-// ErrClosed once Close has begun. Submit is safe for concurrent use from
-// any goroutine *outside* the team; task bodies must use Worker.Spawn, not
-// Submit — a worker blocked on a full admission queue cannot help drain it.
-func (tm *Team) Submit(fn TaskFunc) (*Job, error) {
-	svc := tm.svc.Load()
-	if svc == nil {
-		return nil, errors.New("core: team is not serving; call Serve first")
+// tryRecv receives one submitted root task in strict priority order
+// (load.ByPriority): interactive before batch before background. A
+// worker only reaches a lower class after finding every higher class's
+// queue empty, which is what makes the per-class queues an
+// anti-head-of-line-blocking device rather than mere partitioning.
+// Non-blocking; nil when all queues are empty.
+func (svc *service) tryRecv() *Task {
+	for _, c := range load.ByPriority {
+		select {
+		case t := <-svc.submit[c]:
+			return t
+		default:
+		}
 	}
-	if fn == nil {
-		return nil, errors.New("core: Submit(nil)")
-	}
-	j := &Job{done: make(chan struct{})}
-	j.worker.Store(-1)
-	j.root.reset(fn, nil, 0, 0)
-	j.root.noRecycle = true // the root outlives the region; never pool it
-	j.root.job = j
-
-	svc.mu.Lock()
-	if svc.closed {
-		svc.mu.Unlock()
-		return nil, ErrClosed
-	}
-	svc.active++
-	j.id = tm.jobSeq.Add(1)
-	svc.mu.Unlock()
-
-	j.submitNS.Store(tm.profile.Now())
-	// Raise the queue-depth gauge before the send so a blocked submitter
-	// still counts as demand against this team (the signal a sharded
-	// dispatcher compares); adoption and migration decrement it.
-	tm.profile.AddQueueDepth(1)
-	svc.submit <- &j.root
-	return j, nil
+	return nil
 }
 
 // QueueDepth returns the number of jobs submitted to this team but not yet
@@ -338,8 +328,7 @@ func (tm *Team) serve(svc *service, w *Worker) {
 			spins, idle, sleep = 0, 0, parkSleepMin
 			continue
 		}
-		select {
-		case t := <-svc.submit:
+		if t := svc.tryRecv(); t != nil {
 			if stalling {
 				th.End(prof.EvStall)
 				stalling = false
@@ -347,7 +336,6 @@ func (tm *Team) serve(svc *service, w *Worker) {
 			tm.adopt(w, t)
 			spins, idle, sleep = 0, 0, parkSleepMin
 			continue
-		default:
 		}
 		if svc.stop.Load() {
 			if stalling {
@@ -461,6 +449,7 @@ func (tm *Team) handOff(w *Worker, t *Task) bool {
 func (tm *Team) adopt(w *Worker, t *Task) {
 	j := t.job
 	tm.profile.AddQueueDepth(-1)
+	tm.profile.AddClassQueued(int(j.class), -1)
 	t.creator = int32(w.id)
 	j.worker.Store(int32(w.id))
 	j.startNS.Store(tm.profile.Now())
@@ -482,6 +471,7 @@ func (tm *Team) finishJob(j *Job) {
 		Submit:   j.submitNS.Load(),
 		Start:    j.startNS.Load(),
 		End:      j.endNS.Load(),
+		Class:    int(j.class),
 		Panicked: j.failed.Load(),
 		Migrated: j.migrated.Load(),
 	})

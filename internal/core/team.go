@@ -45,6 +45,14 @@ type Team struct {
 	// victim selects steal victims for idle thieves (Config.Policy.Victim,
 	// default load.CondRandom — the paper's conditionally random pick).
 	victim load.VictimPolicy
+	// admit is the admission policy of the task-service mode
+	// (Config.Admit, default load.BlockWhenFull).
+	admit load.AdmitPolicy
+	// satState is the admission edge's saturation verdict: satAuto while
+	// no adaptive controller runs (SubmitCtx then checks Load() >= 1 per
+	// call), satOn/satOff once the controller's hysteresis-damped tracker
+	// has established one (see PolicyTick).
+	satState atomic.Int32
 	// plane is the team's load-signal plane: one lock-free cell per
 	// worker, written by that worker's Sampler at a uniform cadence and
 	// aggregated by Team.Signals for the balancing policies above.
@@ -100,6 +108,10 @@ func NewTeam(cfg Config) (*Team, error) {
 	tm.victim = cfg.Policy.Victim
 	if tm.victim == nil {
 		tm.victim = load.CondRandom{}
+	}
+	tm.admit = cfg.Admit
+	if tm.admit == nil {
+		tm.admit = load.BlockWhenFull{}
 	}
 	tm.plane = load.NewPlane(cfg.Workers)
 	tm.active.Store(int32(cfg.Workers))
@@ -235,6 +247,10 @@ func (tm *Team) Signals() load.Signals {
 	}
 	if tm.Serving() {
 		agg.QueueDepth = float64(tm.profile.QueueDepth())
+		for c := 0; c < int(load.NumClasses); c++ {
+			agg.ClassQueueDepth[c] = float64(tm.profile.ClassQueued(c))
+		}
+		agg.JobNS = tm.profile.JobTimeNS()
 		running := float64(tm.ActiveJobs()) - agg.QueueDepth
 		if running < 0 {
 			running = 0

@@ -82,6 +82,12 @@ type AdaptiveConfig struct {
 	// change no matter how long it persists. 0 means 1.25 (25%); 1
 	// disables the band.
 	GuardBand float64
+	// SatLoad is the Load() (queued + running work over active capacity)
+	// at which ObserveSaturation engages the saturated state; it releases
+	// only once Load falls back below SatLoad/GuardBand, the same Schmitt
+	// shape the grain classifier uses. 0 means 1.0 (demand matches
+	// capacity).
+	SatLoad float64
 }
 
 // Adaptive is the runtime controller's decision core: feed it periodic
@@ -96,6 +102,11 @@ type Adaptive struct {
 	current   Grain
 	candidate Grain
 	streak    int
+
+	// Saturation tracker state (ObserveSaturation): the established
+	// verdict and the streak of consecutive contrary observations.
+	saturated bool
+	satStreak int
 }
 
 // NewAdaptive returns a controller with no established class; the first
@@ -113,6 +124,9 @@ func NewAdaptive(cfg AdaptiveConfig) *Adaptive {
 	}
 	if cfg.GuardBand < 1 {
 		cfg.GuardBand = 1
+	}
+	if cfg.SatLoad <= 0 {
+		cfg.SatLoad = 1
 	}
 	return &Adaptive{cfg: cfg, current: GrainUnknown, candidate: GrainUnknown}
 }
@@ -162,4 +176,38 @@ func (a *Adaptive) Observe(s Signals) (Grain, bool) {
 	a.current = g
 	a.candidate, a.streak = GrainUnknown, 0
 	return a.current, true
+}
+
+// Saturated returns the established saturation verdict.
+func (a *Adaptive) Saturated() bool { return a.saturated }
+
+// ObserveSaturation feeds one signal-plane aggregate to the saturation
+// tracker, the gate that lets deadline-aware admission shedding engage
+// only when the team is genuinely oversubscribed. The verdict flips to
+// saturated after Hysteresis consecutive observations with Load() at or
+// above SatLoad, and back only after Hysteresis consecutive observations
+// below SatLoad/GuardBand — the same streak-plus-Schmitt damping the
+// grain classifier uses, so a bursty-but-keeping-up team never starts
+// dropping work and a briefly drained backlog never stops a shed regime
+// that is still needed. It returns the current verdict and whether this
+// observation flipped it.
+func (a *Adaptive) ObserveSaturation(s Signals) (saturated, switched bool) {
+	load := s.Load()
+	var contrary bool
+	if a.saturated {
+		contrary = load < a.cfg.SatLoad/a.cfg.GuardBand
+	} else {
+		contrary = load >= a.cfg.SatLoad
+	}
+	if !contrary {
+		a.satStreak = 0
+		return a.saturated, false
+	}
+	a.satStreak++
+	if a.satStreak < a.cfg.Hysteresis {
+		return a.saturated, false
+	}
+	a.saturated = !a.saturated
+	a.satStreak = 0
+	return a.saturated, true
 }

@@ -43,6 +43,13 @@ type Signals struct {
 	// shard; 0 for a worker (per-worker task-queue depth is not cheaply
 	// observable in the lock-less substrates).
 	QueueDepth float64
+	// ClassQueueDepth splits QueueDepth by admission priority class,
+	// indexed by Class value (shard level only; all-zero for a worker).
+	// Under strict priority-order adoption the work ahead of a class-c
+	// submission is the sum over classes of equal or higher priority
+	// (EffectiveDepth), which class-aware dispatch and the DeadlineShed
+	// admission predictor compare.
+	ClassQueueDepth [NumClasses]float64
 	// Running is work in flight: adopted-but-unfinished jobs for a shard;
 	// the worker's busy fraction (1 - IdleRatio) for a worker.
 	Running float64
@@ -60,6 +67,12 @@ type Signals struct {
 	// IdleRatio is the EWMA-smoothed fraction of scheduling-point visits
 	// spent idle (no task to run), in [0, 1].
 	IdleRatio float64
+	// JobNS is the EWMA-smoothed mean whole-job run time in nanoseconds
+	// (adoption to quiescence; shard level only, 0 for a worker and
+	// before the first job completes). It is the service-time estimate at
+	// job granularity that deadline-aware admission predicts with —
+	// ServiceNS describes leaf tasks, which a job comprises many of.
+	JobNS float64
 }
 
 // Load is the entity's demand per unit of capacity: queued plus running
@@ -145,9 +158,12 @@ func Aggregate(per []Signals) Signals {
 	if len(per) == 0 {
 		return agg
 	}
-	var svcWeight float64
+	var svcWeight, jobWeight float64
 	for _, s := range per {
 		agg.QueueDepth += s.QueueDepth
+		for c := range s.ClassQueueDepth {
+			agg.ClassQueueDepth[c] += s.ClassQueueDepth[c]
+		}
 		agg.Running += s.Running
 		agg.Capacity += s.Capacity
 		agg.TaskRate += s.TaskRate
@@ -159,11 +175,18 @@ func Aggregate(per []Signals) Signals {
 		}
 		agg.ServiceNS += s.ServiceNS * w
 		svcWeight += w
+		if s.JobNS > 0 {
+			agg.JobNS += s.JobNS
+			jobWeight++
+		}
 	}
 	if svcWeight > 0 {
 		agg.ServiceNS /= svcWeight
 	} else {
 		agg.ServiceNS = 0
+	}
+	if jobWeight > 0 {
+		agg.JobNS /= jobWeight
 	}
 	agg.IdleRatio /= float64(len(per))
 	return agg

@@ -195,7 +195,7 @@ func TestPowerOfTwoPrefersShallow(t *testing.T) {
 	wins := 0
 	const draws = 4000
 	for i := 0; i < draws; i++ {
-		if p2.Pick(r.Uint64(), len(depths), sig) == 1 {
+		if p2.Pick(r.Uint64(), len(depths), ClassBatch, sig) == 1 {
 			wins++
 		}
 	}
@@ -204,7 +204,7 @@ func TestPowerOfTwoPrefersShallow(t *testing.T) {
 	if frac := float64(wins) / draws; frac < 0.35 {
 		t.Fatalf("shallow shard picked %.0f%%, want > 35%%", frac*100)
 	}
-	if got := p2.Pick(123, 1, sig); got != 0 {
+	if got := p2.Pick(123, 1, ClassBatch, sig); got != 0 {
 		t.Fatalf("single shard pick %d", got)
 	}
 }
@@ -217,7 +217,7 @@ func TestLeastLoaded(t *testing.T) {
 	}
 	var ll LeastLoaded
 	for r := uint64(0); r < 50; r++ {
-		if got := ll.Pick(r, len(sigs), func(i int) Signals { return sigs[i] }); got != 1 {
+		if got := ll.Pick(r, len(sigs), ClassBatch, func(i int) Signals { return sigs[i] }); got != 1 {
 			t.Fatalf("least loaded pick %d, want 1", got)
 		}
 	}

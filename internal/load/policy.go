@@ -98,21 +98,44 @@ func (BusyVictim) Pick(v VictimView, plocal float64) int {
 }
 
 // DispatchPolicy places one incoming job on a shard. r is a fresh uniform
-// 64-bit random draw (so stateless policies need no RNG of their own),
-// n the shard count, and sig returns shard i's current signals. Pick
-// returns a shard index in [0, n).
+// 64-bit random draw (so stateless policies need no RNG of their own), n
+// the shard count, c the job's admission priority class, and sig returns
+// shard i's current signals. Pick returns a shard index in [0, n).
 type DispatchPolicy interface {
-	Pick(r uint64, n int, sig func(int) Signals) int
+	Pick(r uint64, n int, c Class, sig func(int) Signals) int
+}
+
+// EffectiveDepth is the queue depth a class-c submission actually
+// experiences on a shard: under strict priority-order adoption only jobs
+// of an equal or higher priority class precede it, so the relevant
+// backlog is the sum of depths over classes with Rank <= c.Rank().
+// Shards that predate per-class accounting (or synthetic signals that
+// only fill QueueDepth) fall back to the total.
+func EffectiveDepth(s Signals, c Class) float64 {
+	if s.ClassQueueDepth == ([NumClasses]float64{}) {
+		return s.QueueDepth
+	}
+	var d float64
+	for k := Class(0); k < NumClasses; k++ {
+		if k.Rank() <= c.Rank() {
+			d += s.ClassQueueDepth[k]
+		}
+	}
+	return d
 }
 
 // PowerOfTwo is power-of-two-choices placement: draw two distinct shards,
-// compare their admission queue depths, and take the shallower (ties
-// break to the fewer running jobs, then to the first draw). Two signal
-// reads per placement, no shared coordination point, and an expected
-// max-load exponentially better than one random choice.
+// compare the admission queue depth the job's class would experience
+// there (EffectiveDepth — an interactive job ignores queued background
+// work it would be adopted ahead of), and take the shallower (ties break
+// to the fewer running jobs, then to the first draw). Two signal reads
+// per placement, no shared coordination point, and an expected max-load
+// exponentially better than one random choice. The class-effective depth
+// also makes placement shed-aware: the shallower effective queue is the
+// one where a deadline-carrying job is least likely to be shed.
 type PowerOfTwo struct{}
 
-func (PowerOfTwo) Pick(r uint64, n int, sig func(int) Signals) int {
+func (PowerOfTwo) Pick(r uint64, n int, c Class, sig func(int) Signals) int {
 	if n <= 1 {
 		return 0
 	}
@@ -122,10 +145,11 @@ func (PowerOfTwo) Pick(r uint64, n int, sig func(int) Signals) int {
 		b = (b + 1) % n
 	}
 	sa, sb := sig(a), sig(b)
+	da, db := EffectiveDepth(sa, c), EffectiveDepth(sb, c)
 	switch {
-	case sb.QueueDepth < sa.QueueDepth:
+	case db < da:
 		return b
-	case sa.QueueDepth < sb.QueueDepth:
+	case da < db:
 		return a
 	case sb.Running < sa.Running:
 		return b
@@ -134,12 +158,12 @@ func (PowerOfTwo) Pick(r uint64, n int, sig func(int) Signals) int {
 }
 
 // LeastLoaded scans every shard and places on the minimum Load() (queued
-// plus running work over active capacity). O(n) signal reads per
-// placement — the accuracy end of the dispatch spectrum, for small shard
-// counts or placement-sensitive tenants.
+// plus running work over active capacity, class-blind). O(n) signal reads
+// per placement — the accuracy end of the dispatch spectrum, for small
+// shard counts or placement-sensitive tenants.
 type LeastLoaded struct{}
 
-func (LeastLoaded) Pick(r uint64, n int, sig func(int) Signals) int {
+func (LeastLoaded) Pick(r uint64, n int, _ Class, sig func(int) Signals) int {
 	if n <= 1 {
 		return 0
 	}

@@ -23,6 +23,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"repro/internal/stats"
 )
 
 // Event identifies a timeline event class (paper §V).
@@ -164,13 +166,15 @@ type openEvent struct {
 // marks jobs that a second-level balancer moved here from another team's
 // admission queue before adoption; their ID was issued by the origin team.
 type JobRecord struct {
-	ID       int64 `json:"id"`
-	Worker   int   `json:"worker"`
-	Submit   int64 `json:"submit"`
-	Start    int64 `json:"start"`
-	End      int64 `json:"end"`
-	Panicked bool  `json:"panicked,omitempty"`
-	Migrated bool  `json:"migrated,omitempty"`
+	ID     int64 `json:"id"`
+	Worker int   `json:"worker"`
+	Submit int64 `json:"submit"`
+	Start  int64 `json:"start"`
+	End    int64 `json:"end"`
+	// Class is the job's admission priority class (see AdmitClassName).
+	Class    int  `json:"class,omitempty"`
+	Panicked bool `json:"panicked,omitempty"`
+	Migrated bool `json:"migrated,omitempty"`
 }
 
 // QueueDelay returns how long the job waited between submission and
@@ -187,6 +191,112 @@ func (r JobRecord) RunTime() time.Duration { return time.Duration(r.End - r.Star
 // bound.
 const MaxJobRecords = 4096
 
+// ring is the bounded log all of the profile's event-like state shares
+// (job records, policy switches, admission latencies and events): append
+// until the bound, then overwrite the oldest. Not synchronized — each
+// user brings its own lock.
+type ring[T any] struct {
+	bound int
+	buf   []T
+	head  int
+}
+
+func newRing[T any](bound int) ring[T] { return ring[T]{bound: bound} }
+
+// add appends v, evicting the oldest entry once the ring holds bound
+// entries.
+func (r *ring[T]) add(v T) {
+	if len(r.buf) < r.bound {
+		r.buf = append(r.buf, v)
+		return
+	}
+	r.buf[r.head] = v
+	r.head++
+	if r.head == len(r.buf) {
+		r.head = 0
+	}
+}
+
+// snapshot returns a copy of the retained entries in insertion order
+// (oldest first across the ring seam).
+func (r *ring[T]) snapshot() []T {
+	out := make([]T, 0, len(r.buf))
+	out = append(out, r.buf[r.head:]...)
+	out = append(out, r.buf[:r.head]...)
+	return out
+}
+
+// jobAlpha is the smoothing factor of the job run-time EWMA (JobTimeNS),
+// matching the load-signal plane's per-worker smoothing (load.DefaultAlpha;
+// prof cannot reference it without depending on the load package).
+const jobAlpha = 0.3
+
+// AdmitClasses is the number of admission priority classes the profile
+// keeps per-class state for. It must match load.NumClasses (core asserts
+// this at compile time); prof keeps its own constant so the leaf
+// profiling package does not depend on the load package.
+const AdmitClasses = 3
+
+// admitClassNames are the class names, index-aligned with load.Class
+// values (batch is the zero class there).
+var admitClassNames = [AdmitClasses]string{"batch", "interactive", "background"}
+
+// AdmitClassName returns the admission class name for reports ("class(c)"
+// for out-of-range indices).
+func AdmitClassName(c int) string {
+	if c >= 0 && c < AdmitClasses {
+		return admitClassNames[c]
+	}
+	return fmt.Sprintf("class(%d)", c)
+}
+
+// AdmitOutcome classifies how one submission left the admission edge.
+type AdmitOutcome int
+
+const (
+	// AdmitAdmitted: the job entered its class queue.
+	AdmitAdmitted AdmitOutcome = iota
+	// AdmitRejected: the class queue was full under a non-blocking policy
+	// (ErrBacklogFull).
+	AdmitRejected
+	// AdmitShed: the admission policy dropped the job (ErrShed).
+	AdmitShed
+	// AdmitCancelled: the submitter's context cancelled the wait.
+	AdmitCancelled
+	// AdmitExpired: the submission's deadline expired before admission
+	// (ErrDeadlineExceeded), at submit or during the wait.
+	AdmitExpired
+	// NumAdmitOutcomes is the number of admission outcomes.
+	NumAdmitOutcomes
+)
+
+var admitOutcomeNames = [NumAdmitOutcomes]string{"ADMIT", "REJECT", "SHED", "CANCEL", "EXPIRE"}
+
+// String returns the outcome's counter name.
+func (o AdmitOutcome) String() string {
+	if o >= 0 && int(o) < len(admitOutcomeNames) {
+		return admitOutcomeNames[o]
+	}
+	return fmt.Sprintf("OUTCOME(%d)", int(o))
+}
+
+// AdmitEvent records one non-admission at the admission edge (reject,
+// shed, cancel, expire) for the Chrome-trace export: saturation episodes
+// appear as bursts of these instants on the admission row. Admissions are
+// not recorded as events (they are the common case and would swamp the
+// ring); their counts and latencies live in the per-class counters.
+type AdmitEvent struct {
+	At      int64        `json:"at"` // ns since profile base
+	Class   int          `json:"class"`
+	Outcome AdmitOutcome `json:"outcome"`
+}
+
+// MaxAdmitEvents bounds the retained admission-event ring.
+const MaxAdmitEvents = 4096
+
+// MaxAdmitLatencies bounds the per-class admission-latency ring.
+const MaxAdmitLatencies = 4096
+
 // Profile owns one Thread per worker, plus the shared per-job record log.
 type Profile struct {
 	base     time.Time
@@ -196,12 +306,32 @@ type Profile struct {
 	// Job records are appended by whichever worker completes a job; jobs
 	// are coarse-grained, so a mutex (one lock per job, not per task) stays
 	// off the paper's lock-less fast paths. The log is a ring of the most
-	// recent MaxJobRecords completions: jobs[jobHead:]+jobs[:jobHead] is
-	// the completion order once the ring has wrapped.
+	// recent MaxJobRecords completions in completion order. jobNS smooths
+	// the completed jobs' run times (jobAlpha) and is mirrored into
+	// sigJobNS for lock-free readers — the job-granular service-time
+	// signal deadline-aware admission predicts with.
 	jobMu    sync.Mutex
-	jobs     []JobRecord
-	jobHead  int
+	jobs     ring[JobRecord]
 	jobTotal uint64
+	jobNS    stats.EWMA
+
+	// Admission-edge state: per-class queue-depth gauges (classQueued[c]
+	// sums to the queueDepth gauge), per-class × per-outcome counters,
+	// and two kinds of bounded ring — admission latencies of admitted
+	// jobs (how long Submit waited before the enqueue) and non-admission
+	// events for the trace export. Writers are submitter goroutines, not
+	// workers, so it is all atomics or mutex-guarded like the job log —
+	// but the latency rings are locked *per class* so the admit fast
+	// path of concurrent submitters in different classes shares no
+	// coordination point, and the event mutex is only taken on the
+	// rejection/shed paths.
+	classQueued [AdmitClasses]atomic.Int64
+	admitCounts [AdmitClasses][NumAdmitOutcomes]atomic.Uint64
+	admitLatMu  [AdmitClasses]sync.Mutex
+	admitLat    [AdmitClasses]ring[int64]
+	admitEvMu   sync.Mutex
+	admitEvents ring[AdmitEvent]
+	sigJobNS    atomic.Uint64
 
 	// Shard-level load metrics for two-level balancing. queueDepth is the
 	// NJOBS_QUEUED gauge: jobs submitted to this team's admission queue but
@@ -235,8 +365,7 @@ type Profile struct {
 	// Policy switches: the adaptive controller's retune trace (the
 	// POLICY_SWITCH timeline), a bounded ring like the job record log.
 	polMu       sync.Mutex
-	polSwitches []PolicySwitch
-	polHead     int
+	polSwitches ring[PolicySwitch]
 	polTotal    uint64
 }
 
@@ -256,7 +385,17 @@ const MaxPolicySwitches = 1024
 // New returns a Profile for workers threads. When timeline is false the
 // event-recording methods become cheap no-ops and only counters are kept.
 func New(workers int, timeline bool) *Profile {
-	p := &Profile{base: time.Now(), timeline: timeline}
+	p := &Profile{
+		base:        time.Now(),
+		timeline:    timeline,
+		jobNS:       stats.NewEWMA(jobAlpha),
+		jobs:        newRing[JobRecord](MaxJobRecords),
+		polSwitches: newRing[PolicySwitch](MaxPolicySwitches),
+		admitEvents: newRing[AdmitEvent](MaxAdmitEvents),
+	}
+	for c := range p.admitLat {
+		p.admitLat[c] = newRing[int64](MaxAdmitLatencies)
+	}
 	p.threads = make([]*Thread, workers)
 	for i := range p.threads {
 		p.threads[i] = &Thread{id: i, timeline: timeline, base: p.base}
@@ -283,26 +422,25 @@ func (p *Profile) Now() int64 { return int64(time.Since(p.base)) }
 // from any goroutine.
 func (p *Profile) RecordJob(r JobRecord) {
 	p.jobMu.Lock()
-	if len(p.jobs) < MaxJobRecords {
-		p.jobs = append(p.jobs, r)
-	} else {
-		p.jobs[p.jobHead] = r
-		p.jobHead++
-		if p.jobHead == len(p.jobs) {
-			p.jobHead = 0
-		}
-	}
+	p.jobs.add(r)
 	p.jobTotal++
+	if run := float64(r.End - r.Start); run > 0 {
+		p.sigJobNS.Store(math.Float64bits(p.jobNS.Update(run)))
+	}
 	p.jobMu.Unlock()
+}
+
+// JobTimeNS returns the EWMA-smoothed mean job run time in nanoseconds (0
+// before the first job completes). Safe for any goroutine.
+func (p *Profile) JobTimeNS() float64 {
+	return math.Float64frombits(p.sigJobNS.Load())
 }
 
 // Jobs returns a copy of the retained per-job records in completion order
 // (the most recent MaxJobRecords; see JobsTotal for the lifetime count).
 func (p *Profile) Jobs() []JobRecord {
 	p.jobMu.Lock()
-	out := make([]JobRecord, 0, len(p.jobs))
-	out = append(out, p.jobs[p.jobHead:]...)
-	out = append(out, p.jobs[:p.jobHead]...)
+	out := p.jobs.snapshot()
 	p.jobMu.Unlock()
 	return out
 }
@@ -325,6 +463,69 @@ func (p *Profile) AddQueueDepth(d int64) { p.queueDepth.Add(d) }
 // QueueDepth returns the NJOBS_QUEUED gauge: jobs submitted but not yet
 // adopted. It is the per-shard load signal of a two-level balancer.
 func (p *Profile) QueueDepth() int64 { return p.queueDepth.Load() }
+
+// AddClassQueued adjusts class c's admission queue-depth gauge by d. The
+// task service keeps it in step with the total NJOBS_QUEUED gauge
+// (classQueued sums to queueDepth), so strict-priority consumers can read
+// the backlog a given class actually experiences. Safe for any goroutine.
+func (p *Profile) AddClassQueued(c int, d int64) { p.classQueued[c].Add(d) }
+
+// ClassQueued returns class c's admission queue-depth gauge.
+func (p *Profile) ClassQueued(c int) int64 { return p.classQueued[c].Load() }
+
+// CountAdmit counts one admission outcome for class c. Safe for any
+// goroutine.
+func (p *Profile) CountAdmit(c int, o AdmitOutcome) { p.admitCounts[c][o].Add(1) }
+
+// AdmitCount returns the lifetime count of outcome o for class c.
+func (p *Profile) AdmitCount(c int, o AdmitOutcome) uint64 { return p.admitCounts[c][o].Load() }
+
+// AdmitCounts returns the full per-class × per-outcome admission counter
+// matrix.
+func (p *Profile) AdmitCounts() [AdmitClasses][NumAdmitOutcomes]uint64 {
+	var out [AdmitClasses][NumAdmitOutcomes]uint64
+	for c := range out {
+		for o := range out[c] {
+			out[c][o] = p.admitCounts[c][o].Load()
+		}
+	}
+	return out
+}
+
+// RecordAdmitLatency records how long one admitted class-c submission
+// waited at the admission edge before entering its queue (ns), in a
+// bounded per-class ring. Safe for any goroutine.
+func (p *Profile) RecordAdmitLatency(c int, ns int64) {
+	p.admitLatMu[c].Lock()
+	p.admitLat[c].add(ns)
+	p.admitLatMu[c].Unlock()
+}
+
+// AdmitLatencies returns a copy of class c's retained admission latencies
+// (ns, the most recent MaxAdmitLatencies, in admission order).
+func (p *Profile) AdmitLatencies(c int) []int64 {
+	p.admitLatMu[c].Lock()
+	out := p.admitLat[c].snapshot()
+	p.admitLatMu[c].Unlock()
+	return out
+}
+
+// RecordAdmitEvent records one non-admission (reject/shed/cancel/expire)
+// in the bounded admission-event ring. Safe for any goroutine.
+func (p *Profile) RecordAdmitEvent(e AdmitEvent) {
+	p.admitEvMu.Lock()
+	p.admitEvents.add(e)
+	p.admitEvMu.Unlock()
+}
+
+// AdmitEvents returns a copy of the retained admission events in event
+// order (the most recent MaxAdmitEvents).
+func (p *Profile) AdmitEvents() []AdmitEvent {
+	p.admitEvMu.Lock()
+	out := p.admitEvents.snapshot()
+	p.admitEvMu.Unlock()
+	return out
+}
 
 // IncMigratedIn counts one job migrated into this team's admission queue
 // by a second-level balancer.
@@ -362,15 +563,7 @@ func (p *Profile) LoadSignals() (serviceNS, taskRate, stealRate, idleRatio float
 // policy-switch trace. Safe for any goroutine.
 func (p *Profile) RecordPolicySwitch(s PolicySwitch) {
 	p.polMu.Lock()
-	if len(p.polSwitches) < MaxPolicySwitches {
-		p.polSwitches = append(p.polSwitches, s)
-	} else {
-		p.polSwitches[p.polHead] = s
-		p.polHead++
-		if p.polHead == len(p.polSwitches) {
-			p.polHead = 0
-		}
-	}
+	p.polSwitches.add(s)
 	p.polTotal++
 	p.polMu.Unlock()
 }
@@ -380,9 +573,7 @@ func (p *Profile) RecordPolicySwitch(s PolicySwitch) {
 // counts all).
 func (p *Profile) PolicySwitches() []PolicySwitch {
 	p.polMu.Lock()
-	out := make([]PolicySwitch, 0, len(p.polSwitches))
-	out = append(out, p.polSwitches[p.polHead:]...)
-	out = append(out, p.polSwitches[:p.polHead]...)
+	out := p.polSwitches.snapshot()
 	p.polMu.Unlock()
 	return out
 }
@@ -520,7 +711,16 @@ type Snapshot struct {
 	SigTaskRate    float64        `json:"sig_task_rate,omitempty"`
 	SigStealRate   float64        `json:"sig_steal_rate,omitempty"`
 	SigIdleRatio   float64        `json:"sig_idle_ratio,omitempty"`
+	SigJobNS       float64        `json:"sig_job_ns,omitempty"`
 	PolicySwitches []PolicySwitch `json:"policy_switches,omitempty"`
+	// Admission-edge state at snapshot time: per-class queue-depth
+	// gauges, the per-class × per-outcome counter matrix (outcome order:
+	// admitted, rejected, shed, cancelled, expired), retained admission
+	// latencies (ns) of admitted jobs, and the non-admission event ring.
+	ClassQueued    [AdmitClasses]int64                    `json:"class_queued,omitempty"`
+	AdmitCounts    [AdmitClasses][NumAdmitOutcomes]uint64 `json:"admit_counts,omitempty"`
+	AdmitLatencies [AdmitClasses][]int64                  `json:"admit_latencies,omitempty"`
+	AdmitEvents    []AdmitEvent                           `json:"admit_events,omitempty"`
 }
 
 // Snapshot captures the current state. The per-thread counters and events
@@ -540,7 +740,14 @@ func (p *Profile) Snapshot() Snapshot {
 	s.JobsMigratedIn, s.JobsMigratedOut = p.JobsMigrated()
 	s.WorkersActive = p.WorkersActive()
 	s.SigServiceNS, s.SigTaskRate, s.SigStealRate, s.SigIdleRatio = p.LoadSignals()
+	s.SigJobNS = p.JobTimeNS()
 	s.PolicySwitches = p.PolicySwitches()
+	for c := 0; c < AdmitClasses; c++ {
+		s.ClassQueued[c] = p.ClassQueued(c)
+		s.AdmitLatencies[c] = p.AdmitLatencies(c)
+	}
+	s.AdmitCounts = p.AdmitCounts()
+	s.AdmitEvents = p.AdmitEvents()
 	return s
 }
 
@@ -654,6 +861,65 @@ func (s Snapshot) TaskCountSummary(w io.Writer, width int) error {
 		}
 	}
 	return nil
+}
+
+// AdmissionSummary renders the snapshot's admission-edge state as a
+// per-class table: outcome counters, the current class queue gauge, and
+// the p50/p99 of the retained admission latencies. Classes with no
+// traffic are omitted; with no admission traffic at all nothing is
+// written (region-mode dumps stay unchanged).
+func (s Snapshot) AdmissionSummary(w io.Writer) error {
+	any := false
+	for c := 0; c < AdmitClasses; c++ {
+		for o := 0; o < int(NumAdmitOutcomes); o++ {
+			if s.AdmitCounts[c][o] > 0 {
+				any = true
+			}
+		}
+	}
+	if !any {
+		return nil
+	}
+	if _, err := fmt.Fprintf(w, "Admission Summary (per class)\n%-12s %9s %9s %9s %9s %9s %8s %12s %12s\n",
+		"class", "admitted", "rejected", "shed", "cancel", "expired", "queued", "p50-admit", "p99-admit"); err != nil {
+		return err
+	}
+	for c := 0; c < AdmitClasses; c++ {
+		var total uint64
+		for o := 0; o < int(NumAdmitOutcomes); o++ {
+			total += s.AdmitCounts[c][o]
+		}
+		if total == 0 {
+			continue
+		}
+		p50, p99 := latencyPercentiles(s.AdmitLatencies[c])
+		if _, err := fmt.Fprintf(w, "%-12s %9d %9d %9d %9d %9d %8d %12s %12s\n",
+			AdmitClassName(c),
+			s.AdmitCounts[c][AdmitAdmitted], s.AdmitCounts[c][AdmitRejected],
+			s.AdmitCounts[c][AdmitShed], s.AdmitCounts[c][AdmitCancelled],
+			s.AdmitCounts[c][AdmitExpired], s.ClassQueued[c],
+			p50, p99); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// latencyPercentiles renders the p50/p99 of a nanosecond sample for the
+// admission summary ("-" when empty), via the shared stats machinery so
+// every surface interpolates percentiles the same way.
+func latencyPercentiles(ns []int64) (p50, p99 string) {
+	if len(ns) == 0 {
+		return "-", "-"
+	}
+	var s stats.Sample
+	for _, v := range ns {
+		s.Add(float64(v))
+	}
+	at := func(p float64) string {
+		return time.Duration(s.Percentile(p)).Round(time.Microsecond).String()
+	}
+	return at(50), at(99)
 }
 
 // ImbalanceRatio returns max/mean of per-thread executed-task counts — a

@@ -2,15 +2,25 @@
 # benchdiff: run the pool benchmarks twice — once with the presets' static
 # DLB configuration and once under the adaptive policy controller
 # (REPRO_BENCH_POLICY=adaptive, see applyBenchPolicy in bench_test.go) —
-# and print a jobs/sec comparison table. The bench-smoke CI job runs this
-# with the default -benchtime 1x, so the adaptive path is exercised (and
-# compiled, and non-panicking) on every push even though a 1x run is not a
-# statistically meaningful measurement. Set BENCHTIME=3s for real numbers.
+# and print a jobs/sec comparison table; then run the admission
+# saturation benchmark (block vs deadline-aware shed, see
+# BenchmarkAdmissionSaturation) and print the block-vs-shed comparison.
+# All collected benchmark lines are written to BENCH_5.json, the
+# perf-trajectory snapshot CI archives per push. The bench-smoke CI job
+# runs this with the default -benchtime 1x, so the adaptive and shed
+# paths are exercised (and compiled, and non-panicking) on every push
+# even though a 1x run is not a statistically meaningful measurement. Set
+# BENCHTIME=3s for real numbers.
 set -eu
 cd "$(dirname "$0")/.."
 
 benchtime="${BENCHTIME:-1x}"
 pattern="${BENCHPATTERN:-BenchmarkPoolThroughput\$|BenchmarkElasticShardedPool\$|BenchmarkPolicyPhase\$}"
+admit_pattern="${ADMITPATTERN:-BenchmarkAdmissionSaturation\$}"
+# The saturation comparison needs enough iterations for the shed regime
+# to engage; keep it cheap but non-trivial when the main pass runs at 1x.
+admit_benchtime="${ADMIT_BENCHTIME:-100x}"
+snapshot="${BENCHSNAPSHOT:-BENCH_5.json}"
 
 run() {
 	REPRO_BENCH_POLICY="$1" go test -run '^$' -bench "$pattern" -benchtime "$benchtime" -timeout 20m . 2>&1
@@ -23,13 +33,66 @@ echo
 echo "benchdiff: adaptive pass (REPRO_BENCH_POLICY=adaptive)"
 adaptive_out=$(run adaptive)
 echo "$adaptive_out" | grep -E '^(Benchmark|FAIL|ok)' || true
+echo
+echo "benchdiff: admission saturation pass (block vs shed, -benchtime $admit_benchtime)"
+admit_out=$(go test -run '^$' -bench "$admit_pattern" -benchtime "$admit_benchtime" -timeout 20m . 2>&1)
+echo "$admit_out" | grep -E '^(Benchmark|FAIL|ok)' || true
 
-case "$static_out$adaptive_out" in
+case "$static_out$adaptive_out$admit_out" in
 *FAIL*)
 	echo "benchdiff: benchmark failure" >&2
 	exit 1
 	;;
 esac
+
+# Perf-trajectory snapshot: every benchmark line of all three passes,
+# parsed into {name, metrics} records so successive PRs' snapshots diff
+# cleanly. Benchmark lines read "Name iterations value unit value unit...".
+{
+	printf '{\n  "snapshot": "%s",\n  "benchtime": "%s",\n  "results": [\n' "$snapshot" "$benchtime"
+	{
+		echo "$static_out" | awk '/^Benchmark/ { print "static", $0 }'
+		echo "$adaptive_out" | awk '/^Benchmark/ { print "adaptive", $0 }'
+		echo "$admit_out" | awk '/^Benchmark/ { print "admission", $0 }'
+	} | awk '
+		{
+			if (NR > 1) printf ",\n"
+			printf "    {\"pass\":\"%s\",\"name\":\"%s\",\"iterations\":%s,\"metrics\":{", $1, $2, $3
+			sep = ""
+			for (i = 4; i < NF; i += 2) {
+				printf "%s\"%s\":%s", sep, $(i+1), $(i)
+				sep = ","
+			}
+			printf "}}"
+		}
+		END { if (NR > 0) printf "\n" }
+	'
+	printf '  ]\n}\n'
+} >"$snapshot"
+echo
+echo "benchdiff: wrote $snapshot"
+
+echo
+echo "benchdiff: admission saturation comparison (block vs shed)"
+# Pair the /block and /shed rows of each metric: bounded interactive p99
+# under shed while background sheds is the property the admission layer
+# exists for.
+echo "$admit_out" | awk '
+	/^Benchmark/ {
+		mode = ($1 ~ /\/shed/) ? "shed" : "block"
+		for (i = 3; i < NF; i += 2) m[mode "|" $(i+1)] = $(i)
+	}
+	END {
+		printf "%-24s %12s %12s\n", "metric", "block", "shed"
+		split("jobs/sec int-p99-admit-ms bg-shed-frac", keys, " ")
+		for (k = 1; k in keys; k++) {
+			name = keys[k]
+			printf "%-24s %12s %12s\n", name, \
+				(("block|" name) in m ? m["block|" name] : "-"), \
+				(("shed|" name) in m ? m["shed|" name] : "-")
+		}
+	}
+'
 
 echo
 echo "benchdiff: jobs/sec comparison (static vs adaptive)"

@@ -17,7 +17,7 @@ type recordingDispatch struct {
 	calls  atomic.Int64
 }
 
-func (d *recordingDispatch) Pick(r uint64, n int, sig func(int) xomp.Signals) int {
+func (d *recordingDispatch) Pick(r uint64, n int, _ xomp.Class, sig func(int) xomp.Signals) int {
 	d.calls.Add(1)
 	for i := 0; i < n; i++ {
 		_ = sig(i) // signals must be readable for every shard

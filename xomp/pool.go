@@ -6,7 +6,11 @@
 // quiescence detection, and dynamic load balancer as classic regions.
 package xomp
 
-import "repro/internal/core"
+import (
+	"context"
+
+	"repro/internal/core"
+)
 
 // Job is the handle returned by Pool.Submit: Wait blocks until the job's
 // whole task subtree has completed and reports a *PanicError if any of the
@@ -69,11 +73,25 @@ func MustPool(cfg Config) *Pool {
 	return p
 }
 
-// Submit enqueues fn as a new job's root task and returns its handle. It
-// blocks while the admission queue is full and returns ErrClosed after
-// Close. Submit must be called from outside the pool's task bodies; inside
-// a task, spawn children with Worker.Spawn instead.
+// Submit enqueues fn as a new job's root task and returns its handle.
+// Under the default admission policy it blocks while the admission queue
+// is full; a non-blocking Config.Admit (RejectWhenFull, DeadlineShed)
+// applies to plain Submit too and returns ErrBacklogFull instead. It
+// returns ErrClosed after Close. Submit must be called from outside the
+// pool's task bodies; inside a task, spawn children with Worker.Spawn
+// instead.
 func (p *Pool) Submit(fn TaskFunc) (*Job, error) { return p.tm.Submit(fn) }
+
+// SubmitCtx enqueues fn under an admission contract: opts selects the
+// submission's priority class (per-class bounded queues, adopted in
+// strict class order) and an optional completion deadline, the pool's
+// admission policy (Config.Admit) decides what a full backlog means, and
+// a blocked wait unblocks promptly when ctx is cancelled or the deadline
+// arrives. Typed errors: ctx.Err() on cancellation, ErrDeadlineExceeded,
+// ErrBacklogFull, ErrShed, ErrClosed. See Team.SubmitCtx.
+func (p *Pool) SubmitCtx(ctx context.Context, fn TaskFunc, opts SubmitOpts) (*Job, error) {
+	return p.tm.SubmitCtx(ctx, fn, opts)
+}
 
 // Close stops admission, waits for all submitted jobs to complete, and
 // stops the workers. Repeated Close calls are safe and return nil. The

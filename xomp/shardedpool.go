@@ -11,6 +11,7 @@
 package xomp
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"sync/atomic"
@@ -501,14 +502,31 @@ func MustShardedPool(cfg ShardConfig) *ShardedPool {
 }
 
 // Submit places fn as a new job on the less loaded of two randomly chosen
-// shards and returns its handle. It blocks while that shard's admission
-// queue is full and returns ErrClosed after Close. Like Pool.Submit it
+// shards and returns its handle. Under the default admission policy it
+// blocks while that shard's admission queue is full (a non-blocking
+// Team.Admit policy returns ErrBacklogFull instead, exactly as on
+// Pool.Submit) and returns ErrClosed after Close. Like Pool.Submit it
 // must be called from outside the pool's task bodies.
 func (p *ShardedPool) Submit(fn TaskFunc) (*Job, error) {
 	if p.closed.Load() {
 		return nil, ErrClosed
 	}
-	return p.shards[p.pick()].Submit(fn)
+	return p.shards[p.pick(load.ClassBatch)].Submit(fn)
+}
+
+// SubmitCtx places fn under an admission contract (priority class,
+// optional deadline, cancellable wait — see Pool.SubmitCtx) on a shard
+// chosen by the dispatch policy for that class: power-of-two-choices
+// compares the queue depth the job's class would actually experience
+// (load.EffectiveDepth), so an interactive job lands where the least
+// same-or-higher-priority work precedes it — which is also the shard
+// where a deadline-carrying job is least likely to be shed. The chosen
+// shard's admission policy then decides waiting, rejection, or shedding.
+func (p *ShardedPool) SubmitCtx(ctx context.Context, fn TaskFunc, opts SubmitOpts) (*Job, error) {
+	if p.closed.Load() {
+		return nil, ErrClosed
+	}
+	return p.shards[p.pick(opts.Priority)].SubmitCtx(ctx, fn, opts)
 }
 
 // SubmitTo pins fn to one specific shard, bypassing the dispatcher. It is
@@ -526,16 +544,30 @@ func (p *ShardedPool) SubmitTo(shard int, fn TaskFunc) (*Job, error) {
 	return p.shards[shard].Submit(fn)
 }
 
+// SubmitToCtx is SubmitTo under an admission contract: the job is pinned
+// to one shard and that shard's admission layer applies the class queue,
+// deadline, and policy semantics of SubmitCtx.
+func (p *ShardedPool) SubmitToCtx(ctx context.Context, shard int, fn TaskFunc, opts SubmitOpts) (*Job, error) {
+	if shard < 0 || shard >= len(p.shards) {
+		return nil, fmt.Errorf("xomp: SubmitTo shard %d of %d", shard, len(p.shards))
+	}
+	if p.closed.Load() {
+		return nil, ErrClosed
+	}
+	return p.shards[shard].SubmitCtx(ctx, fn, opts)
+}
+
 // pick delegates placement to the dispatch policy (power-of-two-choices
-// over shard queue depth by default), feeding it a fresh SplitMix64 draw
-// and per-shard signal access.
-func (p *ShardedPool) pick() int {
+// over the class-effective shard queue depth by default), feeding it a
+// fresh SplitMix64 draw, the submission's class, and per-shard signal
+// access.
+func (p *ShardedPool) pick(c load.Class) int {
 	n := len(p.shards)
 	if n == 1 {
 		return 0
 	}
 	r := splitmix64(p.seed + p.seq.Add(1))
-	s := p.dispatch.Pick(r, n, func(i int) load.Signals { return p.shards[i].Signals() })
+	s := p.dispatch.Pick(r, n, c, func(i int) load.Signals { return p.shards[i].Signals() })
 	if s < 0 || s >= n {
 		s = int(r % uint64(n)) // a misbehaving policy cannot crash Submit
 	}

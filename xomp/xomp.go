@@ -64,6 +64,15 @@
 // isolated from each other while their tasks share queues, allocator, and
 // dynamic load balancing. See Pool for details.
 //
+// Admission is itself policy-driven: Pool.SubmitCtx submits under an
+// admission contract — a priority class (interactive/batch/background,
+// each with its own bounded queue, adopted in strict class order) and an
+// optional deadline — and Config.Admit selects what a full backlog
+// means: wait (BlockWhenFull, the default), fail fast (RejectWhenFull →
+// ErrBacklogFull), or deadline-aware load shedding under saturation
+// (DeadlineShed → ErrShed). A waiting submitter unblocks promptly on
+// context cancellation or deadline expiry instead of blocking forever.
+//
 // To scale the job server across NUMA domains, ShardedPool runs one
 // serving team per domain behind a two-level dynamic load balancer: jobs
 // are placed on the less loaded of two random shards and a second-level
@@ -173,6 +182,56 @@ func ValidPolicyName(name string) bool { return core.ValidPolicyName(name) }
 // topology with the given zone count (false for unknown names and for
 // "adaptive").
 func PolicyDLB(name string, zones int) (DLBConfig, bool) { return core.PolicyDLB(name, zones) }
+
+// Admission errors of SubmitCtx: a full class queue under a non-blocking
+// policy, a submission deadline expired before admission, and a
+// policy-shed submission. Cancelled contexts surface as ctx.Err().
+var (
+	ErrBacklogFull      = core.ErrBacklogFull
+	ErrShed             = core.ErrShed
+	ErrDeadlineExceeded = core.ErrDeadlineExceeded
+)
+
+// SubmitOpts qualifies one SubmitCtx submission: a priority class and an
+// optional absolute completion deadline. See Pool.SubmitCtx.
+type SubmitOpts = core.SubmitOpts
+
+// Class is a submission's admission priority class. Each serving team
+// keeps one bounded admission queue per class and adopts strictly in
+// class order, so a background flood cannot head-of-line-block
+// interactive jobs.
+type Class = load.Class
+
+// Admission priority classes. ClassBatch is the zero value (what an
+// unfilled SubmitOpts gets); adoption precedence is interactive, batch,
+// background.
+const (
+	ClassInteractive = load.ClassInteractive
+	ClassBatch       = load.ClassBatch
+	ClassBackground  = load.ClassBackground
+	NumClasses       = load.NumClasses
+)
+
+// ParseClass maps a class name ("interactive", "batch", "background")
+// back to its Class, the inverse of Class.String.
+func ParseClass(name string) (Class, bool) { return load.ParseClass(name) }
+
+// AdmitPolicy decides what one submission meets at the admission edge:
+// waiting for space, rejection on a full class queue, or deadline-aware
+// shedding. Assign an implementation to Config.Admit.
+type AdmitPolicy = load.AdmitPolicy
+
+// Built-in admission policies.
+type (
+	// BlockWhenFull always waits for queue space (the default: plain
+	// backpressure, cancellable via SubmitCtx).
+	BlockWhenFull = load.BlockWhenFull
+	// RejectWhenFull returns ErrBacklogFull instead of blocking.
+	RejectWhenFull = load.RejectWhenFull
+	// DeadlineShed sheds submissions whose deadline cannot be met while
+	// the team is saturated, and rejects instead of blocking.
+	DeadlineShed = load.DeadlineShed
+)
 
 // Signals is one entity's (worker's, team's, or shard's) load picture on
 // the unified load-signal plane; see Pool.Signals and Team.Signals.
