@@ -24,6 +24,8 @@ import (
 	"repro/internal/numa"
 	"repro/internal/posp"
 	"repro/internal/prof"
+	"repro/internal/replay"
+	"repro/internal/scenario"
 	"repro/internal/simnuma"
 	"repro/internal/stats"
 	"repro/xomp"
@@ -827,6 +829,68 @@ func BenchmarkAdmissionSaturation(b *testing.B) {
 				b.ReportMetric(float64(bgShed.Load())/float64(bgTotal.Load()), "bg-shed-frac")
 			}
 		})
+	}
+}
+
+// BenchmarkScenarioReplay measures trace-driven throughput: each
+// iteration replays one corpus scenario end to end (open-loop timed
+// arrivals, time-compressed) through one admission policy, reporting
+// completed jobs per wall second and the per-op refusal count
+// (rejected + shed + expired). Unlike the closed-loop pool benchmarks,
+// the offered load here is the trace's, not the pool's own drain rate,
+// so policy changes shift the refusal/latency split rather than the
+// iteration count — the same-traffic comparison scripts/benchdiff.sh
+// snapshots into BENCH_6.json.
+func BenchmarkScenarioReplay(b *testing.B) {
+	cases := []struct {
+		scenario string
+		speed    float64
+	}{
+		// Speeds compress each trace's span to tens of milliseconds per
+		// op; flash-crowd stays closer to recorded pace because its
+		// deadlines (which compress with Speed) are the point.
+		{"steady", 4},
+		{"flash-crowd", 2},
+		{"zipf", 4},
+	}
+	for _, c := range cases {
+		tr, err := scenario.Generate(c.scenario, scenario.GoldenSeed)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, mode := range []string{"block", "shed"} {
+			b.Run(c.scenario+"/"+mode, func(b *testing.B) {
+				cfg := xomp.Preset("xgomptb", benchWorkers)
+				cfg.Topology = numa.Synthetic(benchWorkers, 2)
+				cfg.Backlog = 16
+				if mode == "shed" {
+					cfg.Admit = xomp.DeadlineShed{}
+				}
+				applyBenchPolicy(&cfg)
+				var (
+					completed, refused uint64
+					wall               time.Duration
+				)
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					res, err := replay.ReplayJobs(tr, replay.Options{Team: cfg, Speed: c.speed})
+					if err != nil {
+						b.Fatal(err)
+					}
+					completed += res.Completed
+					wall += res.Wall
+					for cl := range res.PerClass {
+						pc := res.PerClass[cl]
+						refused += pc.Rejected + pc.Shed + pc.Expired
+					}
+				}
+				b.StopTimer()
+				if wall > 0 {
+					b.ReportMetric(float64(completed)/wall.Seconds(), "jobs/sec")
+				}
+				b.ReportMetric(float64(refused)/float64(b.N), "refused/op")
+			})
+		}
 	}
 }
 

@@ -44,6 +44,16 @@
 // next to the p50/p99 admission latency (time a Submit call spent at the
 // edge before its job entered a queue).
 //
+// Beyond closed-loop traffic, loadgen is the corpus tool. -scenario
+// replays a generated workload preset (steady, flash-crowd, zipf,
+// diurnal, deadline-mix — see internal/scenario) with open-loop timed
+// arrivals through the same pool flags, reporting jobs/sec and per-class
+// admit/reject/shed/expire counts with p50/p99 completion latency;
+// -trace replays a recorded .jsonl job trace the same way; -record
+// captures a closed-loop run's submit edge as such a trace; and
+// -scenario with -emit writes the generated trace to a file — how the
+// golden corpus under testdata/scenarios/ is (re)generated.
+//
 // Usage:
 //
 //	loadgen -runtime xgomptb+naws -workers 8 -submitters 8 -jobs 20
@@ -52,6 +62,9 @@
 //	loadgen -workers 16 -shards 4 -skew 0.9 -elastic -budget 8
 //	loadgen -workers 8 -policy adaptive -phase 300ms -jobs 60
 //	loadgen -workers 2 -submitters 16 -backlog 2 -priority-mix 1:1:6 -deadline 50ms -admit shed
+//	loadgen -scenario flash-crowd -workers 2 -admit shed
+//	loadgen -scenario zipf -seed 42 -emit testdata/scenarios/zipf.jsonl
+//	loadgen -jobs 20 -record run.jsonl && loadgen -trace run.jsonl -admit reject
 package main
 
 import (
@@ -68,6 +81,8 @@ import (
 
 	"repro/internal/bots"
 	"repro/internal/numa"
+	"repro/internal/replay"
+	"repro/internal/scenario"
 	"repro/internal/stats"
 	"repro/xomp"
 )
@@ -93,8 +108,31 @@ func main() {
 		admitName  = flag.String("admit", "block", "admission policy: block|reject|shed")
 		noVerify   = flag.Bool("noverify", false, "skip per-job result verification")
 		verbose    = flag.Bool("v", false, "log every job")
+
+		scenarioName = flag.String("scenario", "", "replay a generated scenario preset instead of closed-loop traffic: "+strings.Join(scenario.Names(), "|"))
+		tracePath    = flag.String("trace", "", "replay a recorded job trace (.jsonl) instead of closed-loop traffic")
+		seed         = flag.Uint64("seed", scenario.GoldenSeed, "scenario generation seed (with -scenario)")
+		speed        = flag.Float64("speed", 1, "replay time compression: arrivals and deadlines run this times faster (with -scenario/-trace)")
+		pinTenants   = flag.Bool("pin-tenants", false, "pin each replayed job's tenant to shard tenant%%shards instead of policy dispatch (with -scenario/-trace and -shards > 1)")
+		emitPath     = flag.String("emit", "", "write the generated -scenario trace to this file and exit (regenerates the golden corpus)")
+		recordPath   = flag.String("record", "", "record the closed-loop run's submit edge as a job trace to this file")
 	)
 	flag.Parse()
+	if *scenarioName != "" && *tracePath != "" {
+		fatal(fmt.Errorf("-scenario and -trace are mutually exclusive"))
+	}
+	if *emitPath != "" && *scenarioName == "" {
+		fatal(fmt.Errorf("-emit needs -scenario (it writes a generated trace)"))
+	}
+	if *recordPath != "" && (*scenarioName != "" || *tracePath != "") {
+		fatal(fmt.Errorf("-record captures closed-loop traffic; it does not apply to a replay"))
+	}
+	if *speed <= 0 {
+		fatal(fmt.Errorf("-speed %v must be > 0", *speed))
+	}
+	if *pinTenants && *shards < 2 {
+		fatal(fmt.Errorf("-pin-tenants needs -shards > 1 (no shard to pin to)"))
+	}
 	classPattern, err := parsePriorityMix(*prioMix)
 	if err != nil {
 		fatal(err)
@@ -141,6 +179,51 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+
+	cfg := xomp.Preset(*preset, *workers)
+	cfg.Backlog = *backlog
+	cfg.Admit = admit
+	if *policy != "static" {
+		cfg.Policy.Name = *policy
+	}
+
+	// Trace-replay mode: -scenario/-trace swap the closed-loop submitters
+	// for the deterministic replayer — same pool flags, recorded traffic.
+	if *scenarioName != "" || *tracePath != "" {
+		tr, err := loadTrace(*scenarioName, *tracePath, *seed)
+		if err != nil {
+			fatal(err)
+		}
+		if *emitPath != "" {
+			if err := emitTrace(tr, *emitPath); err != nil {
+				fatal(err)
+			}
+			fmt.Printf("loadgen: wrote %s (%d jobs over %v, seed %d) to %s\n",
+				tr.Name, len(tr.Jobs), tr.Span().Round(time.Millisecond), tr.Seed, *emitPath)
+			return
+		}
+		opts := replay.Options{Team: cfg, Speed: *speed, PinTenants: *pinTenants, Scale: sc}
+		if *shards > 0 {
+			opts.Shards = *shards
+			opts.Team.Workers = *workers / *shards
+			if *elastic {
+				b := *budget
+				if b == 0 {
+					b = *workers / 2
+				}
+				opts.Elastic = xomp.ElasticConfig{Enabled: true, TotalBudget: b}
+			}
+		}
+		fmt.Printf("loadgen: replaying %s (%d jobs over %v) at %gx on %s (%d workers, %d shards, policy %s, admit %s)\n",
+			tr.Name, len(tr.Jobs), tr.Span().Round(time.Millisecond), *speed, *preset, *workers, *shards, *policy, *admitName)
+		res, err := replay.ReplayJobs(tr, opts)
+		if err != nil {
+			fatal(err)
+		}
+		printReplayReport(res)
+		return
+	}
+
 	names := strings.Split(*mix, ",")
 	for i, name := range names {
 		names[i] = strings.TrimSpace(name)
@@ -171,13 +254,6 @@ func main() {
 				apps[s][x][m] = b
 			}
 		}
-	}
-
-	cfg := xomp.Preset(*preset, *workers)
-	cfg.Backlog = *backlog
-	cfg.Admit = admit
-	if *policy != "static" {
-		cfg.Policy.Name = *policy
 	}
 
 	// Either a single shared team or a NUMA-sharded pool serves the same
@@ -244,6 +320,13 @@ func main() {
 		v.(*atomic.Int64).Add(1)
 	}
 
+	// -record captures the submit edge live: one Record per submission
+	// attempt, written out as a replayable job trace after the run.
+	var rec *replay.Recorder
+	if *recordPath != "" {
+		rec = replay.NewRecorder()
+	}
+
 	start := time.Now()
 	for s := 0; s < *submitters; s++ {
 		wg.Add(1)
@@ -267,6 +350,9 @@ func main() {
 					opts.Deadline = time.Now().Add(*deadline)
 				}
 				cs := &classes[int(class)]
+				if rec != nil {
+					rec.Record(name, 0, int(class), *deadline, s)
+				}
 				t0 := time.Now()
 				j, err := submit(pin, b.RunTask, opts)
 				cs.observe(time.Since(t0), err)
@@ -374,9 +460,65 @@ func main() {
 		}
 		fmt.Printf("queue delay: %s\nrun time:    %s\n", distString(queue), distString(run))
 	}
+	if rec != nil {
+		tr := rec.Trace("recorded")
+		if err := emitTrace(tr, *recordPath); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("recorded %d submissions over %v to %s\n",
+			len(tr.Jobs), tr.Span().Round(time.Millisecond), *recordPath)
+	}
 	if n := failures.Load(); n > 0 {
 		fmt.Fprintf(os.Stderr, "%d job(s) failed\n", n)
 		os.Exit(1)
+	}
+}
+
+// loadTrace resolves the replay source: a generated scenario preset, or
+// a recorded .jsonl trace file.
+func loadTrace(scenarioName, tracePath string, seed uint64) (*replay.JobTrace, error) {
+	if scenarioName != "" {
+		return scenario.Generate(scenarioName, seed)
+	}
+	f, err := os.Open(tracePath)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return replay.ReadJobTrace(f)
+}
+
+// emitTrace writes tr as JSONL to path.
+func emitTrace(tr *replay.JobTrace, path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if _, err := tr.WriteTo(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// printReplayReport renders one replay.JobReplayResult the way the
+// closed-loop report renders its admission table.
+func printReplayReport(res replay.JobReplayResult) {
+	fmt.Printf("\n%d/%d jobs completed in %v: %.1f jobs/sec\n",
+		res.Completed, res.Jobs, res.Wall.Round(time.Millisecond), res.JobsPerSec)
+	fmt.Printf("  %-12s %9s %9s %9s %9s %9s %12s %12s\n",
+		"class", "submitted", "admitted", "rejected", "shed", "expired", "p50", "p99")
+	for c := range res.PerClass {
+		pc := res.PerClass[c]
+		if pc.Submitted == 0 {
+			continue
+		}
+		fmt.Printf("  %-12s %9d %9d %9d %9d %9d %12v %12v\n",
+			xomp.Class(c), pc.Submitted, pc.Admitted, pc.Rejected, pc.Shed, pc.Expired,
+			pc.P50.Round(time.Microsecond), pc.P99.Round(time.Microsecond))
+	}
+	if res.QuotaMoves > 0 || res.MigratedIn > 0 {
+		fmt.Printf("  quota moves %d, jobs migrated %d\n", res.QuotaMoves, res.MigratedIn)
 	}
 }
 

@@ -1,39 +1,207 @@
-// Command whatif performs trace-driven DLB what-if analysis: record a
-// profile of a real run, then replay its task-size distribution under
-// alternative load-balancing configurations to find the best settings
-// without re-running the application.
+// Command whatif performs trace-driven what-if analysis: record real
+// traffic once, then replay it under alternative configurations to find
+// the best settings without re-running the application.
+//
+// It accepts two input shapes through one -in flag, distinguished by
+// sniffing the file header:
+//
+//   - A legacy profile dump (botsrun -profile): the task-size trace is
+//     replayed through core.Team.Parallel under alternative DLB
+//     configurations — the original task-level analysis.
+//   - A job trace (loadgen -record, or a generated scenario): the
+//     arrival trace is replayed through xomp pools under alternative
+//     admission/balancing candidates — block, reject, shed, adaptive,
+//     and (with -shards) elastic — and the candidates are compared on
+//     completed jobs, jobs/sec, and interactive p99 over the exact same
+//     traffic ("replay the same day's traffic twice").
+//
+// -scenario skips the file and generates a corpus preset directly.
 //
 // Usage:
 //
 //	botsrun -app sort -runtime xgomptb -profile -profout sort.json
 //	whatif -in sort.json -workers 8 -zones 4 -reps 3
+//
+//	loadgen -jobs 20 -record day.jsonl
+//	whatif -in day.jsonl -workers 4 -reps 2
+//	whatif -scenario flash-crowd -workers 2
+//	whatif -scenario zipf -workers 6 -shards 2 -speed 2
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/load"
 	"repro/internal/numa"
 	"repro/internal/prof"
 	"repro/internal/replay"
+	"repro/internal/scenario"
+	"repro/xomp"
 )
 
 func main() {
 	var (
-		in      = flag.String("in", "", "profile dump (required; record with botsrun -profile)")
-		workers = flag.Int("workers", 4, "team size for replay")
-		zones   = flag.Int("zones", 2, "synthetic NUMA zones")
-		reps    = flag.Int("reps", 3, "replays per candidate")
+		in       = flag.String("in", "", "profile dump (botsrun -profile) or job trace (loadgen -record); the header decides the analysis")
+		scenName = flag.String("scenario", "", "generate a scenario preset instead of reading -in: "+joinNames())
+		seed     = flag.Uint64("seed", scenario.GoldenSeed, "scenario generation seed (with -scenario)")
+		workers  = flag.Int("workers", 4, "team size for replay")
+		zones    = flag.Int("zones", 2, "synthetic NUMA zones (legacy task-level replay)")
+		shards   = flag.Int("shards", 0, "replay job traces through this many shards (adds an elastic candidate; 0 = one pool)")
+		speed    = flag.Float64("speed", 1, "job-trace time compression: arrivals and deadlines run this times faster")
+		reps     = flag.Int("reps", 3, "replays per candidate")
 	)
 	flag.Parse()
-	if *in == "" {
-		fmt.Fprintln(os.Stderr, "whatif: -in is required")
+	if (*in == "") == (*scenName == "") {
+		fmt.Fprintln(os.Stderr, "whatif: exactly one of -in or -scenario is required")
 		os.Exit(2)
 	}
-	f, err := os.Open(*in)
+	if *speed <= 0 {
+		fatal(fmt.Errorf("-speed %v must be > 0", *speed))
+	}
+	if *reps < 1 {
+		fatal(fmt.Errorf("-reps %d must be >= 1", *reps))
+	}
+	if *shards < 0 || (*shards > 0 && *workers%*shards != 0) {
+		fatal(fmt.Errorf("-shards %d must divide -workers %d", *shards, *workers))
+	}
+
+	if *scenName != "" {
+		tr, err := scenario.Generate(*scenName, *seed)
+		if err != nil {
+			fatal(err)
+		}
+		jobWhatIf(tr, *workers, *shards, *speed, *reps)
+		return
+	}
+	data, err := os.ReadFile(*in)
+	if err != nil {
+		fatal(err)
+	}
+	if replay.IsJobTrace(data) {
+		f, err := os.Open(*in)
+		if err != nil {
+			fatal(err)
+		}
+		tr, err := replay.ReadJobTrace(f)
+		f.Close()
+		if err != nil {
+			fatal(err)
+		}
+		jobWhatIf(tr, *workers, *shards, *speed, *reps)
+		return
+	}
+	taskWhatIf(*in, *workers, *zones, *reps)
+}
+
+// jobCandidate is one admission/balancing configuration under
+// comparison.
+type jobCandidate struct {
+	name string
+	opts replay.Options
+}
+
+// jobCandidates builds the comparison set: the three admission policies,
+// the adaptive balancing controller, and — sharded with headroom — the
+// elastic capacity controller.
+func jobCandidates(workers, shards int) []jobCandidate {
+	build := func(name string, admit xomp.AdmitPolicy, policy string, elastic bool) jobCandidate {
+		cfg := xomp.Preset("xgomptb", workers)
+		cfg.Admit = admit
+		if policy != "" {
+			cfg.Policy.Name = policy
+		}
+		opts := replay.Options{Team: cfg}
+		if shards > 1 {
+			opts.Shards = shards
+			opts.Team.Workers = workers / shards
+			if elastic {
+				opts.Elastic = xomp.ElasticConfig{Enabled: true, TotalBudget: workers / 2}
+			}
+		}
+		return jobCandidate{name: name, opts: opts}
+	}
+	cands := []jobCandidate{
+		build("block", nil, "", false),
+		build("reject", xomp.RejectWhenFull{}, "", false),
+		build("shed", xomp.DeadlineShed{}, "", false),
+		build("adaptive", nil, "adaptive", false),
+	}
+	// The elastic candidate needs at least one active worker per shard
+	// out of the half-capacity budget.
+	if shards > 1 && workers/2 >= shards {
+		cands = append(cands, build("elastic", nil, "", true))
+	}
+	return cands
+}
+
+// jobResult aggregates one candidate's replays.
+type jobResult struct {
+	cand       jobCandidate
+	completed  uint64
+	jobsPerSec float64
+	refused    uint64 // rejected + shed + expired, all classes
+	interP99   time.Duration
+}
+
+// jobWhatIf replays tr through every candidate reps times and ranks
+// them: most completed jobs first, interactive p99 breaking ties — the
+// order a latency-contracted service would pick.
+func jobWhatIf(tr *replay.JobTrace, workers, shards int, speed float64, reps int) {
+	fmt.Printf("trace: %s, %d jobs over %v\n", tr.Name, len(tr.Jobs), tr.Span().Round(time.Millisecond))
+	cands := jobCandidates(workers, shards)
+	results := make([]jobResult, 0, len(cands))
+	for _, c := range cands {
+		c.opts.Speed = speed
+		agg := jobResult{cand: c}
+		for rep := 0; rep < reps; rep++ {
+			res, err := replay.ReplayJobs(tr, c.opts)
+			if err != nil {
+				fatal(fmt.Errorf("candidate %s: %w", c.name, err))
+			}
+			agg.completed += res.Completed
+			agg.jobsPerSec += res.JobsPerSec
+			for cl := range res.PerClass {
+				pc := res.PerClass[cl]
+				agg.refused += pc.Rejected + pc.Shed + pc.Expired
+			}
+			p99 := res.PerClass[load.ClassInteractive].P99
+			// Keep the best interactive p99 across reps: the steadiest
+			// view of what the candidate can deliver.
+			if rep == 0 || (p99 > 0 && p99 < agg.interP99) {
+				agg.interP99 = p99
+			}
+		}
+		agg.completed /= uint64(reps)
+		agg.jobsPerSec /= float64(reps)
+		agg.refused /= uint64(reps)
+		results = append(results, agg)
+	}
+	sort.SliceStable(results, func(i, j int) bool {
+		if results[i].completed != results[j].completed {
+			return results[i].completed > results[j].completed
+		}
+		return results[i].interP99 < results[j].interP99
+	})
+	fmt.Printf("%-10s %10s %12s %10s %14s\n", "candidate", "completed", "jobs/sec", "refused", "interactive-p99")
+	for _, r := range results {
+		p99 := "-"
+		if r.interP99 > 0 {
+			p99 = r.interP99.Round(time.Microsecond).String()
+		}
+		fmt.Printf("%-10s %10d %12.1f %10d %14s\n", r.cand.name, r.completed, r.jobsPerSec, r.refused, p99)
+	}
+	fmt.Printf("\nrecommendation: %s\n", results[0].cand.name)
+}
+
+// taskWhatIf is the legacy task-level analysis: replay a profile dump's
+// task-size distribution under alternative DLB configurations.
+func taskWhatIf(in string, workers, zones, reps int) {
+	f, err := os.Open(in)
 	if err != nil {
 		fatal(err)
 	}
@@ -49,9 +217,9 @@ func main() {
 	fmt.Printf("trace: %d tasks over %d threads, mean task ~%.0f units\n",
 		tr.TotalTasks, tr.Workers(), tr.MeanTaskUnits())
 
-	base := core.Preset("xgomptb", *workers)
-	base.Topology = numa.Synthetic(*workers, *zones)
-	results, err := replay.Evaluate(tr, base, replay.DefaultCandidates(tr, *zones), *reps)
+	base := core.Preset("xgomptb", workers)
+	base.Topology = numa.Synthetic(workers, zones)
+	results, err := replay.Evaluate(tr, base, replay.DefaultCandidates(tr, zones), reps)
 	if err != nil {
 		fatal(err)
 	}
@@ -67,6 +235,17 @@ func main() {
 			r.Candidate.Name, r.Mean.Round(time.Microsecond), r.Best.Round(time.Microsecond), settings)
 	}
 	fmt.Printf("\nrecommendation: %s\n", results[0].Candidate.Name)
+}
+
+func joinNames() string {
+	out := ""
+	for i, n := range scenario.Names() {
+		if i > 0 {
+			out += "|"
+		}
+		out += n
+	}
+	return out
 }
 
 func fatal(err error) {

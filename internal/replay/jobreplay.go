@@ -1,0 +1,286 @@
+package replay
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/bots"
+	"repro/internal/load"
+	"repro/internal/simnuma"
+	"repro/internal/stats"
+	"repro/xomp"
+)
+
+// Options configures one job-trace replay: the pool shape the trace is
+// driven through and how recorded time maps onto replay time. The zero
+// value replays at recorded pace through a single default-config pool.
+type Options struct {
+	// Shards selects the pool: <= 1 replays through one xomp.Pool built
+	// from Team; >= 2 through an xomp.ShardedPool of that many shards
+	// (each shard a single-zone Team.Workers team, like explicit
+	// ShardConfig.Shards).
+	Shards int
+	// Team is the serving-team configuration under test: preset,
+	// workers, backlog, admission policy, balancing policy — the
+	// "candidate" of a what-if comparison.
+	Team xomp.Config
+	// Elastic configures the elastic quota controller (sharded replays
+	// only).
+	Elastic xomp.ElasticConfig
+	// BalanceInterval and MigrateThreshold configure the second-level
+	// job-migration balancer (sharded replays only): 0 keeps the
+	// ShardConfig defaults, a negative BalanceInterval disables the
+	// background balancer — how a quota-level test isolates the elastic
+	// controller from job migration.
+	BalanceInterval  time.Duration
+	MigrateThreshold int
+	// Policy overrides the sharded pool's dispatch/migrate/quota
+	// policies (sharded replays only).
+	Policy xomp.ShardPolicy
+	// Speed compresses recorded time: arrivals (and deadlines) happen
+	// Speed times faster than recorded. 1 (or 0) replays at recorded
+	// pace. Job sizes are not scaled, so Speed > 1 also raises the
+	// offered load.
+	Speed float64
+	// PinTenants pins each event's tenant to shard Tenant mod Shards via
+	// SubmitToCtx instead of letting the dispatch policy place it —
+	// how a zipf-skewed tenant trace becomes a deterministically hot
+	// shard (sharded replays only).
+	PinTenants bool
+	// Scale is the BOTS input scale for events whose App names a BOTS
+	// application (default ScaleTest).
+	Scale bots.Scale
+}
+
+// ClassOutcome is one priority class's replay outcome: how its
+// submissions left the admission edge, and the completion-latency
+// distribution (submit to quiescence, the submitter-visible latency) of
+// the jobs that ran.
+type ClassOutcome struct {
+	Submitted uint64
+	Admitted  uint64
+	Rejected  uint64
+	Shed      uint64
+	Expired   uint64
+	Completed uint64
+	// P50 and P99 are completion-latency percentiles over completed
+	// jobs (0 when none completed).
+	P50, P99 time.Duration
+}
+
+// JobReplayResult is one trace × configuration measurement.
+type JobReplayResult struct {
+	// Trace and Jobs identify the workload.
+	Trace string
+	Jobs  int
+	// Wall is the replay's wall time (first arrival to last completion);
+	// JobsPerSec is completed jobs per wall second.
+	Wall       time.Duration
+	JobsPerSec float64
+	Completed  uint64
+	// PerClass indexes outcomes by load.Class value.
+	PerClass [load.NumClasses]ClassOutcome
+	// QuotaMoves and MigratedIn are the sharded pool's third- and
+	// second-level balancing activity during the replay (0 unsharded).
+	QuotaMoves uint64
+	MigratedIn uint64
+}
+
+// classAccum accumulates one class's outcome counters during a replay.
+type classAccum struct {
+	mu sync.Mutex
+	ClassOutcome
+	lat stats.Sample
+}
+
+// ReplayJobs replays tr through the pool Options describes with
+// open-loop timed arrivals: every job is submitted at its recorded
+// offset (scaled by Speed) from its own goroutine, so a saturated
+// admission queue delays that job's submitter, never the arrival clock —
+// the load the pool sees is the trace's, not the pool's own drain rate.
+// Admission rejections, sheds, and expiries are outcomes, not errors.
+// The same trace replayed twice through the same blocking configuration
+// yields identical per-class admission counts — the determinism contract
+// the scenario regression tests pin.
+func ReplayJobs(tr *JobTrace, opts Options) (JobReplayResult, error) {
+	res := JobReplayResult{Trace: tr.Name, Jobs: len(tr.Jobs)}
+	if len(tr.Jobs) == 0 {
+		return res, fmt.Errorf("replay: empty job trace")
+	}
+	speed := opts.Speed
+	if speed <= 0 {
+		speed = 1
+	}
+	scale := opts.Scale
+	bodies, err := buildBodies(tr, scale)
+	if err != nil {
+		return res, err
+	}
+
+	// Assemble the pool under test.
+	var (
+		submit func(ev JobEvent, fn xomp.TaskFunc, so xomp.SubmitOpts) (*xomp.Job, error)
+		closer func() error
+		shPool *xomp.ShardedPool
+	)
+	ctx := context.Background()
+	if opts.Shards >= 2 {
+		sp, err := xomp.NewShardedPool(xomp.ShardConfig{
+			Shards:           opts.Shards,
+			Team:             opts.Team,
+			Elastic:          opts.Elastic,
+			BalanceInterval:  opts.BalanceInterval,
+			MigrateThreshold: opts.MigrateThreshold,
+			Policy:           opts.Policy,
+		})
+		if err != nil {
+			return res, fmt.Errorf("replay: build sharded pool: %w", err)
+		}
+		shPool = sp
+		shards := opts.Shards
+		pin := opts.PinTenants
+		submit = func(ev JobEvent, fn xomp.TaskFunc, so xomp.SubmitOpts) (*xomp.Job, error) {
+			if pin {
+				s := ev.Tenant % shards
+				if s < 0 {
+					s += shards
+				}
+				return sp.SubmitToCtx(ctx, s, fn, so)
+			}
+			return sp.SubmitCtx(ctx, fn, so)
+		}
+		closer = sp.Close
+	} else {
+		p, err := xomp.NewPool(opts.Team)
+		if err != nil {
+			return res, fmt.Errorf("replay: build pool: %w", err)
+		}
+		submit = func(_ JobEvent, fn xomp.TaskFunc, so xomp.SubmitOpts) (*xomp.Job, error) {
+			return p.SubmitCtx(ctx, fn, so)
+		}
+		closer = p.Close
+	}
+
+	var (
+		classes  [load.NumClasses]classAccum
+		firstErr error
+		errOnce  sync.Once
+		wg       sync.WaitGroup
+	)
+	start := time.Now()
+	for i := range tr.Jobs {
+		ev := tr.Jobs[i]
+		if d := time.Duration(float64(ev.At)/speed) - time.Since(start); d > 0 {
+			time.Sleep(d)
+		}
+		wg.Add(1)
+		go func(ev JobEvent, body xomp.TaskFunc) {
+			defer wg.Done()
+			ca := &classes[ev.Class]
+			so := xomp.SubmitOpts{Priority: xomp.Class(ev.Class)}
+			if ev.Deadline > 0 {
+				so.Deadline = time.Now().Add(time.Duration(float64(ev.Deadline) / speed))
+			}
+			t0 := time.Now()
+			j, err := submit(ev, body, so)
+			ca.mu.Lock()
+			ca.Submitted++
+			switch {
+			case err == nil:
+				ca.Admitted++
+			case errors.Is(err, xomp.ErrBacklogFull):
+				ca.Rejected++
+			case errors.Is(err, xomp.ErrShed):
+				ca.Shed++
+			case errors.Is(err, xomp.ErrDeadlineExceeded):
+				ca.Expired++
+			default:
+				errOnce.Do(func() { firstErr = err })
+			}
+			ca.mu.Unlock()
+			if err != nil {
+				return
+			}
+			werr := j.Wait()
+			lat := time.Since(t0)
+			ca.mu.Lock()
+			if werr == nil {
+				ca.Completed++
+				ca.lat.AddDuration(lat)
+			}
+			ca.mu.Unlock()
+			if werr != nil {
+				errOnce.Do(func() { firstErr = werr })
+			}
+		}(ev, bodies[i])
+	}
+	wg.Wait()
+	res.Wall = time.Since(start)
+	if shPool != nil {
+		res.QuotaMoves = shPool.QuotaMoves()
+		for _, st := range shPool.Stats() {
+			res.MigratedIn += st.MigratedIn
+		}
+	}
+	if err := closer(); err != nil {
+		return res, fmt.Errorf("replay: close pool: %w", err)
+	}
+	if firstErr != nil {
+		return res, fmt.Errorf("replay: job failed: %w", firstErr)
+	}
+	for c := range classes {
+		ca := &classes[c]
+		res.PerClass[c] = ca.ClassOutcome
+		if ca.lat.N() > 0 {
+			res.PerClass[c].P50 = time.Duration(ca.lat.Percentile(50) * float64(time.Second))
+			res.PerClass[c].P99 = time.Duration(ca.lat.Percentile(99) * float64(time.Second))
+		}
+		res.Completed += ca.Completed
+	}
+	if res.Wall > 0 {
+		res.JobsPerSec = float64(res.Completed) / res.Wall.Seconds()
+	}
+	return res, nil
+}
+
+// buildBodies precomputes one task body per trace event, before the
+// arrival clock starts: BOTS app events get a fresh benchmark instance
+// each (instances are not safe for concurrent jobs), synthetic events a
+// spin tree of Size units fanned out over a handful of subtasks so the
+// in-team balancer has something to move.
+func buildBodies(tr *JobTrace, scale bots.Scale) ([]xomp.TaskFunc, error) {
+	bodies := make([]xomp.TaskFunc, len(tr.Jobs))
+	for i := range tr.Jobs {
+		ev := tr.Jobs[i]
+		if ev.Class < 0 || ev.Class >= int(load.NumClasses) {
+			return nil, fmt.Errorf("replay: job %d: class %d outside [0, %d)", i, ev.Class, load.NumClasses)
+		}
+		if ev.App != "" {
+			b, err := bots.New(ev.App, scale)
+			if err != nil {
+				return nil, fmt.Errorf("replay: job %d: %w", i, err)
+			}
+			bodies[i] = b.RunTask
+			continue
+		}
+		size := ev.Size
+		if size < 1 {
+			size = 1
+		}
+		fan := 1 + size/8192
+		if fan > 8 {
+			fan = 8
+		}
+		chunk := size / fan
+		bodies[i] = func(w *xomp.Worker) {
+			for t := 0; t < fan; t++ {
+				w.Spawn(func(*xomp.Worker) { simnuma.Spin(chunk) })
+			}
+			w.TaskWait()
+		}
+	}
+	return bodies, nil
+}

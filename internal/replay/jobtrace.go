@@ -1,0 +1,235 @@
+// Job-level traces. The task-size Trace in replay.go predates the job
+// service: it replays one region's task distribution through core.Team's
+// Parallel and can say nothing about admission, priority classes,
+// deadlines, or sharded dispatch. A JobTrace records the submit edge
+// itself — per job: arrival offset, priority class, completion deadline,
+// application, and size — so one production-shaped day of traffic can be
+// replayed deterministically through any policy configuration (admission,
+// dispatch, elastic quota) and two configurations can be compared on the
+// *same* traffic instead of two different random workloads. This is the
+// workload-corpus methodology LB4OMP uses to evaluate scheduling
+// techniques, applied to the job service.
+package replay
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/prof"
+	"repro/internal/simnuma"
+)
+
+// jobTraceMagic identifies the JSONL header line of a serialized JobTrace
+// (and lets cmd/whatif distinguish job traces from legacy profile dumps).
+const jobTraceMagic = "jobtrace/v1"
+
+// JobEvent is one job's submission record: everything the admission edge
+// saw, nothing it decided. Offsets and durations are nanoseconds so the
+// serialized form is exact (no float formatting variance between runs —
+// the corpus' determinism contract is byte identity).
+type JobEvent struct {
+	// At is the job's arrival offset in nanoseconds since trace start.
+	At int64 `json:"at"`
+	// Class is the submission's priority class (a load.Class value;
+	// stored as int so the trace format does not depend on load).
+	Class int `json:"class,omitempty"`
+	// Deadline is the completion budget from arrival in nanoseconds,
+	// 0 when the submission carried none.
+	Deadline int64 `json:"deadline,omitempty"`
+	// App names the job body: a BOTS application ("fib", "sort", ...) or
+	// "" for a synthetic spin job of Size units.
+	App string `json:"app,omitempty"`
+	// Size is the job's work in simnuma spin units (synthetic bodies;
+	// ignored when App names a BOTS application).
+	Size int `json:"size,omitempty"`
+	// Tenant identifies the submitting tenant, for skew scenarios: a
+	// replayer may pin tenants to shards (see Options.PinTenants) so a
+	// zipf-hot tenant becomes a deterministically hot shard.
+	Tenant int `json:"tenant,omitempty"`
+}
+
+// JobTrace is a replayable job-arrival workload: the submit edge of one
+// recorded (or generated) traffic interval.
+type JobTrace struct {
+	// Name labels the trace (scenario name, or the recording source).
+	Name string
+	// Seed is the generator seed for synthetic traces (0 for recordings);
+	// kept in the header so a golden file documents how to regenerate it.
+	Seed uint64
+	// Jobs are the arrival events in non-decreasing At order.
+	Jobs []JobEvent
+}
+
+// jobTraceHeader is the first JSONL line of a serialized trace.
+type jobTraceHeader struct {
+	Magic string `json:"jobtrace"`
+	Name  string `json:"name,omitempty"`
+	Seed  uint64 `json:"seed,omitempty"`
+	Jobs  int    `json:"jobs"`
+}
+
+// Span returns the trace's arrival span: the offset of the last arrival.
+func (t *JobTrace) Span() time.Duration {
+	if len(t.Jobs) == 0 {
+		return 0
+	}
+	return time.Duration(t.Jobs[len(t.Jobs)-1].At)
+}
+
+// WriteTo serializes the trace as JSONL: one header line, then one
+// JobEvent per line. The encoding is deterministic (fixed field order,
+// integer-only values), so equal traces serialize to equal bytes — the
+// property the golden-corpus tests pin.
+func (t *JobTrace) WriteTo(w io.Writer) (int64, error) {
+	bw := bufio.NewWriter(w)
+	var n int64
+	line := func(v any) error {
+		b, err := json.Marshal(v)
+		if err != nil {
+			return err
+		}
+		m, err := bw.Write(append(b, '\n'))
+		n += int64(m)
+		return err
+	}
+	if err := line(jobTraceHeader{Magic: jobTraceMagic, Name: t.Name, Seed: t.Seed, Jobs: len(t.Jobs)}); err != nil {
+		return n, fmt.Errorf("replay: write job trace: %w", err)
+	}
+	for i := range t.Jobs {
+		if err := line(t.Jobs[i]); err != nil {
+			return n, fmt.Errorf("replay: write job trace: %w", err)
+		}
+	}
+	if err := bw.Flush(); err != nil {
+		return n, fmt.Errorf("replay: write job trace: %w", err)
+	}
+	return n, nil
+}
+
+// ReadJobTrace parses a JSONL job trace produced by WriteTo.
+func ReadJobTrace(r io.Reader) (*JobTrace, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	if !sc.Scan() {
+		if err := sc.Err(); err != nil {
+			return nil, fmt.Errorf("replay: read job trace: %w", err)
+		}
+		return nil, fmt.Errorf("replay: read job trace: empty input")
+	}
+	var h jobTraceHeader
+	if err := json.Unmarshal(sc.Bytes(), &h); err != nil || h.Magic != jobTraceMagic {
+		return nil, fmt.Errorf("replay: input is not a %s trace (header %q)", jobTraceMagic, sc.Text())
+	}
+	t := &JobTrace{Name: h.Name, Seed: h.Seed, Jobs: make([]JobEvent, 0, h.Jobs)}
+	for sc.Scan() {
+		if len(sc.Bytes()) == 0 {
+			continue
+		}
+		var ev JobEvent
+		if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
+			return nil, fmt.Errorf("replay: job trace line %d: %w", len(t.Jobs)+2, err)
+		}
+		t.Jobs = append(t.Jobs, ev)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("replay: read job trace: %w", err)
+	}
+	if len(t.Jobs) != h.Jobs {
+		return nil, fmt.Errorf("replay: job trace header says %d jobs, found %d", h.Jobs, len(t.Jobs))
+	}
+	for i := 1; i < len(t.Jobs); i++ {
+		if t.Jobs[i].At < t.Jobs[i-1].At {
+			return nil, fmt.Errorf("replay: job trace arrivals out of order at line %d", i+2)
+		}
+	}
+	return t, nil
+}
+
+// IsJobTrace reports whether data begins with a JobTrace JSONL header —
+// the sniff cmd/whatif uses to accept both legacy profile snapshots and
+// job traces through one -in flag.
+func IsJobTrace(data []byte) bool {
+	end := len(data)
+	if i := bytes.IndexByte(data, '\n'); i >= 0 {
+		end = i
+	}
+	var h jobTraceHeader
+	return json.Unmarshal(data[:end], &h) == nil && h.Magic == jobTraceMagic
+}
+
+// Recorder captures a JobTrace live at the submit edge: the caller (a
+// load generator, a service front end) calls Record once per submission
+// attempt, before the SubmitCtx call, with what the admission edge is
+// about to see. Arrival offsets are measured against the recorder's
+// construction time. Safe for concurrent use by many submitters.
+type Recorder struct {
+	start time.Time
+	mu    sync.Mutex
+	jobs  []JobEvent
+}
+
+// NewRecorder returns a Recorder whose arrival clock starts now.
+func NewRecorder() *Recorder { return &Recorder{start: time.Now()} }
+
+// Record captures one submission: app/size describe the job body, class
+// its priority, deadline the completion budget from now (0 = none), and
+// tenant the submitting tenant id.
+func (r *Recorder) Record(app string, size int, class int, deadline time.Duration, tenant int) {
+	at := int64(time.Since(r.start))
+	var dl int64
+	if deadline > 0 {
+		dl = int64(deadline)
+	}
+	r.mu.Lock()
+	r.jobs = append(r.jobs, JobEvent{At: at, Class: class, Deadline: dl, App: app, Size: size, Tenant: tenant})
+	r.mu.Unlock()
+}
+
+// Trace returns the recording as a JobTrace named name, arrivals sorted
+// by offset (concurrent submitters append out of order). The recorder
+// remains usable; the returned trace is a snapshot.
+func (r *Recorder) Trace(name string) *JobTrace {
+	r.mu.Lock()
+	jobs := make([]JobEvent, len(r.jobs))
+	copy(jobs, r.jobs)
+	r.mu.Unlock()
+	sort.SliceStable(jobs, func(i, j int) bool { return jobs[i].At < jobs[j].At })
+	return &JobTrace{Name: name, Jobs: jobs}
+}
+
+// JobTraceFromSnapshot rebuilds a job trace from a profile dump's per-job
+// records — the after-the-fact recorder for runs that kept no live
+// Recorder: arrival offsets come from each job's submit timestamp
+// (normalized so the first submission is offset 0), classes from the
+// per-job class field, and sizes from each job's measured run time
+// converted to spin units. Deadlines are not in JobRecord and come back
+// 0. Only completed jobs appear in a profile, so a heavily shedding run
+// should be recorded live instead.
+func JobTraceFromSnapshot(s prof.Snapshot) (*JobTrace, error) {
+	if len(s.Jobs) == 0 {
+		return nil, fmt.Errorf("replay: snapshot has no job records (serve jobs through a Pool, or record task level with -profile)")
+	}
+	jobs := make([]JobEvent, 0, len(s.Jobs))
+	base := s.Jobs[0].Submit
+	for _, r := range s.Jobs {
+		if r.Submit < base {
+			base = r.Submit
+		}
+	}
+	unitsPerNS := simnuma.UnitsPerMicrosecond() / 1000
+	for _, r := range s.Jobs {
+		units := int(float64(r.End-r.Start) * unitsPerNS)
+		if units < 1 {
+			units = 1
+		}
+		jobs = append(jobs, JobEvent{At: r.Submit - base, Class: r.Class, Size: units})
+	}
+	sort.SliceStable(jobs, func(i, j int) bool { return jobs[i].At < jobs[j].At })
+	return &JobTrace{Name: "snapshot", Jobs: jobs}, nil
+}

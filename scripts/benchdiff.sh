@@ -4,27 +4,73 @@
 # (REPRO_BENCH_POLICY=adaptive, see applyBenchPolicy in bench_test.go) —
 # and print a jobs/sec comparison table; then run the admission
 # saturation benchmark (block vs deadline-aware shed, see
-# BenchmarkAdmissionSaturation) and print the block-vs-shed comparison.
-# All collected benchmark lines are written to BENCH_5.json, the
+# BenchmarkAdmissionSaturation) and print the block-vs-shed comparison;
+# then run the trace-driven scenario replay benchmark
+# (BenchmarkScenarioReplay: corpus scenario × admission policy).
+# All collected benchmark lines are written to BENCH_6.json, the
 # perf-trajectory snapshot CI archives per push. The bench-smoke CI job
 # runs this with the default -benchtime 1x, so the adaptive and shed
 # paths are exercised (and compiled, and non-panicking) on every push
 # even though a 1x run is not a statistically meaningful measurement. Set
 # BENCHTIME=3s for real numbers.
+#
+# Repeat-drift mode: DRIFT=N (N > 1) instead runs the static pass N
+# times (-count N) and prints each benchmark's max/min ratio per metric —
+# the measured run-to-run noise floor a BENCH_N.json delta must clear
+# before it means anything. Nothing else runs and no snapshot is written.
 set -eu
 cd "$(dirname "$0")/.."
 
 benchtime="${BENCHTIME:-1x}"
 pattern="${BENCHPATTERN:-BenchmarkPoolThroughput\$|BenchmarkElasticShardedPool\$|BenchmarkPolicyPhase\$}"
 admit_pattern="${ADMITPATTERN:-BenchmarkAdmissionSaturation\$}"
+scenario_pattern="${SCENARIOPATTERN:-BenchmarkScenarioReplay\$}"
 # The saturation comparison needs enough iterations for the shed regime
 # to engage; keep it cheap but non-trivial when the main pass runs at 1x.
 admit_benchtime="${ADMIT_BENCHTIME:-100x}"
-snapshot="${BENCHSNAPSHOT:-BENCH_5.json}"
+snapshot="${BENCHSNAPSHOT:-BENCH_6.json}"
+drift="${DRIFT:-0}"
 
 run() {
 	REPRO_BENCH_POLICY="$1" go test -run '^$' -bench "$pattern" -benchtime "$benchtime" -timeout 20m . 2>&1
 }
+
+if [ "$drift" -gt 1 ] 2>/dev/null; then
+	echo "benchdiff: drift mode ($drift repeats of the static pass, -benchtime $benchtime)"
+	drift_out=$(go test -run '^$' -bench "$pattern" -benchtime "$benchtime" -count "$drift" -timeout 30m . 2>&1)
+	echo "$drift_out" | grep -E '^(Benchmark|FAIL|ok)' || true
+	case "$drift_out" in
+	*FAIL*)
+		echo "benchdiff: benchmark failure" >&2
+		exit 1
+		;;
+	esac
+	echo
+	echo "benchdiff: run-to-run drift (max/min per metric over $drift repeats)"
+	echo "$drift_out" | awk '
+		/^Benchmark/ {
+			# "Name iterations value unit value unit ...": fold every
+			# metric, ns/op included, into per-(name, unit) min/max.
+			for (i = 3; i < NF; i += 2) {
+				key = $1 "|" $(i+1)
+				v = $(i) + 0
+				if (!(key in mn) || v < mn[key]) mn[key] = v
+				if (!(key in mx) || v > mx[key]) mx[key] = v
+				if (!(key in seen)) { seen[key] = 1; order[n++] = key }
+			}
+		}
+		END {
+			printf "%-52s %-18s %14s %14s %8s\n", "benchmark", "metric", "min", "max", "max/min"
+			for (i = 0; i < n; i++) {
+				key = order[i]
+				split(key, parts, "|")
+				ratio = (mn[key] > 0) ? sprintf("%.2fx", mx[key] / mn[key]) : "-"
+				printf "%-52s %-18s %14s %14s %8s\n", parts[1], parts[2], mn[key], mx[key], ratio
+			}
+		}
+	'
+	exit 0
+fi
 
 echo "benchdiff: static pass (-benchtime $benchtime)"
 static_out=$(run "")
@@ -37,15 +83,19 @@ echo
 echo "benchdiff: admission saturation pass (block vs shed, -benchtime $admit_benchtime)"
 admit_out=$(go test -run '^$' -bench "$admit_pattern" -benchtime "$admit_benchtime" -timeout 20m . 2>&1)
 echo "$admit_out" | grep -E '^(Benchmark|FAIL|ok)' || true
+echo
+echo "benchdiff: scenario replay pass (corpus trace x admission policy, -benchtime $benchtime)"
+scenario_out=$(go test -run '^$' -bench "$scenario_pattern" -benchtime "$benchtime" -timeout 20m . 2>&1)
+echo "$scenario_out" | grep -E '^(Benchmark|FAIL|ok)' || true
 
-case "$static_out$adaptive_out$admit_out" in
+case "$static_out$adaptive_out$admit_out$scenario_out" in
 *FAIL*)
 	echo "benchdiff: benchmark failure" >&2
 	exit 1
 	;;
 esac
 
-# Perf-trajectory snapshot: every benchmark line of all three passes,
+# Perf-trajectory snapshot: every benchmark line of all four passes,
 # parsed into {name, metrics} records so successive PRs' snapshots diff
 # cleanly. Benchmark lines read "Name iterations value unit value unit...".
 {
@@ -54,6 +104,7 @@ esac
 		echo "$static_out" | awk '/^Benchmark/ { print "static", $0 }'
 		echo "$adaptive_out" | awk '/^Benchmark/ { print "adaptive", $0 }'
 		echo "$admit_out" | awk '/^Benchmark/ { print "admission", $0 }'
+		echo "$scenario_out" | awk '/^Benchmark/ { print "scenario", $0 }'
 	} | awk '
 		{
 			if (NR > 1) printf ",\n"

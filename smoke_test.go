@@ -21,6 +21,16 @@ var cmdMains = []string{
 	"benchall", "botsrun", "dlbsweep", "loadgen", "posp", "profview", "whatif",
 }
 
+// cmdRequiredFlags pins load-bearing flags into each tool's -help output:
+// a flag renamed or dropped without its docs is caught here, not by a
+// user's broken script. Keyed by tool name; every entry must appear as a
+// "-name" flag in the usage text.
+var cmdRequiredFlags = map[string][]string{
+	"loadgen": {"scenario", "trace", "record", "emit", "seed", "speed", "admit", "priority-mix", "elastic", "shards"},
+	"whatif":  {"in", "scenario", "seed", "shards", "speed", "reps"},
+	"botsrun": {"app", "profile"},
+}
+
 // exampleMains only need to build: they are demos with fixed inputs, some
 // of them long-running, so the smoke test stops at the compile boundary.
 var exampleMains = []string{
@@ -85,6 +95,11 @@ func TestCmdHelpSmoke(t *testing.T) {
 			}
 			if !strings.Contains(out.String(), "Usage of") {
 				t.Fatalf("%s -help printed no usage:\n%s", name, out.String())
+			}
+			for _, f := range cmdRequiredFlags[name] {
+				if !strings.Contains(out.String(), "-"+f) {
+					t.Errorf("%s -help does not document -%s:\n%s", name, f, out.String())
+				}
 			}
 		})
 	}
