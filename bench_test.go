@@ -12,6 +12,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"math"
 	"os"
 	"sync"
 	"sync/atomic"
@@ -891,6 +892,82 @@ func BenchmarkScenarioReplay(b *testing.B) {
 				b.ReportMetric(float64(refused)/float64(b.N), "refused/op")
 			})
 		}
+	}
+}
+
+// BenchmarkTenantFairness measures the fifth policy level on the
+// tenant-storm trace: each iteration replays the noisy-neighbor workload
+// through one admission policy and reports the victim tenants' outcome —
+// the spread of per-victim completion fractions (max-min completed/
+// submitted, the fairness gap), the worst victim p99 admission latency,
+// and the WFQ engagement count per op. A wfq run whose fairness bounds never
+// engaged is a broken benchmark, not a fast one, and fails loudly —
+// the bench-smoke assertion behind the BENCH_7.json fairness row.
+func BenchmarkTenantFairness(b *testing.B) {
+	tr, err := scenario.Generate("tenant-storm", scenario.GoldenSeed)
+	if err != nil {
+		b.Fatal(err)
+	}
+	victims := []int{0, 1, 2, 3}
+	for _, mode := range []string{"block", "wfq"} {
+		b.Run(mode, func(b *testing.B) {
+			var (
+				engaged    uint64
+				wall       time.Duration
+				completed  uint64
+				spreadSum  float64
+				worstAdmit time.Duration
+			)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				cfg := xomp.Preset("xgomptb", 2)
+				cfg.Backlog = 16
+				var wfq *xomp.WFQAdmit
+				if mode == "wfq" {
+					// Fresh policy per iteration: the plane's state is
+					// part of what is being measured, not carried over.
+					wfq = &xomp.WFQAdmit{MaxShare: 0.75}
+					cfg.Admit = wfq
+				}
+				res, err := replay.ReplayJobs(tr, replay.Options{Team: cfg})
+				if err != nil {
+					b.Fatal(err)
+				}
+				wall += res.Wall
+				completed += res.Completed
+				// Spread of per-victim completion fractions: demand-
+				// normalized, so it measures unfairness between victims
+				// rather than their different submission counts.
+				min, max := math.Inf(1), math.Inf(-1)
+				for _, id := range victims {
+					v := res.PerTenant[id]
+					frac := float64(v.Completed) / float64(v.Submitted)
+					if frac < min {
+						min = frac
+					}
+					if frac > max {
+						max = frac
+					}
+					if v.AdmitP99 > worstAdmit {
+						worstAdmit = v.AdmitP99
+					}
+				}
+				spreadSum += max - min
+				if wfq != nil {
+					engaged += wfq.Engaged()
+				}
+			}
+			b.StopTimer()
+			if mode == "wfq" && engaged == 0 {
+				b.Fatal("WFQ fairness bounds never engaged on the tenant-storm trace")
+			}
+			if wall > 0 {
+				b.ReportMetric(float64(completed)/wall.Seconds(), "jobs/sec")
+			}
+			b.ReportMetric(spreadSum/float64(b.N), "victim-spread-frac")
+			b.ReportMetric(float64(worstAdmit.Nanoseconds())/1e6, "victim-p99-admit-ms")
+			b.ReportMetric(float64(engaged)/float64(b.N), "wfq-engaged/op")
+		})
 	}
 }
 

@@ -38,11 +38,21 @@
 // batch). -deadline d stamps every job with a completion deadline d from
 // its submission. -admit selects the admission policy: "block" (wait for
 // backlog space, the default), "reject" (ErrBacklogFull instead of
-// blocking), or "shed" (deadline-aware shedding under saturation).
+// blocking), "shed" (deadline-aware shedding under saturation), or
+// "wfq" (weighted-fair multi-tenant admission: each tenant is capped at
+// its weighted share of the queue, over-share submissions are shed).
 // Rejected, shed, and expired submissions are not failures — they are
 // the admission layer working — and the report counts them per class
 // next to the p50/p99 admission latency (time a Submit call spent at the
 // edge before its job entered a queue).
+//
+// The tenant dimension: -tenants N spreads closed-loop submitters over N
+// tenant ids (submitter s submits as tenant s mod N), and
+// -tenant-weights "id=w,..." assigns fair-share weights — to closed-loop
+// tenants, to replayed traces (overriding any weights in the trace
+// header), and onto traces captured with -record. With more than one
+// tenant the report adds a per-tenant admission table; replays add
+// per-tenant completion and admission-latency percentiles.
 //
 // Beyond closed-loop traffic, loadgen is the corpus tool. -scenario
 // replays a generated workload preset (steady, flash-crowd, zipf,
@@ -62,7 +72,9 @@
 //	loadgen -workers 16 -shards 4 -skew 0.9 -elastic -budget 8
 //	loadgen -workers 8 -policy adaptive -phase 300ms -jobs 60
 //	loadgen -workers 2 -submitters 16 -backlog 2 -priority-mix 1:1:6 -deadline 50ms -admit shed
+//	loadgen -workers 2 -submitters 8 -tenants 4 -tenant-weights 0=2,1=2 -admit wfq
 //	loadgen -scenario flash-crowd -workers 2 -admit shed
+//	loadgen -scenario tenant-storm -workers 2 -admit wfq
 //	loadgen -scenario zipf -seed 42 -emit testdata/scenarios/zipf.jsonl
 //	loadgen -jobs 20 -record run.jsonl && loadgen -trace run.jsonl -admit reject
 package main
@@ -73,6 +85,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
 	"strconv"
 	"strings"
 	"sync"
@@ -105,7 +118,9 @@ func main() {
 		phase      = flag.Duration("phase", 0, "flip the workload mix between fine- and coarse-grained presets every period (makes -policy adaptive observable); overrides -mix")
 		prioMix    = flag.String("priority-mix", "0:1:0", "interactive:batch:background integer weights for each submitter's jobs")
 		deadline   = flag.Duration("deadline", 0, "per-job completion deadline from submission (0 = none)")
-		admitName  = flag.String("admit", "block", "admission policy: block|reject|shed")
+		admitName  = flag.String("admit", "block", "admission policy: block|reject|shed|wfq")
+		tenants    = flag.Int("tenants", 1, "spread closed-loop submitters over this many tenant ids (submitter s is tenant s mod N)")
+		tenantWts  = flag.String("tenant-weights", "", "comma-separated id=weight fair-share assignments, e.g. 0=2,9=1 (closed-loop tenants, replays, and -record)")
 		noVerify   = flag.Bool("noverify", false, "skip per-job result verification")
 		verbose    = flag.Bool("v", false, "log every job")
 
@@ -138,6 +153,13 @@ func main() {
 		fatal(err)
 	}
 	admit, err := parseAdmit(*admitName)
+	if err != nil {
+		fatal(err)
+	}
+	if *tenants < 1 {
+		fatal(fmt.Errorf("-tenants %d must be >= 1", *tenants))
+	}
+	weights, err := parseTenantWeights(*tenantWts)
 	if err != nil {
 		fatal(err)
 	}
@@ -202,7 +224,7 @@ func main() {
 				tr.Name, len(tr.Jobs), tr.Span().Round(time.Millisecond), tr.Seed, *emitPath)
 			return
 		}
-		opts := replay.Options{Team: cfg, Speed: *speed, PinTenants: *pinTenants, Scale: sc}
+		opts := replay.Options{Team: cfg, Speed: *speed, PinTenants: *pinTenants, Scale: sc, TenantWeights: weights}
 		if *shards > 0 {
 			opts.Shards = *shards
 			opts.Team.Workers = *workers / *shards
@@ -315,6 +337,7 @@ func main() {
 		perApp   sync.Map // app name -> *atomic.Int64
 		classes  [int(xomp.NumClasses)]classStats
 	)
+	tenantStats := make([]classStats, *tenants)
 	count := func(app string) {
 		v, _ := perApp.LoadOrStore(app, new(atomic.Int64))
 		v.(*atomic.Int64).Add(1)
@@ -345,17 +368,23 @@ func main() {
 				// pinned to shard 0, front-loading the hot shard.
 				pin := *skew > 0 && k < int(*skew*float64(*jobs))
 				class := classPattern[(s+k)%len(classPattern)]
-				opts := xomp.SubmitOpts{Priority: class}
+				tenant := s % *tenants
+				opts := xomp.SubmitOpts{
+					Priority: class,
+					Tenant:   xomp.Tenant{ID: tenant, Weight: weights[tenant]},
+				}
 				if *deadline > 0 {
 					opts.Deadline = time.Now().Add(*deadline)
 				}
 				cs := &classes[int(class)]
 				if rec != nil {
-					rec.Record(name, 0, int(class), *deadline, s)
+					rec.Record(name, 0, int(class), *deadline, tenant)
 				}
 				t0 := time.Now()
 				j, err := submit(pin, b.RunTask, opts)
-				cs.observe(time.Since(t0), err)
+				admitTime := time.Since(t0)
+				cs.observe(admitTime, err)
+				tenantStats[tenant].observe(admitTime, err)
 				if err != nil {
 					// Rejections, sheds, and expiries are the admission
 					// layer doing its job under load, not failures.
@@ -424,6 +453,25 @@ func main() {
 			xomp.Class(c), cs.admitted.Load(), cs.rejected.Load(), cs.shed.Load(),
 			cs.expired.Load(), p50.Round(time.Microsecond), p99.Round(time.Microsecond))
 	}
+	if *tenants > 1 {
+		fmt.Println("tenants:")
+		fmt.Printf("  %-12s %9s %9s %9s %9s %12s %12s\n",
+			"tenant", "admitted", "rejected", "shed", "expired", "p50-admit", "p99-admit")
+		for t := range tenantStats {
+			ts := &tenantStats[t]
+			if ts.attempts() == 0 {
+				continue
+			}
+			p50, p99 := ts.latency()
+			w := weights[t]
+			if w == 0 {
+				w = 1
+			}
+			fmt.Printf("  %-12s %9d %9d %9d %9d %12v %12v\n",
+				fmt.Sprintf("%d (w=%g)", t, w), ts.admitted.Load(), ts.rejected.Load(), ts.shed.Load(),
+				ts.expired.Load(), p50.Round(time.Microsecond), p99.Round(time.Microsecond))
+		}
+	}
 
 	var recs []xomp.JobRecord
 	if sharded != nil {
@@ -462,6 +510,7 @@ func main() {
 	}
 	if rec != nil {
 		tr := rec.Trace("recorded")
+		tr.Weights = weights
 		if err := emitTrace(tr, *recordPath); err != nil {
 			fatal(err)
 		}
@@ -516,6 +565,21 @@ func printReplayReport(res replay.JobReplayResult) {
 		fmt.Printf("  %-12s %9d %9d %9d %9d %9d %12v %12v\n",
 			xomp.Class(c), pc.Submitted, pc.Admitted, pc.Rejected, pc.Shed, pc.Expired,
 			pc.P50.Round(time.Microsecond), pc.P99.Round(time.Microsecond))
+	}
+	if len(res.PerTenant) > 1 {
+		ids := make([]int, 0, len(res.PerTenant))
+		for id := range res.PerTenant {
+			ids = append(ids, id)
+		}
+		sort.Ints(ids)
+		fmt.Printf("  %-12s %9s %9s %9s %9s %9s %9s %12s %12s\n",
+			"tenant", "submitted", "admitted", "rejected", "shed", "expired", "completed", "p99", "p99-admit")
+		for _, id := range ids {
+			pt := res.PerTenant[id]
+			fmt.Printf("  %-12d %9d %9d %9d %9d %9d %9d %12v %12v\n",
+				id, pt.Submitted, pt.Admitted, pt.Rejected, pt.Shed, pt.Expired, pt.Completed,
+				pt.P99.Round(time.Microsecond), pt.AdmitP99.Round(time.Microsecond))
+		}
 	}
 	if res.QuotaMoves > 0 || res.MigratedIn > 0 {
 		fmt.Printf("  quota moves %d, jobs migrated %d\n", res.QuotaMoves, res.MigratedIn)
@@ -615,8 +679,35 @@ func parseAdmit(name string) (xomp.AdmitPolicy, error) {
 		return xomp.RejectWhenFull{}, nil
 	case "shed":
 		return xomp.DeadlineShed{}, nil
+	case "wfq":
+		return &xomp.WFQAdmit{}, nil
 	}
-	return nil, fmt.Errorf("-admit %q: want block, reject, or shed", name)
+	return nil, fmt.Errorf("-admit %q: want block, reject, shed, or wfq", name)
+}
+
+// parseTenantWeights parses "id=weight,id=weight" into the fair-share
+// weight map; an empty flag yields nil (every tenant at weight 1).
+func parseTenantWeights(s string) (map[int]float64, error) {
+	if s == "" {
+		return nil, nil
+	}
+	weights := make(map[int]float64)
+	for _, part := range strings.Split(s, ",") {
+		id, w, ok := strings.Cut(strings.TrimSpace(part), "=")
+		if !ok {
+			return nil, fmt.Errorf("-tenant-weights %q: want id=weight, got %q", s, part)
+		}
+		tid, err := strconv.Atoi(strings.TrimSpace(id))
+		if err != nil || tid < 0 {
+			return nil, fmt.Errorf("-tenant-weights %q: bad tenant id %q", s, id)
+		}
+		wv, err := strconv.ParseFloat(strings.TrimSpace(w), 64)
+		if err != nil || wv <= 0 {
+			return nil, fmt.Errorf("-tenant-weights %q: bad weight %q (want > 0)", s, w)
+		}
+		weights[tid] = wv
+	}
+	return weights, nil
 }
 
 func parseScale(s string) (bots.Scale, error) {

@@ -62,6 +62,12 @@ func main() {
 	if err := snap.AdmissionSummary(os.Stdout); err != nil {
 		fatal(err)
 	}
+	if len(snap.Tenants) > 0 {
+		fmt.Println()
+		if err := snap.TenantSummary(os.Stdout); err != nil {
+			fatal(err)
+		}
+	}
 }
 
 func fatal(err error) {

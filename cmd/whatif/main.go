@@ -10,10 +10,13 @@
 //     configurations — the original task-level analysis.
 //   - A job trace (loadgen -record, or a generated scenario): the
 //     arrival trace is replayed through xomp pools under alternative
-//     admission/balancing candidates — block, reject, shed, adaptive,
-//     and (with -shards) elastic — and the candidates are compared on
-//     completed jobs, jobs/sec, and interactive p99 over the exact same
-//     traffic ("replay the same day's traffic twice").
+//     admission/balancing candidates — block, reject, shed, wfq
+//     (weighted-fair multi-tenant admission), adaptive, and (with
+//     -shards) elastic — and the candidates are compared on completed
+//     jobs, jobs/sec, interactive p99, and — when the trace carries more
+//     than one tenant — Jain's fairness index over per-tenant completion
+//     fractions, over the exact same traffic ("replay the same day's
+//     traffic twice").
 //
 // -scenario skips the file and generates a corpus preset directly.
 //
@@ -41,6 +44,7 @@ import (
 	"repro/internal/prof"
 	"repro/internal/replay"
 	"repro/internal/scenario"
+	"repro/internal/stats"
 	"repro/xomp"
 )
 
@@ -105,9 +109,10 @@ type jobCandidate struct {
 	opts replay.Options
 }
 
-// jobCandidates builds the comparison set: the three admission policies,
-// the adaptive balancing controller, and — sharded with headroom — the
-// elastic capacity controller.
+// jobCandidates builds the comparison set: the four admission policies
+// (weighted-fair multi-tenant included), the adaptive balancing
+// controller, and — sharded with headroom — the elastic capacity
+// controller.
 func jobCandidates(workers, shards int) []jobCandidate {
 	build := func(name string, admit xomp.AdmitPolicy, policy string, elastic bool) jobCandidate {
 		cfg := xomp.Preset("xgomptb", workers)
@@ -129,6 +134,7 @@ func jobCandidates(workers, shards int) []jobCandidate {
 		build("block", nil, "", false),
 		build("reject", xomp.RejectWhenFull{}, "", false),
 		build("shed", xomp.DeadlineShed{}, "", false),
+		build("wfq", &xomp.WFQAdmit{}, "", false),
 		build("adaptive", nil, "adaptive", false),
 	}
 	// The elastic candidate needs at least one active worker per shard
@@ -146,6 +152,24 @@ type jobResult struct {
 	jobsPerSec float64
 	refused    uint64 // rejected + shed + expired, all classes
 	interP99   time.Duration
+	fairness   float64 // mean Jain index over per-tenant completion fractions; 0 = single-tenant trace
+}
+
+// tenantFairness is Jain's index over each tenant's completed/submitted
+// fraction — 1.0 means every tenant got the same fraction of its demand
+// through, regardless of how unequal the demands were. Single-tenant
+// traces yield 0 (the column is not meaningful).
+func tenantFairness(res replay.JobReplayResult) float64 {
+	if len(res.PerTenant) < 2 {
+		return 0
+	}
+	fracs := make([]float64, 0, len(res.PerTenant))
+	for _, pt := range res.PerTenant {
+		if pt.Submitted > 0 {
+			fracs = append(fracs, float64(pt.Completed)/float64(pt.Submitted))
+		}
+	}
+	return stats.Jain(fracs)
 }
 
 // jobWhatIf replays tr through every candidate reps times and ranks
@@ -169,6 +193,7 @@ func jobWhatIf(tr *replay.JobTrace, workers, shards int, speed float64, reps int
 				pc := res.PerClass[cl]
 				agg.refused += pc.Rejected + pc.Shed + pc.Expired
 			}
+			agg.fairness += tenantFairness(res)
 			p99 := res.PerClass[load.ClassInteractive].P99
 			// Keep the best interactive p99 across reps: the steadiest
 			// view of what the candidate can deliver.
@@ -179,6 +204,7 @@ func jobWhatIf(tr *replay.JobTrace, workers, shards int, speed float64, reps int
 		agg.completed /= uint64(reps)
 		agg.jobsPerSec /= float64(reps)
 		agg.refused /= uint64(reps)
+		agg.fairness /= float64(reps)
 		results = append(results, agg)
 	}
 	sort.SliceStable(results, func(i, j int) bool {
@@ -187,13 +213,17 @@ func jobWhatIf(tr *replay.JobTrace, workers, shards int, speed float64, reps int
 		}
 		return results[i].interP99 < results[j].interP99
 	})
-	fmt.Printf("%-10s %10s %12s %10s %14s\n", "candidate", "completed", "jobs/sec", "refused", "interactive-p99")
+	fmt.Printf("%-10s %10s %12s %10s %14s %9s\n", "candidate", "completed", "jobs/sec", "refused", "interactive-p99", "fairness")
 	for _, r := range results {
 		p99 := "-"
 		if r.interP99 > 0 {
 			p99 = r.interP99.Round(time.Microsecond).String()
 		}
-		fmt.Printf("%-10s %10d %12.1f %10d %14s\n", r.cand.name, r.completed, r.jobsPerSec, r.refused, p99)
+		fair := "-"
+		if r.fairness > 0 {
+			fair = fmt.Sprintf("%.3f", r.fairness)
+		}
+		fmt.Printf("%-10s %10d %12.1f %10d %14s %9s\n", r.cand.name, r.completed, r.jobsPerSec, r.refused, p99, fair)
 	}
 	fmt.Printf("\nrecommendation: %s\n", results[0].cand.name)
 }

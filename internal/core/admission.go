@@ -60,6 +60,13 @@ type SubmitOpts struct {
 	// is an admission contract only: a job admitted in time is run to
 	// completion even if it finishes late.
 	Deadline time.Time
+	// Tenant identifies the submitting tenant and its fair-share weight.
+	// The zero value is tenant 0 at weight 1, so single-tenant callers
+	// never notice the dimension. A weighted-fair admission policy
+	// (load.WFQAdmit) bounds each tenant's share of its class queue by
+	// weight; every policy gets per-tenant counters, gauges, and latency
+	// rings on the profile. A negative weight is a submission error.
+	Tenant load.Tenant
 }
 
 // Submit enqueues fn as a new job's root task and returns the job handle
@@ -98,18 +105,21 @@ func (tm *Team) SubmitCtx(ctx context.Context, fn TaskFunc, opts SubmitOpts) (*J
 	if class < 0 || class >= load.NumClasses {
 		return nil, fmt.Errorf("core: priority class %d outside [0, %d)", class, load.NumClasses)
 	}
+	if opts.Tenant.Weight < 0 {
+		return nil, fmt.Errorf("core: negative tenant weight %g", opts.Tenant.Weight)
+	}
 	if ctx == nil {
 		ctx = context.Background()
 	}
 	if err := ctx.Err(); err != nil {
-		tm.admitFailed(int(class), prof.AdmitCancelled)
+		tm.admitFailed(int(class), opts.Tenant, prof.AdmitCancelled)
 		return nil, err
 	}
 	var remaining time.Duration
 	if !opts.Deadline.IsZero() {
 		remaining = time.Until(opts.Deadline)
 		if remaining <= 0 {
-			tm.admitFailed(int(class), prof.AdmitExpired)
+			tm.admitFailed(int(class), opts.Tenant, prof.AdmitExpired)
 			return nil, ErrDeadlineExceeded
 		}
 	}
@@ -129,11 +139,17 @@ func (tm *Team) SubmitCtx(ctx context.Context, fn TaskFunc, opts SubmitOpts) (*J
 		ch := svc.submit[class]
 		sig := tm.Signals()
 		decision = tm.admit.Admit(load.AdmitRequest{
-			Class:     class,
-			Deadline:  remaining,
-			Queued:    len(ch),
-			Capacity:  cap(ch),
-			Saturated: tm.saturated(sig),
+			Class:    class,
+			Deadline: remaining,
+			Queued:   len(ch),
+			Capacity: cap(ch),
+			Tenant:   opts.Tenant,
+			// The tenant gauge is raised before the enqueue below, so it
+			// covers this tenant's submitters currently blocked at the
+			// edge as well as its queued jobs — the footprint a
+			// weighted-fair policy bounds.
+			TenantQueued: int(tm.profile.TenantQueued(opts.Tenant.ID)),
+			Saturated:    tm.saturated(sig),
 		}, sig)
 	}
 	if decision == load.AdmitShed {
@@ -148,11 +164,11 @@ func (tm *Team) SubmitCtx(ctx context.Context, fn TaskFunc, opts SubmitOpts) (*J
 		if closed {
 			return nil, ErrClosed
 		}
-		tm.admitFailed(int(class), prof.AdmitShed)
+		tm.admitFailed(int(class), opts.Tenant, prof.AdmitShed)
 		return nil, ErrShed
 	}
 
-	j := &Job{done: make(chan struct{}), class: class}
+	j := &Job{done: make(chan struct{}), class: class, tenant: opts.Tenant}
 	j.worker.Store(-1)
 	j.root.reset(fn, nil, 0, 0)
 	j.root.noRecycle = true // the root outlives the region; never pool it
@@ -175,11 +191,13 @@ func (tm *Team) SubmitCtx(ctx context.Context, fn TaskFunc, opts SubmitOpts) (*J
 	// decrement them.
 	tm.profile.AddQueueDepth(1)
 	tm.profile.AddClassQueued(int(class), 1)
+	tm.profile.AddTenantQueued(opts.Tenant.ID, 1)
+	tm.profile.ObserveTenantWeight(opts.Tenant.ID, opts.Tenant.Weight)
 
 	ch := svc.submit[class]
 	select {
 	case ch <- &j.root:
-		tm.admitted(int(class), admitStart)
+		tm.admitted(j, admitStart)
 		return j, nil
 	default:
 	}
@@ -200,7 +218,7 @@ func (tm *Team) SubmitCtx(ctx context.Context, fn TaskFunc, opts SubmitOpts) (*J
 	}
 	select {
 	case ch <- &j.root:
-		tm.admitted(int(class), admitStart)
+		tm.admitted(j, admitStart)
 		return j, nil
 	case <-ctx.Done():
 		tm.rollbackSubmit(svc, j, prof.AdmitCancelled)
@@ -211,18 +229,22 @@ func (tm *Team) SubmitCtx(ctx context.Context, fn TaskFunc, opts SubmitOpts) (*J
 	}
 }
 
-// admitted records one successful admission: the per-class counter and
-// the admission latency (time the submitter spent at the edge before the
-// enqueue).
-func (tm *Team) admitted(class int, admitStart int64) {
+// admitted records one successful admission: the per-class and
+// per-tenant counters and the admission latency (time the submitter
+// spent at the edge before the enqueue).
+func (tm *Team) admitted(j *Job, admitStart int64) {
+	class, lat := int(j.class), tm.profile.Now()-admitStart
 	tm.profile.CountAdmit(class, prof.AdmitAdmitted)
-	tm.profile.RecordAdmitLatency(class, tm.profile.Now()-admitStart)
+	tm.profile.RecordAdmitLatency(class, lat)
+	tm.profile.CountTenantAdmit(j.tenant.ID, prof.AdmitAdmitted)
+	tm.profile.RecordTenantAdmitLatency(j.tenant.ID, lat)
 }
 
 // admitFailed records a submission that never reached the accounting
 // stage (shed, pre-expired deadline, pre-cancelled context).
-func (tm *Team) admitFailed(class int, o prof.AdmitOutcome) {
+func (tm *Team) admitFailed(class int, t load.Tenant, o prof.AdmitOutcome) {
 	tm.profile.CountAdmit(class, o)
+	tm.profile.CountTenantAdmit(t.ID, o)
 	tm.profile.RecordAdmitEvent(prof.AdmitEvent{At: tm.profile.Now(), Class: class, Outcome: o})
 }
 
@@ -235,13 +257,19 @@ func (tm *Team) admitFailed(class int, o prof.AdmitOutcome) {
 func (tm *Team) rollbackSubmit(svc *service, j *Job, o prof.AdmitOutcome) {
 	tm.profile.AddQueueDepth(-1)
 	tm.profile.AddClassQueued(int(j.class), -1)
+	tm.profile.AddTenantQueued(j.tenant.ID, -1)
 	svc.mu.Lock()
 	svc.active--
 	if svc.active == 0 {
 		svc.cond.Broadcast()
 	}
 	svc.mu.Unlock()
-	tm.admitFailed(int(j.class), o)
+	tm.admitFailed(int(j.class), j.tenant, o)
+	// A tenant-tracking policy granted this submission at Admit time;
+	// tell it the work left without running (serviceNS 0).
+	if ob, ok := tm.admit.(load.TenantObserver); ok {
+		ob.ObserveComplete(j.tenant, 0)
+	}
 }
 
 // saturated is the runtime's saturation verdict for the admission edge:

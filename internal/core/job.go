@@ -35,6 +35,12 @@ type Job struct {
 	// queue), and is recorded on the JobRecord.
 	class load.Class
 
+	// tenant is the submitting tenant (SubmitOpts.Tenant), fixed at
+	// submission like class: it keys the per-tenant gauges and counters
+	// along the job's whole path (admission, adoption, migration,
+	// completion) and is recorded on the JobRecord.
+	tenant load.Tenant
+
 	// failed is raised by the first panicking task; later tasks of this
 	// job skip their bodies (cancellation) but keep completion accounting,
 	// so the job still quiesces.
@@ -115,6 +121,10 @@ func (j *Job) Migrated() bool { return j.migrated.Load() }
 
 // Class returns the job's admission priority class.
 func (j *Job) Class() load.Class { return j.class }
+
+// Tenant returns the submitting tenant (zero value for single-tenant
+// callers).
+func (j *Job) Tenant() load.Tenant { return j.tenant }
 
 // QueueDelay returns how long the job waited in the admission queue before
 // a worker adopted it. Valid once the job has started.

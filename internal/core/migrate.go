@@ -59,6 +59,7 @@ func MigrateQueuedJob(src, dst *Team) bool {
 	class := int(j.class)
 	src.profile.AddQueueDepth(-1)
 	src.profile.AddClassQueued(class, -1)
+	src.profile.AddTenantQueued(j.tenant.ID, -1)
 
 	// Count the job into dst before uncounting it from src. A dst that
 	// has begun closing is refused: its Close may already be past the
@@ -71,6 +72,7 @@ func MigrateQueuedJob(src, dst *Team) bool {
 		// draining this channel) until it is adopted and completed.
 		src.profile.AddQueueDepth(1)
 		src.profile.AddClassQueued(class, 1)
+		src.profile.AddTenantQueued(j.tenant.ID, 1)
 		ssvc.submit[class] <- t
 		return false
 	}
@@ -87,6 +89,20 @@ func MigrateQueuedJob(src, dst *Team) bool {
 	dst.profile.IncMigratedIn()
 	dst.profile.AddQueueDepth(1)
 	dst.profile.AddClassQueued(class, 1)
+	dst.profile.AddTenantQueued(j.tenant.ID, 1)
+	dst.profile.ObserveTenantWeight(j.tenant.ID, j.tenant.Weight)
+	// The job leaves src's tenant plane with it: a tenant-tracking
+	// admission policy on src granted this work and would otherwise
+	// count it in flight forever. When both teams share one policy
+	// instance — a sharded pool's pool-wide plane — the grant is still
+	// live and dst's completion will release it; otherwise release it
+	// here (dst's policy sees the completion as unmatched and floors it,
+	// so fairness accounting degrades gracefully instead of leaking).
+	if ob, ok := src.admit.(load.TenantObserver); ok {
+		if dob, dok := dst.admit.(load.TenantObserver); !dok || dob != ob {
+			ob.ObserveComplete(j.tenant, 0)
+		}
+	}
 	// Blocking send is safe for the same reason as the rollback above,
 	// now on dst: the job is in dst's active count, so dst's workers
 	// cannot stop before draining it.

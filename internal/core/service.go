@@ -450,6 +450,7 @@ func (tm *Team) adopt(w *Worker, t *Task) {
 	j := t.job
 	tm.profile.AddQueueDepth(-1)
 	tm.profile.AddClassQueued(int(j.class), -1)
+	tm.profile.AddTenantQueued(j.tenant.ID, -1)
 	t.creator = int32(w.id)
 	j.worker.Store(int32(w.id))
 	j.startNS.Store(tm.profile.Now())
@@ -472,9 +473,16 @@ func (tm *Team) finishJob(j *Job) {
 		Start:    j.startNS.Load(),
 		End:      j.endNS.Load(),
 		Class:    int(j.class),
+		Tenant:   j.tenant.ID,
 		Panicked: j.failed.Load(),
 		Migrated: j.migrated.Load(),
 	})
+	tm.profile.CountTenantCompleted(j.tenant.ID)
+	// Close the loop to a tenant-tracking admission policy: the measured
+	// run time feeds the tenant's service-time EWMA on the WFQ plane.
+	if ob, ok := tm.admit.(load.TenantObserver); ok {
+		ob.ObserveComplete(j.tenant, float64(j.endNS.Load()-j.startNS.Load()))
+	}
 	close(j.done)
 	if svc := tm.svc.Load(); svc != nil {
 		svc.jobDone()

@@ -119,6 +119,14 @@ type AdmitRequest struct {
 	// Queued and Capacity describe the submission's class queue: current
 	// depth and bound.
 	Queued, Capacity int
+	// Tenant identifies the submitting tenant and its fair-share weight
+	// (zero value: tenant 0, weight 1).
+	Tenant Tenant
+	// TenantQueued is the tenant's own footprint at this team's
+	// admission edge: its submissions granted but not yet adopted,
+	// including submitters currently blocked waiting for queue space —
+	// the quantity WFQAdmit bounds against the tenant's share.
+	TenantQueued int
 	// Saturated is the runtime's saturation verdict: the adaptive
 	// controller's hysteresis-damped Schmitt trigger when a controller is
 	// running, an instantaneous Load() >= 1 check otherwise. Shedding

@@ -172,7 +172,9 @@ type JobRecord struct {
 	Start  int64 `json:"start"`
 	End    int64 `json:"end"`
 	// Class is the job's admission priority class (see AdmitClassName).
-	Class    int  `json:"class,omitempty"`
+	Class int `json:"class,omitempty"`
+	// Tenant is the submitting tenant's id (0 for single-tenant callers).
+	Tenant   int  `json:"tenant,omitempty"`
 	Panicked bool `json:"panicked,omitempty"`
 	Migrated bool `json:"migrated,omitempty"`
 }
@@ -333,6 +335,14 @@ type Profile struct {
 	admitEvents ring[AdmitEvent]
 	sigJobNS    atomic.Uint64
 
+	// Per-tenant admission accounting (the multi-tenant fairness level).
+	// Tenant ids are open-ended, so unlike the fixed per-class arrays
+	// this is a bounded map under its own RWMutex; the per-tenant slots
+	// themselves are atomics, so the read lock is the only coordination
+	// on the hot paths. See tenant.go.
+	tenantMu sync.RWMutex
+	tenants  map[int]*tenantProf
+
 	// Shard-level load metrics for two-level balancing. queueDepth is the
 	// NJOBS_QUEUED gauge: jobs submitted to this team's admission queue but
 	// not yet adopted by a worker — the load signal a sharded pool's
@@ -392,6 +402,7 @@ func New(workers int, timeline bool) *Profile {
 		jobs:        newRing[JobRecord](MaxJobRecords),
 		polSwitches: newRing[PolicySwitch](MaxPolicySwitches),
 		admitEvents: newRing[AdmitEvent](MaxAdmitEvents),
+		tenants:     make(map[int]*tenantProf),
 	}
 	for c := range p.admitLat {
 		p.admitLat[c] = newRing[int64](MaxAdmitLatencies)
@@ -721,6 +732,9 @@ type Snapshot struct {
 	AdmitCounts    [AdmitClasses][NumAdmitOutcomes]uint64 `json:"admit_counts,omitempty"`
 	AdmitLatencies [AdmitClasses][]int64                  `json:"admit_latencies,omitempty"`
 	AdmitEvents    []AdmitEvent                           `json:"admit_events,omitempty"`
+	// Tenants is the per-tenant admission picture at snapshot time,
+	// keyed by tenant id (absent when no submission named a tenant).
+	Tenants map[int]TenantCounters `json:"tenants,omitempty"`
 }
 
 // Snapshot captures the current state. The per-thread counters and events
@@ -748,6 +762,7 @@ func (p *Profile) Snapshot() Snapshot {
 	}
 	s.AdmitCounts = p.AdmitCounts()
 	s.AdmitEvents = p.AdmitEvents()
+	s.Tenants = p.TenantCounters()
 	return s
 }
 

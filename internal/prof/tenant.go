@@ -1,0 +1,235 @@
+package prof
+
+// Per-tenant admission accounting. Priority classes get fixed arrays
+// (there are exactly three); tenants are an open set, so their state
+// lives in a bounded map of per-tenant slots. Everything inside a slot
+// is atomic or ring+mutex, mirroring the per-class state one level up,
+// and the map itself is touched under an RWMutex whose write path only
+// runs the first time a tenant is seen.
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+const (
+	// MaxTenants bounds the per-tenant accounting slots a profile will
+	// allocate; traffic from tenants beyond the bound is still served,
+	// just not individually accounted.
+	MaxTenants = 1024
+	// MaxTenantLatencies bounds each tenant's admission-latency ring.
+	MaxTenantLatencies = 1024
+)
+
+// tenantProf is one tenant's slot: its last-seen fair-share weight
+// (float bits), the per-outcome admission counters, completed-job
+// count, the queued gauge (this tenant's slice of NJOBS_QUEUED,
+// including submitters blocked at the edge), and a bounded ring of
+// admission latencies.
+type tenantProf struct {
+	weight    atomic.Uint64
+	counts    [NumAdmitOutcomes]atomic.Uint64
+	completed atomic.Uint64
+	queued    atomic.Int64
+	latMu     sync.Mutex
+	lat       ring[int64]
+}
+
+// tenantSlot returns tenant id's slot, allocating on first sight; nil
+// once MaxTenants distinct ids exist and id is not among them.
+func (p *Profile) tenantSlot(id int) *tenantProf {
+	p.tenantMu.RLock()
+	t := p.tenants[id]
+	p.tenantMu.RUnlock()
+	if t != nil {
+		return t
+	}
+	p.tenantMu.Lock()
+	defer p.tenantMu.Unlock()
+	if t = p.tenants[id]; t != nil {
+		return t
+	}
+	if p.tenants == nil || len(p.tenants) >= MaxTenants {
+		return nil
+	}
+	t = &tenantProf{lat: newRing[int64](MaxTenantLatencies)}
+	t.weight.Store(math.Float64bits(1))
+	p.tenants[id] = t
+	return t
+}
+
+// ObserveTenantWeight records tenant id's fair-share weight as last
+// seen at the admission edge (display state, not policy input).
+func (p *Profile) ObserveTenantWeight(id int, weight float64) {
+	if weight <= 0 {
+		weight = 1
+	}
+	if t := p.tenantSlot(id); t != nil {
+		t.weight.Store(math.Float64bits(weight))
+	}
+}
+
+// CountTenantAdmit counts one admission outcome for tenant id. Safe for
+// any goroutine.
+func (p *Profile) CountTenantAdmit(id int, o AdmitOutcome) {
+	if t := p.tenantSlot(id); t != nil {
+		t.counts[o].Add(1)
+	}
+}
+
+// TenantAdmitCount returns tenant id's lifetime count of outcome o.
+func (p *Profile) TenantAdmitCount(id int, o AdmitOutcome) uint64 {
+	p.tenantMu.RLock()
+	t := p.tenants[id]
+	p.tenantMu.RUnlock()
+	if t == nil {
+		return 0
+	}
+	return t.counts[o].Load()
+}
+
+// AddTenantQueued adjusts tenant id's queued gauge by d. The task
+// service keeps it in step with the class gauges: +1 when a submission
+// passes its admission decision (so edge-blocked submitters count), -1
+// on adoption, rollback, or migration away — the footprint WFQ
+// admission bounds.
+func (p *Profile) AddTenantQueued(id int, d int64) {
+	if t := p.tenantSlot(id); t != nil {
+		t.queued.Add(d)
+	}
+}
+
+// TenantQueued returns tenant id's queued gauge.
+func (p *Profile) TenantQueued(id int) int64 {
+	p.tenantMu.RLock()
+	t := p.tenants[id]
+	p.tenantMu.RUnlock()
+	if t == nil {
+		return 0
+	}
+	return t.queued.Load()
+}
+
+// RecordTenantAdmitLatency records one admitted submission's admission
+// latency (ns) in tenant id's bounded ring.
+func (p *Profile) RecordTenantAdmitLatency(id int, ns int64) {
+	t := p.tenantSlot(id)
+	if t == nil {
+		return
+	}
+	t.latMu.Lock()
+	t.lat.add(ns)
+	t.latMu.Unlock()
+}
+
+// CountTenantCompleted counts one completed job for tenant id.
+func (p *Profile) CountTenantCompleted(id int) {
+	if t := p.tenantSlot(id); t != nil {
+		t.completed.Add(1)
+	}
+}
+
+// TenantCompleted returns tenant id's completed-job count.
+func (p *Profile) TenantCompleted(id int) uint64 {
+	p.tenantMu.RLock()
+	t := p.tenants[id]
+	p.tenantMu.RUnlock()
+	if t == nil {
+		return 0
+	}
+	return t.completed.Load()
+}
+
+// TenantIDs returns the tenant ids with accounting slots, sorted.
+func (p *Profile) TenantIDs() []int {
+	p.tenantMu.RLock()
+	ids := make([]int, 0, len(p.tenants))
+	for id := range p.tenants {
+		ids = append(ids, id)
+	}
+	p.tenantMu.RUnlock()
+	sort.Ints(ids)
+	return ids
+}
+
+// TenantCounters is one tenant's admission picture in a Snapshot.
+type TenantCounters struct {
+	// Weight is the tenant's fair-share weight as last seen.
+	Weight float64 `json:"weight"`
+	// Counts is the per-outcome admission counter row (outcome order:
+	// admitted, rejected, shed, cancelled, expired).
+	Counts [NumAdmitOutcomes]uint64 `json:"counts"`
+	// Completed counts the tenant's completed jobs.
+	Completed uint64 `json:"completed"`
+	// Queued is the tenant's queued gauge at snapshot time.
+	Queued int64 `json:"queued,omitempty"`
+	// Latencies is the tenant's retained admission-latency ring (ns).
+	Latencies []int64 `json:"latencies,omitempty"`
+}
+
+// TenantCounters returns the per-tenant state keyed by tenant id, nil
+// when no submission ever named a tenant.
+func (p *Profile) TenantCounters() map[int]TenantCounters {
+	ids := p.TenantIDs()
+	if len(ids) == 0 {
+		return nil
+	}
+	out := make(map[int]TenantCounters, len(ids))
+	for _, id := range ids {
+		p.tenantMu.RLock()
+		t := p.tenants[id]
+		p.tenantMu.RUnlock()
+		if t == nil {
+			continue
+		}
+		tc := TenantCounters{
+			Weight:    math.Float64frombits(t.weight.Load()),
+			Completed: t.completed.Load(),
+			Queued:    t.queued.Load(),
+		}
+		for o := range tc.Counts {
+			tc.Counts[o] = t.counts[o].Load()
+		}
+		t.latMu.Lock()
+		tc.Latencies = t.lat.snapshot()
+		t.latMu.Unlock()
+		out[id] = tc
+	}
+	return out
+}
+
+// TenantSummary renders the snapshot's per-tenant admission state as a
+// table sorted by tenant id: weight, outcome counters, completions, the
+// queued gauge, and admission-latency percentiles. Nothing is written
+// when no submission named a tenant, so single-tenant dumps stay
+// unchanged.
+func (s Snapshot) TenantSummary(w io.Writer) error {
+	if len(s.Tenants) == 0 {
+		return nil
+	}
+	ids := make([]int, 0, len(s.Tenants))
+	for id := range s.Tenants {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	if _, err := fmt.Fprintf(w, "Tenant Summary (per tenant)\n%-8s %6s %9s %9s %9s %9s %9s %8s %12s %12s\n",
+		"tenant", "weight", "admitted", "rejected", "shed", "expired", "complete", "queued", "p50-admit", "p99-admit"); err != nil {
+		return err
+	}
+	for _, id := range ids {
+		t := s.Tenants[id]
+		p50, p99 := latencyPercentiles(t.Latencies)
+		if _, err := fmt.Fprintf(w, "%-8d %6.4g %9d %9d %9d %9d %9d %8d %12s %12s\n",
+			id, t.Weight,
+			t.Counts[AdmitAdmitted], t.Counts[AdmitRejected],
+			t.Counts[AdmitShed], t.Counts[AdmitExpired],
+			t.Completed, t.Queued, p50, p99); err != nil {
+			return err
+		}
+	}
+	return nil
+}

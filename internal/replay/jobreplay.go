@@ -50,6 +50,10 @@ type Options struct {
 	// how a zipf-skewed tenant trace becomes a deterministically hot
 	// shard (sharded replays only).
 	PinTenants bool
+	// TenantWeights assigns fair-share weights by tenant id, overriding
+	// any weights recorded in the trace header. Tenants absent from both
+	// maps replay at the default weight 1.
+	TenantWeights map[int]float64
 	// Scale is the BOTS input scale for events whose App names a BOTS
 	// application (default ScaleTest).
 	Scale bots.Scale
@@ -71,6 +75,20 @@ type ClassOutcome struct {
 	P50, P99 time.Duration
 }
 
+// TenantOutcome is one tenant's replay outcome: the same admission-edge
+// and completion accounting as ClassOutcome, plus admission-latency
+// percentiles — the time each of the tenant's submitters spent inside
+// the submit call itself (queue-full blocking, admission policy delay),
+// recorded for every attempt whether or not it was admitted. Admission
+// latency is the noisy-neighbor signal: a victim tenant stuck behind
+// another tenant's backlog shows it here before anywhere else.
+type TenantOutcome struct {
+	ClassOutcome
+	// AdmitP50 and AdmitP99 are admission-latency percentiles over all
+	// of the tenant's submission attempts.
+	AdmitP50, AdmitP99 time.Duration
+}
+
 // JobReplayResult is one trace × configuration measurement.
 type JobReplayResult struct {
 	// Trace and Jobs identify the workload.
@@ -83,6 +101,9 @@ type JobReplayResult struct {
 	Completed  uint64
 	// PerClass indexes outcomes by load.Class value.
 	PerClass [load.NumClasses]ClassOutcome
+	// PerTenant indexes outcomes by tenant id (only tenants that
+	// submitted at least once appear).
+	PerTenant map[int]TenantOutcome
 	// QuotaMoves and MigratedIn are the sharded pool's third- and
 	// second-level balancing activity during the replay (0 unsharded).
 	QuotaMoves uint64
@@ -94,6 +115,36 @@ type classAccum struct {
 	mu sync.Mutex
 	ClassOutcome
 	lat stats.Sample
+}
+
+// tenantAccum accumulates one tenant's outcome counters during a replay.
+// Instances live in a map guarded by one shared mutex (tenant ids are
+// sparse and unbounded, unlike the fixed class array).
+type tenantAccum struct {
+	ClassOutcome
+	lat      stats.Sample
+	admitLat stats.Sample
+}
+
+// admitOutcome classifies one submission attempt's admission-edge result
+// into o's counters. It reports whether err was recognized (nil or a
+// known admission refusal); an unrecognized error is the caller's to
+// surface.
+func admitOutcome(o *ClassOutcome, err error) bool {
+	o.Submitted++
+	switch {
+	case err == nil:
+		o.Admitted++
+	case errors.Is(err, xomp.ErrBacklogFull):
+		o.Rejected++
+	case errors.Is(err, xomp.ErrShed):
+		o.Shed++
+	case errors.Is(err, xomp.ErrDeadlineExceeded):
+		o.Expired++
+	default:
+		return false
+	}
+	return true
 }
 
 // ReplayJobs replays tr through the pool Options describes with
@@ -164,8 +215,20 @@ func ReplayJobs(tr *JobTrace, opts Options) (JobReplayResult, error) {
 		closer = p.Close
 	}
 
+	// Weight lookup: Options override, then the trace header, then the
+	// default weight 1 (a zero Weight means "unspecified" to the policy
+	// layer, which treats it as 1).
+	weightFor := func(id int) float64 {
+		if w, ok := opts.TenantWeights[id]; ok {
+			return w
+		}
+		return tr.Weights[id]
+	}
+
 	var (
 		classes  [load.NumClasses]classAccum
+		tenantMu sync.Mutex
+		tenants  = make(map[int]*tenantAccum)
 		firstErr error
 		errOnce  sync.Once
 		wg       sync.WaitGroup
@@ -180,27 +243,30 @@ func ReplayJobs(tr *JobTrace, opts Options) (JobReplayResult, error) {
 		go func(ev JobEvent, body xomp.TaskFunc) {
 			defer wg.Done()
 			ca := &classes[ev.Class]
-			so := xomp.SubmitOpts{Priority: xomp.Class(ev.Class)}
+			so := xomp.SubmitOpts{
+				Priority: xomp.Class(ev.Class),
+				Tenant:   xomp.Tenant{ID: ev.Tenant, Weight: weightFor(ev.Tenant)},
+			}
 			if ev.Deadline > 0 {
 				so.Deadline = time.Now().Add(time.Duration(float64(ev.Deadline) / speed))
 			}
 			t0 := time.Now()
 			j, err := submit(ev, body, so)
+			admitLat := time.Since(t0)
 			ca.mu.Lock()
-			ca.Submitted++
-			switch {
-			case err == nil:
-				ca.Admitted++
-			case errors.Is(err, xomp.ErrBacklogFull):
-				ca.Rejected++
-			case errors.Is(err, xomp.ErrShed):
-				ca.Shed++
-			case errors.Is(err, xomp.ErrDeadlineExceeded):
-				ca.Expired++
-			default:
+			if !admitOutcome(&ca.ClassOutcome, err) {
 				errOnce.Do(func() { firstErr = err })
 			}
 			ca.mu.Unlock()
+			tenantMu.Lock()
+			ta := tenants[ev.Tenant]
+			if ta == nil {
+				ta = &tenantAccum{}
+				tenants[ev.Tenant] = ta
+			}
+			admitOutcome(&ta.ClassOutcome, err)
+			ta.admitLat.AddDuration(admitLat)
+			tenantMu.Unlock()
 			if err != nil {
 				return
 			}
@@ -212,7 +278,12 @@ func ReplayJobs(tr *JobTrace, opts Options) (JobReplayResult, error) {
 				ca.lat.AddDuration(lat)
 			}
 			ca.mu.Unlock()
-			if werr != nil {
+			if werr == nil {
+				tenantMu.Lock()
+				ta.Completed++
+				ta.lat.AddDuration(lat)
+				tenantMu.Unlock()
+			} else {
 				errOnce.Do(func() { firstErr = werr })
 			}
 		}(ev, bodies[i])
@@ -239,6 +310,19 @@ func ReplayJobs(tr *JobTrace, opts Options) (JobReplayResult, error) {
 			res.PerClass[c].P99 = time.Duration(ca.lat.Percentile(99) * float64(time.Second))
 		}
 		res.Completed += ca.Completed
+	}
+	res.PerTenant = make(map[int]TenantOutcome, len(tenants))
+	for id, ta := range tenants {
+		to := TenantOutcome{ClassOutcome: ta.ClassOutcome}
+		if ta.lat.N() > 0 {
+			to.P50 = time.Duration(ta.lat.Percentile(50) * float64(time.Second))
+			to.P99 = time.Duration(ta.lat.Percentile(99) * float64(time.Second))
+		}
+		if ta.admitLat.N() > 0 {
+			to.AdmitP50 = time.Duration(ta.admitLat.Percentile(50) * float64(time.Second))
+			to.AdmitP99 = time.Duration(ta.admitLat.Percentile(99) * float64(time.Second))
+		}
+		res.PerTenant[id] = to
 	}
 	if res.Wall > 0 {
 		res.JobsPerSec = float64(res.Completed) / res.Wall.Seconds()

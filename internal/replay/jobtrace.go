@@ -62,16 +62,24 @@ type JobTrace struct {
 	// Seed is the generator seed for synthetic traces (0 for recordings);
 	// kept in the header so a golden file documents how to regenerate it.
 	Seed uint64
+	// Weights maps tenant ids to fair-share weights for traces whose
+	// workload model assigns them (nil: every tenant at weight 1). The
+	// replayer stamps them onto submissions so weighted-fair policies
+	// see the trace's intended tenancy; Options.TenantWeights overrides.
+	Weights map[int]float64
 	// Jobs are the arrival events in non-decreasing At order.
 	Jobs []JobEvent
 }
 
 // jobTraceHeader is the first JSONL line of a serialized trace.
+// encoding/json sorts the Weights map by key, so serialization stays
+// byte-deterministic.
 type jobTraceHeader struct {
-	Magic string `json:"jobtrace"`
-	Name  string `json:"name,omitempty"`
-	Seed  uint64 `json:"seed,omitempty"`
-	Jobs  int    `json:"jobs"`
+	Magic   string          `json:"jobtrace"`
+	Name    string          `json:"name,omitempty"`
+	Seed    uint64          `json:"seed,omitempty"`
+	Weights map[int]float64 `json:"weights,omitempty"`
+	Jobs    int             `json:"jobs"`
 }
 
 // Span returns the trace's arrival span: the offset of the last arrival.
@@ -98,7 +106,7 @@ func (t *JobTrace) WriteTo(w io.Writer) (int64, error) {
 		n += int64(m)
 		return err
 	}
-	if err := line(jobTraceHeader{Magic: jobTraceMagic, Name: t.Name, Seed: t.Seed, Jobs: len(t.Jobs)}); err != nil {
+	if err := line(jobTraceHeader{Magic: jobTraceMagic, Name: t.Name, Seed: t.Seed, Weights: t.Weights, Jobs: len(t.Jobs)}); err != nil {
 		return n, fmt.Errorf("replay: write job trace: %w", err)
 	}
 	for i := range t.Jobs {
@@ -126,7 +134,7 @@ func ReadJobTrace(r io.Reader) (*JobTrace, error) {
 	if err := json.Unmarshal(sc.Bytes(), &h); err != nil || h.Magic != jobTraceMagic {
 		return nil, fmt.Errorf("replay: input is not a %s trace (header %q)", jobTraceMagic, sc.Text())
 	}
-	t := &JobTrace{Name: h.Name, Seed: h.Seed, Jobs: make([]JobEvent, 0, h.Jobs)}
+	t := &JobTrace{Name: h.Name, Seed: h.Seed, Weights: h.Weights, Jobs: make([]JobEvent, 0, h.Jobs)}
 	for sc.Scan() {
 		if len(sc.Bytes()) == 0 {
 			continue

@@ -156,9 +156,10 @@ func TestScenarioReplayDeterministicCounts(t *testing.T) {
 	tr := &JobTrace{Name: "det"}
 	for i := 0; i < 60; i++ {
 		tr.Jobs = append(tr.Jobs, JobEvent{
-			At:    int64(i) * int64(200*time.Microsecond),
-			Class: i % int(load.NumClasses),
-			Size:  2000 + 100*i,
+			At:     int64(i) * int64(200*time.Microsecond),
+			Class:  i % int(load.NumClasses),
+			Size:   2000 + 100*i,
+			Tenant: i % 4,
 		})
 	}
 	cfg := xomp.Preset("xgomptb", 2)
@@ -183,6 +184,23 @@ func TestScenarioReplayDeterministicCounts(t *testing.T) {
 		if ca[c].Submitted != ca[c].Admitted {
 			t.Errorf("class %d: %d submitted but %d admitted under BlockWhenFull",
 				c, ca[c].Submitted, ca[c].Admitted)
+		}
+	}
+	// Per-tenant counts are part of the same contract: identical run to
+	// run once latencies are zeroed, and every tenant fully admitted.
+	if len(a.PerTenant) != 4 || len(b.PerTenant) != 4 {
+		t.Fatalf("expected 4 tenants, got %d and %d", len(a.PerTenant), len(b.PerTenant))
+	}
+	for id, ta := range a.PerTenant {
+		tb := b.PerTenant[id]
+		ta.P50, ta.P99, ta.AdmitP50, ta.AdmitP99 = 0, 0, 0, 0
+		tb.P50, tb.P99, tb.AdmitP50, tb.AdmitP99 = 0, 0, 0, 0
+		if ta != tb {
+			t.Errorf("tenant %d: counts differ:\n run 1: %+v\n run 2: %+v", id, ta, tb)
+		}
+		if ta.Submitted != 15 || ta.Completed != 15 {
+			t.Errorf("tenant %d: submitted %d completed %d, want 15/15",
+				id, ta.Submitted, ta.Completed)
 		}
 	}
 }

@@ -24,6 +24,9 @@
 //     night phase (slow, heavy batch/background) halfway through.
 //   - deadline-mix: uniform arrivals over four deadline profiles, from
 //     15ms-tight to none.
+//   - tenant-storm: four steady victim tenants, then one tenant ramping
+//     to ≈90% of arrivals mid-trace — the noisy-neighbor trace that
+//     separates WFQAdmit from BlockWhenFull on victim admission latency.
 package scenario
 
 import (
@@ -45,16 +48,27 @@ const GoldenSeed = 42
 type generator struct {
 	describe string
 	build    func(r *rng.State) []replay.JobEvent
+	// weights, when non-nil, are the trace's per-tenant fair-share
+	// weights; they land in the trace header so a weighted-fair replay
+	// sees the scenario's intended tenancy.
+	weights map[int]float64
 }
 
 // presets maps scenario names to their generators. Iteration for Names is
 // sorted, so ordering here is cosmetic.
 var presets = map[string]generator{
-	"steady":       {"calm three-class Poisson mix, generous deadlines", genSteady},
-	"flash-crowd":  {"baseline traffic plus a short-deadline background burst", genFlashCrowd},
-	"zipf":         {"zipf-skewed tenants (s=1.6) over one batch class", genZipf},
-	"diurnal":      {"interactive day phase shifting to heavy night batch", genDiurnal},
-	"deadline-mix": {"uniform mix of tight/moderate/loose/no deadlines", genDeadlineMix},
+	"steady":       {"calm three-class Poisson mix, generous deadlines", genSteady, nil},
+	"flash-crowd":  {"baseline traffic plus a short-deadline background burst", genFlashCrowd, nil},
+	"zipf":         {"zipf-skewed tenants (s=1.6) over one batch class", genZipf, nil},
+	"diurnal":      {"interactive day phase shifting to heavy night batch", genDiurnal, nil},
+	"deadline-mix": {"uniform mix of tight/moderate/loose/no deadlines", genDeadlineMix, nil},
+	"tenant-storm": {"one tenant ramping to ~90% of arrivals mid-trace", genTenantStorm,
+		// Victims carry twice the storm's weight — the paying-tenant
+		// shape: a weighted-fair policy grants them a burst slice wide
+		// enough that their own clustered arrivals never trip the share
+		// floor, while the storm's slice (and so the queue residence
+		// victims wait behind) shrinks.
+		map[int]float64{0: 2, 1: 2, 2: 2, 3: 2, 9: 1}},
 }
 
 // Names returns the preset scenario names, sorted.
@@ -84,7 +98,7 @@ func Generate(name string, seed uint64) (*replay.JobTrace, error) {
 	// order. Stable sort keeps equal-offset events in generation order,
 	// which is itself deterministic.
 	sort.SliceStable(jobs, func(i, j int) bool { return jobs[i].At < jobs[j].At })
-	return &replay.JobTrace{Name: name, Seed: seed, Jobs: jobs}, nil
+	return &replay.JobTrace{Name: name, Seed: seed, Weights: g.weights, Jobs: jobs}, nil
 }
 
 // expNS draws an exponential inter-arrival gap in nanoseconds for a
@@ -284,6 +298,46 @@ func genDiurnal(r *rng.State) []replay.JobEvent {
 		}
 		jobs = append(jobs, ev)
 	}
+}
+
+func genTenantStorm(r *rng.State) []replay.JobEvent {
+	// The noisy-neighbor trace. Four victim tenants submit a calm ≈1ms
+	// batch stream with deadlines loose enough to always finish on an
+	// unloaded pool, but tight enough that waiting behind a saturated
+	// backlog expires them — the victim-visible damage signal. Tenant 9
+	// then ramps to ≈90% of all arrivals: under BlockWhenFull its
+	// submitters stack up at the admission edge and every victim waits
+	// (then expires) behind them; under WFQAdmit the over-share storm is
+	// shed at the door and victims admit at unloaded latency. All jobs
+	// are the same ≈1ms size so the comparison isolates *whose* work
+	// queues, not how big it is.
+	const (
+		span       = 200 * int64(time.Millisecond)
+		stormStart = 60 * int64(time.Millisecond)
+		unitMS     = 600000 // ≈1ms of work on the reference host
+	)
+	var jobs []replay.JobEvent
+	// Victims: tenants 0-3, ≈400 arrivals/s combined across the span.
+	// The 50ms deadline clears a share-bounded queue (≈12 unit jobs of
+	// wait) with 4x headroom for slow hosts, but not the storm's
+	// unbounded blocked-submitter pile-up under blocking admission.
+	for at := expNS(r, 400); at < span; at += expNS(r, 400) {
+		jobs = append(jobs, replay.JobEvent{
+			At: at, Class: int(load.ClassBatch),
+			Size: jitter(r, unitMS), Deadline: int64(50 * time.Millisecond),
+			Tenant: r.Intn(4),
+		})
+	}
+	// The storm: tenant 9 at ≈3600 arrivals/s from stormStart — ≈90% of
+	// all arrivals while it lasts. No deadline: nothing thins the storm
+	// except the admission policy under test.
+	for at := stormStart + expNS(r, 3600); at < span; at += expNS(r, 3600) {
+		jobs = append(jobs, replay.JobEvent{
+			At: at, Class: int(load.ClassBatch),
+			Size: jitter(r, unitMS), Tenant: 9,
+		})
+	}
+	return jobs
 }
 
 func genDeadlineMix(r *rng.State) []replay.JobEvent {

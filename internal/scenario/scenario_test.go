@@ -137,4 +137,23 @@ func TestScenarioReplayTwiceIdenticalCounts(t *testing.T) {
 	if a.Completed != uint64(len(tr.Jobs)) {
 		t.Errorf("completed %d of %d jobs", a.Completed, len(tr.Jobs))
 	}
+	// The determinism contract extends below classes: per-tenant counts
+	// must match too (latencies zeroed — wall time is not deterministic).
+	if len(a.PerTenant) == 0 || len(a.PerTenant) != len(b.PerTenant) {
+		t.Fatalf("per-tenant outcomes differ in shape: %d vs %d tenants",
+			len(a.PerTenant), len(b.PerTenant))
+	}
+	for id, ta := range a.PerTenant {
+		tb, ok := b.PerTenant[id]
+		if !ok {
+			t.Errorf("tenant %d: present in run 1 only", id)
+			continue
+		}
+		ta.P50, ta.P99, ta.AdmitP50, ta.AdmitP99 = 0, 0, 0, 0
+		tb.P50, tb.P99, tb.AdmitP50, tb.AdmitP99 = 0, 0, 0, 0
+		if ta != tb {
+			t.Errorf("tenant %d: counts differ between replays:\n run 1: %+v\n run 2: %+v",
+				id, ta, tb)
+		}
+	}
 }

@@ -178,3 +178,23 @@ func Speedup(baseline, variant *Sample) (ratio, halfWidth float64) {
 	halfWidth = 1.96 * ratio * math.Sqrt(rb*rb+rv*rv)
 	return ratio, halfWidth
 }
+
+// Jain computes Jain's fairness index over per-entity allocations:
+// (Σx)² / (n·Σx²), 1 when all allocations are equal, approaching 1/n
+// when one entity takes everything. Returns 0 for an empty or all-zero
+// input. Feed weight-normalized allocations (x_i/w_i) to score weighted
+// fairness.
+func Jain(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var sum, sq float64
+	for _, x := range xs {
+		sum += x
+		sq += x * x
+	}
+	if sq == 0 {
+		return 0
+	}
+	return sum * sum / (float64(len(xs)) * sq)
+}

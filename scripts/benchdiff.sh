@@ -6,8 +6,11 @@
 # saturation benchmark (block vs deadline-aware shed, see
 # BenchmarkAdmissionSaturation) and print the block-vs-shed comparison;
 # then run the trace-driven scenario replay benchmark
-# (BenchmarkScenarioReplay: corpus scenario × admission policy).
-# All collected benchmark lines are written to BENCH_6.json, the
+# (BenchmarkScenarioReplay: corpus scenario × admission policy); then run
+# the tenant fairness benchmark (BenchmarkTenantFairness: the
+# tenant-storm noisy-neighbor trace, block vs weighted-fair admission —
+# a wfq pass whose engagement counter stays zero fails the run).
+# All collected benchmark lines are written to BENCH_7.json, the
 # perf-trajectory snapshot CI archives per push. The bench-smoke CI job
 # runs this with the default -benchtime 1x, so the adaptive and shed
 # paths are exercised (and compiled, and non-panicking) on every push
@@ -25,10 +28,11 @@ benchtime="${BENCHTIME:-1x}"
 pattern="${BENCHPATTERN:-BenchmarkPoolThroughput\$|BenchmarkElasticShardedPool\$|BenchmarkPolicyPhase\$}"
 admit_pattern="${ADMITPATTERN:-BenchmarkAdmissionSaturation\$}"
 scenario_pattern="${SCENARIOPATTERN:-BenchmarkScenarioReplay\$}"
+fairness_pattern="${FAIRNESSPATTERN:-BenchmarkTenantFairness\$}"
 # The saturation comparison needs enough iterations for the shed regime
 # to engage; keep it cheap but non-trivial when the main pass runs at 1x.
 admit_benchtime="${ADMIT_BENCHTIME:-100x}"
-snapshot="${BENCHSNAPSHOT:-BENCH_6.json}"
+snapshot="${BENCHSNAPSHOT:-BENCH_7.json}"
 drift="${DRIFT:-0}"
 
 run() {
@@ -87,15 +91,19 @@ echo
 echo "benchdiff: scenario replay pass (corpus trace x admission policy, -benchtime $benchtime)"
 scenario_out=$(go test -run '^$' -bench "$scenario_pattern" -benchtime "$benchtime" -timeout 20m . 2>&1)
 echo "$scenario_out" | grep -E '^(Benchmark|FAIL|ok)' || true
+echo
+echo "benchdiff: tenant fairness pass (tenant-storm, block vs wfq, -benchtime $benchtime)"
+fairness_out=$(go test -run '^$' -bench "$fairness_pattern" -benchtime "$benchtime" -timeout 20m . 2>&1)
+echo "$fairness_out" | grep -E '^(Benchmark|FAIL|ok)' || true
 
-case "$static_out$adaptive_out$admit_out$scenario_out" in
+case "$static_out$adaptive_out$admit_out$scenario_out$fairness_out" in
 *FAIL*)
 	echo "benchdiff: benchmark failure" >&2
 	exit 1
 	;;
 esac
 
-# Perf-trajectory snapshot: every benchmark line of all four passes,
+# Perf-trajectory snapshot: every benchmark line of all five passes,
 # parsed into {name, metrics} records so successive PRs' snapshots diff
 # cleanly. Benchmark lines read "Name iterations value unit value unit...".
 {
@@ -105,6 +113,7 @@ esac
 		echo "$adaptive_out" | awk '/^Benchmark/ { print "adaptive", $0 }'
 		echo "$admit_out" | awk '/^Benchmark/ { print "admission", $0 }'
 		echo "$scenario_out" | awk '/^Benchmark/ { print "scenario", $0 }'
+		echo "$fairness_out" | awk '/^Benchmark/ { print "fairness", $0 }'
 	} | awk '
 		{
 			if (NR > 1) printf ",\n"
@@ -141,6 +150,30 @@ echo "$admit_out" | awk '
 			printf "%-24s %12s %12s\n", name, \
 				(("block|" name) in m ? m["block|" name] : "-"), \
 				(("shed|" name) in m ? m["shed|" name] : "-")
+		}
+	}
+'
+
+echo
+echo "benchdiff: tenant fairness comparison (block vs wfq)"
+# Pair the /block and /wfq rows: a bounded victim admission p99 and a
+# narrow completion-fraction spread under wfq, against a degraded block
+# column, is the noisy-neighbor property the fifth policy level exists
+# for. The wfq-engaged counter being non-zero is asserted by the
+# benchmark itself.
+echo "$fairness_out" | awk '
+	/^Benchmark/ {
+		mode = ($1 ~ /\/wfq/) ? "wfq" : "block"
+		for (i = 3; i < NF; i += 2) m[mode "|" $(i+1)] = $(i)
+	}
+	END {
+		printf "%-24s %12s %12s\n", "metric", "block", "wfq"
+		split("jobs/sec victim-p99-admit-ms victim-spread-frac wfq-engaged/op", keys, " ")
+		for (k = 1; k in keys; k++) {
+			name = keys[k]
+			printf "%-24s %12s %12s\n", name, \
+				(("block|" name) in m ? m["block|" name] : "-"), \
+				(("wfq|" name) in m ? m["wfq|" name] : "-")
 		}
 	}
 '

@@ -1,0 +1,174 @@
+package xomp_test
+
+// Noisy-neighbor regression: the tenant-storm trace replayed through
+// WFQAdmit versus BlockWhenFull. The trace's storm tenant ramps to ≈90%
+// of arrivals mid-trace; under blocking admission its submitters stack
+// up at the edge and every victim submission waits behind them until its
+// 50ms deadline expires, while weighted-fair admission sheds the
+// over-share storm at the door and victims admit at unloaded latency.
+// Selected by `go test -run 'Fairness|Tenant'` (the CI fairness-smoke
+// step, run under -race). Structural invariants are unconditional;
+// latency comparisons between two live replays retry a few times, as in
+// scenario_test.go.
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/replay"
+	"repro/internal/scenario"
+	"repro/xomp"
+)
+
+// victimTenants are the tenant-storm trace's steady tenants; stormTenant
+// is the one that floods (see internal/scenario genTenantStorm).
+var victimTenants = []int{0, 1, 2, 3}
+
+const stormTenant = 9
+
+// victimAdmitBound is the admission-latency ceiling a victim may see
+// under WFQAdmit: generous against the ≈8ms worst-case drain of a full
+// 16-slot queue of ≈1ms jobs on 2 workers, far below the 50ms deadline
+// blocking admission pushes victims into.
+const victimAdmitBound = 15 * time.Millisecond
+
+// fairShareFloor is the fraction of its submissions each victim must
+// complete under WFQAdmit (ISSUE 7's ≥80% acceptance bar).
+const fairShareFloor = 0.8
+
+// fairnessAttempt replays tenant-storm through both admission policies
+// and reports whether the comparative outcome held: every victim inside
+// the latency and completion bounds under WFQ, and at least one victim
+// degraded beyond them under blocking.
+func fairnessAttempt(t *testing.T) bool {
+	t.Helper()
+	tr, err := scenario.Generate("tenant-storm", scenario.GoldenSeed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func(admit xomp.AdmitPolicy) replay.JobReplayResult {
+		cfg := xomp.Preset("xgomptb", 2)
+		cfg.Backlog = 16
+		cfg.Admit = admit
+		res, err := replay.ReplayJobs(tr, replay.Options{Team: cfg})
+		if err != nil {
+			t.Fatalf("replay: %v", err)
+		}
+		return res
+	}
+	// MaxShare 0.75 over a 16-slot queue: a victim's slice stays at 2-3
+	// slots even with five lanes active — enough that its own clustered
+	// arrivals are not self-shed at the floor of 1 — while the storm is
+	// still capped at 12 slots (≈6ms of drain) against its unbounded
+	// blocked-submitter pile-up under BlockWhenFull.
+	wfqPolicy := &xomp.WFQAdmit{MaxShare: 0.75}
+	wfq := run(wfqPolicy)
+	block := run(nil) // BlockWhenFull is the default
+
+	// Structural invariants, not subject to timing noise.
+	if wfqPolicy.Engaged() == 0 {
+		t.Fatalf("WFQ fairness bounds never engaged against the storm")
+	}
+	if shed := wfq.PerTenant[stormTenant].Shed; shed == 0 {
+		t.Fatalf("storm tenant never shed under WFQAdmit")
+	}
+	for c := range block.PerClass {
+		if n := block.PerClass[c].Shed; n != 0 {
+			t.Fatalf("BlockWhenFull shed %d class-%d jobs; it never sheds", n, c)
+		}
+	}
+	for _, id := range victimTenants {
+		if wfq.PerTenant[id].Submitted == 0 || block.PerTenant[id].Submitted == 0 {
+			t.Fatalf("victim %d missing from replay outcomes", id)
+		}
+	}
+
+	// Comparative outcome: victims bounded under WFQ, degraded under
+	// blocking.
+	wfqOK, blockDegraded := true, false
+	for _, id := range victimTenants {
+		w, b := wfq.PerTenant[id], block.PerTenant[id]
+		wFrac := float64(w.Completed) / float64(w.Submitted)
+		bFrac := float64(b.Completed) / float64(b.Submitted)
+		t.Logf("victim %d: wfq admit-p99 %v completed %.0f%% (of %d: shed %d expired %d); block admit-p99 %v completed %.0f%%",
+			id, w.AdmitP99.Round(time.Microsecond), 100*wFrac,
+			w.Submitted, w.Shed, w.Expired,
+			b.AdmitP99.Round(time.Microsecond), 100*bFrac)
+		if w.AdmitP99 > victimAdmitBound || wFrac < fairShareFloor {
+			wfqOK = false
+		}
+		if b.AdmitP99 > victimAdmitBound || bFrac < fairShareFloor {
+			blockDegraded = true
+		}
+	}
+	t.Logf("storm: wfq shed %d of %d, block admitted %d of %d; wfq engaged %d",
+		wfq.PerTenant[stormTenant].Shed, wfq.PerTenant[stormTenant].Submitted,
+		block.PerTenant[stormTenant].Admitted, block.PerTenant[stormTenant].Submitted,
+		wfqPolicy.Engaged())
+	return wfqOK && blockDegraded
+}
+
+// TestFairnessNoisyNeighbor pins the fifth balancing level's reason to
+// exist: on the tenant-storm trace, WFQAdmit bounds every victim
+// tenant's admission p99 and completed share while BlockWhenFull lets
+// the storm degrade them — same traffic, same pool, only the admission
+// policy differs.
+func TestFairnessNoisyNeighbor(t *testing.T) {
+	if testing.Short() {
+		t.Skip("replays ~200ms traces repeatedly")
+	}
+	const attempts = 4
+	for i := 1; i <= attempts; i++ {
+		if fairnessAttempt(t) {
+			return
+		}
+		t.Logf("attempt %d/%d inconclusive", i, attempts)
+	}
+	t.Errorf("WFQAdmit never bounded victims while BlockWhenFull degraded them in %d attempts", attempts)
+}
+
+// TestFairnessReplayHonorsTraceWeights pins the replay plumbing the
+// noisy-neighbor test relies on: the tenant-storm golden header carries
+// per-tenant weights, the replayer stamps them onto submissions, and an
+// Options override wins over the header.
+func TestFairnessReplayHonorsTraceWeights(t *testing.T) {
+	tr, err := scenario.Generate("tenant-storm", scenario.GoldenSeed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Weights) == 0 {
+		t.Fatalf("tenant-storm trace carries no tenant weights")
+	}
+	for _, id := range append(append([]int{}, victimTenants...), stormTenant) {
+		if tr.Weights[id] == 0 {
+			t.Errorf("tenant %d missing from trace weights %v", id, tr.Weights)
+		}
+	}
+	// A storm tenant with overwhelming weight is entitled to its flood:
+	// with the same MaxShare, far fewer storm submissions are refused
+	// than at trace weights — the weight knob demonstrably reaches the
+	// admission decision.
+	shedAt := func(weights map[int]float64) uint64 {
+		cfg := xomp.Preset("xgomptb", 2)
+		cfg.Backlog = 16
+		// Burst is pinned high to isolate the share bound: the lead
+		// backstop scales as 1/weight and would otherwise shed the
+		// heavyweight storm for running ahead of the plane clock, masking
+		// the share comparison this test makes.
+		cfg.Admit = &xomp.WFQAdmit{MaxShare: 0.75, Burst: 1e9}
+		res, err := replay.ReplayJobs(tr, replay.Options{Team: cfg, TenantWeights: weights})
+		if err != nil {
+			t.Fatalf("replay: %v", err)
+		}
+		return res.PerTenant[stormTenant].Shed
+	}
+	base := shedAt(nil)
+	heavy := shedAt(map[int]float64{stormTenant: 1000})
+	t.Logf("storm shed: trace weights %d, weight-1000 override %d", base, heavy)
+	if base == 0 {
+		t.Fatalf("storm never shed at trace weights")
+	}
+	if heavy >= base {
+		t.Errorf("weight-1000 storm shed %d >= weight-1 shed %d; weights do not reach admission", heavy, base)
+	}
+}

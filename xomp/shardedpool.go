@@ -511,7 +511,7 @@ func (p *ShardedPool) Submit(fn TaskFunc) (*Job, error) {
 	if p.closed.Load() {
 		return nil, ErrClosed
 	}
-	return p.shards[p.pick(load.ClassBatch)].Submit(fn)
+	return p.shards[p.pick(load.ClassBatch, load.Tenant{})].Submit(fn)
 }
 
 // SubmitCtx places fn under an admission contract (priority class,
@@ -526,7 +526,7 @@ func (p *ShardedPool) SubmitCtx(ctx context.Context, fn TaskFunc, opts SubmitOpt
 	if p.closed.Load() {
 		return nil, ErrClosed
 	}
-	return p.shards[p.pick(opts.Priority)].SubmitCtx(ctx, fn, opts)
+	return p.shards[p.pick(opts.Priority, opts.Tenant)].SubmitCtx(ctx, fn, opts)
 }
 
 // SubmitTo pins fn to one specific shard, bypassing the dispatcher. It is
@@ -560,14 +560,24 @@ func (p *ShardedPool) SubmitToCtx(ctx context.Context, shard int, fn TaskFunc, o
 // pick delegates placement to the dispatch policy (power-of-two-choices
 // over the class-effective shard queue depth by default), feeding it a
 // fresh SplitMix64 draw, the submission's class, and per-shard signal
-// access.
-func (p *ShardedPool) pick(c load.Class) int {
+// access. A tenant-aware policy (load.TenantDispatchPolicy) additionally
+// sees the submitting tenant and its per-shard queued footprint, so one
+// tenant's flood spreads across shards instead of following pure queue
+// depth.
+func (p *ShardedPool) pick(c load.Class, t load.Tenant) int {
 	n := len(p.shards)
 	if n == 1 {
 		return 0
 	}
 	r := splitmix64(p.seed + p.seq.Add(1))
-	s := p.dispatch.Pick(r, n, c, func(i int) load.Signals { return p.shards[i].Signals() })
+	sig := func(i int) load.Signals { return p.shards[i].Signals() }
+	var s int
+	if tp, ok := p.dispatch.(load.TenantDispatchPolicy); ok {
+		tq := func(i int) float64 { return float64(p.shards[i].Profile().TenantQueued(t.ID)) }
+		s = tp.PickTenant(r, n, c, t, sig, tq)
+	} else {
+		s = p.dispatch.Pick(r, n, c, sig)
+	}
 	if s < 0 || s >= n {
 		s = int(r % uint64(n)) // a misbehaving policy cannot crash Submit
 	}

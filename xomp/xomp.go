@@ -192,9 +192,17 @@ var (
 	ErrDeadlineExceeded = core.ErrDeadlineExceeded
 )
 
-// SubmitOpts qualifies one SubmitCtx submission: a priority class and an
-// optional absolute completion deadline. See Pool.SubmitCtx.
+// SubmitOpts qualifies one SubmitCtx submission: a priority class, an
+// optional absolute completion deadline, and the submitting tenant. See
+// Pool.SubmitCtx.
 type SubmitOpts = core.SubmitOpts
+
+// Tenant identifies the principal behind a submission (id + fair-share
+// weight). The zero value is tenant 0 at weight 1. Set it on
+// SubmitOpts.Tenant to key per-tenant admission accounting and to let
+// weighted-fair policies (WFQAdmit, TenantPowerOfTwo) bound each
+// tenant's share of the service.
+type Tenant = load.Tenant
 
 // Class is a submission's admission priority class. Each serving team
 // keeps one bounded admission queue per class and adopts strictly in
@@ -231,6 +239,13 @@ type (
 	// DeadlineShed sheds submissions whose deadline cannot be met while
 	// the team is saturated, and rejects instead of blocking.
 	DeadlineShed = load.DeadlineShed
+	// WFQAdmit is weighted-fair multi-tenant admission: per-tenant
+	// virtual-time accounting bounds any single tenant's share of a
+	// class queue, so a noisy neighbor is shed at the door while
+	// everyone else keeps blocking-admission semantics. Stateful — share
+	// one instance (a pointer) across the teams it should see as one
+	// fairness domain, e.g. via ShardConfig.Team.Admit.
+	WFQAdmit = load.WFQAdmit
 )
 
 // Signals is one entity's (worker's, team's, or shard's) load picture on
@@ -246,6 +261,9 @@ type (
 	DispatchPolicy = load.DispatchPolicy
 	MigratePolicy  = load.MigratePolicy
 	QuotaPolicy    = load.QuotaPolicy
+	// TenantDispatchPolicy is a DispatchPolicy that additionally weighs
+	// the submitting tenant's per-shard footprint.
+	TenantDispatchPolicy = load.TenantDispatchPolicy
 )
 
 // Built-in policy implementations.
@@ -256,6 +274,9 @@ type (
 	BusyVictim = load.BusyVictim
 	// PowerOfTwo places jobs on the shallower of two random shards.
 	PowerOfTwo = load.PowerOfTwo
+	// TenantPowerOfTwo is PowerOfTwo plus a penalty for the tenant's own
+	// queued jobs per shard, spreading one tenant's flood.
+	TenantPowerOfTwo = load.TenantPowerOfTwo
 	// LeastLoaded places jobs on the globally least loaded shard.
 	LeastLoaded = load.LeastLoaded
 	// GapHalving migrates half the hot-cold queue-depth gap.
