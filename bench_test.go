@@ -381,11 +381,15 @@ func BenchmarkTable4(b *testing.B) {
 
 // BenchmarkPoolThroughput measures the job-server layer: jobs/sec through
 // one shared serving team as a function of preset and concurrent submitter
-// count. Each job is a mixed BOTS task tree (fib, sort, nqueens cycling),
-// submitted back-to-back by every submitter, so the benchmark exercises
-// admission, adoption, cross-job interleaving in the shared substrate, and
-// per-job quiescence detection — the whole Submit/Wait path rather than a
-// single region.
+// count. The bots rows submit mixed BOTS task trees (fib, sort, nqueens
+// cycling), so the benchmark exercises admission, adoption, cross-job
+// interleaving in the shared substrate, and per-job quiescence detection —
+// the whole Submit/Wait path rather than a single region. The cheap rows
+// submit empty job bodies, so per-job cost is pure submission-path
+// overhead (admission edge, intake queue, adoption, completion, Wait):
+// the hot path the fast-path submission work optimizes, and the rows the
+// BENCH_N.json trajectory tracks for it. All rows report allocs/op and
+// B/op (submitter-side) so the allocation story is pinned per snapshot.
 func BenchmarkPoolThroughput(b *testing.B) {
 	mix := []string{"fib", "sort", "nqueens"}
 	for _, preset := range []string{"gomp", "lomp", "xgomptb", "xgomptb+naws"} {
@@ -407,6 +411,7 @@ func BenchmarkPoolThroughput(b *testing.B) {
 					}
 				}
 				var next atomic.Int64
+				b.ReportAllocs()
 				b.ResetTimer()
 				start := time.Now()
 				var wg sync.WaitGroup
@@ -444,6 +449,118 @@ func BenchmarkPoolThroughput(b *testing.B) {
 			})
 		}
 	}
+	for _, preset := range []string{"lomp", "xgomptb"} {
+		for _, submitters := range []int{1, 4} {
+			b.Run(fmt.Sprintf("cheap-%s/sub%d", preset, submitters), func(b *testing.B) {
+				benchCheapPool(b, preset, submitters)
+			})
+		}
+		b.Run(fmt.Sprintf("cheap-%s/batch64", preset), func(b *testing.B) {
+			benchCheapBatch(b, preset, 64)
+		})
+	}
+}
+
+// benchCheapPool is the closed-loop cheap-job cell: `submitters`
+// goroutines submit empty jobs back to back and wait for each.
+func benchCheapPool(b *testing.B, preset string, submitters int) {
+	b.Helper()
+	pool := cheapPool(b, preset)
+	noop := func(*xomp.Worker) {}
+	var next atomic.Int64
+	b.ReportAllocs()
+	b.ResetTimer()
+	start := time.Now()
+	var wg sync.WaitGroup
+	for s := 0; s < submitters; s++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= b.N {
+					return
+				}
+				j, err := pool.Submit(noop)
+				if err != nil {
+					b.Error(err)
+					return
+				}
+				if err := j.Wait(); err != nil {
+					b.Error(err)
+					return
+				}
+				j.Release()
+			}
+		}()
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	b.StopTimer()
+	if err := pool.Close(); err != nil {
+		b.Fatal(err)
+	}
+	if elapsed > 0 {
+		b.ReportMetric(float64(b.N)/elapsed.Seconds(), "jobs/sec")
+	}
+}
+
+// benchCheapBatch is the amortized-admission cell: one submitter admits
+// empty jobs in batches of `size` through SubmitBatchCtx, reusing the
+// items slice across rounds, then waits for and releases every handle.
+// Compare against the cheap-*/sub1 row: the delta is what one admission
+// decision per batch buys over one per job.
+func benchCheapBatch(b *testing.B, preset string, size int) {
+	b.Helper()
+	pool := cheapPool(b, preset)
+	noop := func(*xomp.Worker) {}
+	items := make([]xomp.BatchItem, size)
+	for i := range items {
+		items[i] = xomp.BatchItem{Fn: noop, Opts: xomp.SubmitOpts{Priority: xomp.ClassBatch}}
+	}
+	ctx := context.Background()
+	b.ReportAllocs()
+	b.ResetTimer()
+	start := time.Now()
+	for done := 0; done < b.N; {
+		n := size
+		if rem := b.N - done; rem < n {
+			n = rem
+		}
+		res, err := pool.SubmitBatchCtx(ctx, items[:n])
+		if err != nil {
+			b.Fatal(err)
+		}
+		for i := range res {
+			if res[i].Err != nil {
+				b.Fatal(res[i].Err)
+			}
+			if err := res[i].Job.Wait(); err != nil {
+				b.Fatal(err)
+			}
+			res[i].Job.Release()
+		}
+		done += n
+	}
+	elapsed := time.Since(start)
+	b.StopTimer()
+	if err := pool.Close(); err != nil {
+		b.Fatal(err)
+	}
+	if elapsed > 0 {
+		b.ReportMetric(float64(b.N)/elapsed.Seconds(), "jobs/sec")
+	}
+}
+
+// cheapPool builds the pool the cheap-job rows share: a deep backlog so
+// the cells measure the submit path, not a 4×Workers backpressure bound.
+func cheapPool(b *testing.B, preset string) *xomp.Pool {
+	b.Helper()
+	cfg := xomp.Preset(preset, benchWorkers)
+	cfg.Topology = numa.Synthetic(benchWorkers, 2)
+	cfg.Backlog = 256
+	applyBenchPolicy(&cfg)
+	return xomp.MustPool(cfg)
 }
 
 // BenchmarkShardedPoolThroughput measures the two-level pool: jobs/sec by
@@ -558,10 +675,15 @@ func BenchmarkElasticShardedPool(b *testing.B) {
 						Enabled:     true,
 						TotalBudget: budget,
 						Interval:    100 * time.Microsecond,
-						// Damp harder than the default: at test scale one
-						// job's run time spans several ticks, so transient
-						// uniform-traffic bursts must not read as skew.
-						Hysteresis: 8,
+						// Hysteresis 2, not the damped 8 of long-lived
+						// deployments: the second-level migration balancer
+						// keeps flattening queue gaps at bench timescale, so
+						// the same shard rarely stays the hot candidate for
+						// 8 consecutive 100µs ticks and a longer streak
+						// never fires (quota-moves/op pinned at 0). Two
+						// consecutive sightings still filters single-tick
+						// flicker while letting sustained skew move quota.
+						Hysteresis: 2,
 					}
 				} else {
 					cfg.Team = xomp.Preset("xgomptb+naws", budget/shards)

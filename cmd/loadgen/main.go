@@ -46,6 +46,13 @@
 // next to the p50/p99 admission latency (time a Submit call spent at the
 // edge before its job entered a queue).
 //
+// -batch N drives the fast-path submission API: closed-loop submitters
+// accumulate N jobs and admit them through one SubmitBatchCtx call
+// (amortized admission with per-job typed-error results), and scenario
+// or trace replays coalesce due arrivals into batches of up to N the
+// same way. Incompatible with the per-job pinning flags (-skew,
+// -pin-tenants).
+//
 // The tenant dimension: -tenants N spreads closed-loop submitters over N
 // tenant ids (submitter s submits as tenant s mod N), and
 // -tenant-weights "id=w,..." assigns fair-share weights — to closed-loop
@@ -73,7 +80,9 @@
 //	loadgen -workers 8 -policy adaptive -phase 300ms -jobs 60
 //	loadgen -workers 2 -submitters 16 -backlog 2 -priority-mix 1:1:6 -deadline 50ms -admit shed
 //	loadgen -workers 2 -submitters 8 -tenants 4 -tenant-weights 0=2,1=2 -admit wfq
+//	loadgen -submitters 2 -jobs 64 -batch 16 -admit reject
 //	loadgen -scenario flash-crowd -workers 2 -admit shed
+//	loadgen -scenario steady -workers 2 -batch 8
 //	loadgen -scenario tenant-storm -workers 2 -admit wfq
 //	loadgen -scenario zipf -seed 42 -emit testdata/scenarios/zipf.jsonl
 //	loadgen -jobs 20 -record run.jsonl && loadgen -trace run.jsonl -admit reject
@@ -119,6 +128,7 @@ func main() {
 		prioMix    = flag.String("priority-mix", "0:1:0", "interactive:batch:background integer weights for each submitter's jobs")
 		deadline   = flag.Duration("deadline", 0, "per-job completion deadline from submission (0 = none)")
 		admitName  = flag.String("admit", "block", "admission policy: block|reject|shed|wfq")
+		batchN     = flag.Int("batch", 1, "submit jobs in batches of N through SubmitBatchCtx (amortized admission); applies to closed-loop submitters and to -scenario/-trace replays")
 		tenants    = flag.Int("tenants", 1, "spread closed-loop submitters over this many tenant ids (submitter s is tenant s mod N)")
 		tenantWts  = flag.String("tenant-weights", "", "comma-separated id=weight fair-share assignments, e.g. 0=2,9=1 (closed-loop tenants, replays, and -record)")
 		noVerify   = flag.Bool("noverify", false, "skip per-job result verification")
@@ -147,6 +157,15 @@ func main() {
 	}
 	if *pinTenants && *shards < 2 {
 		fatal(fmt.Errorf("-pin-tenants needs -shards > 1 (no shard to pin to)"))
+	}
+	if *batchN < 1 {
+		fatal(fmt.Errorf("-batch %d must be >= 1", *batchN))
+	}
+	if *batchN > 1 && *skew > 0 {
+		fatal(fmt.Errorf("-batch and -skew are incompatible (batches go through the dispatcher; pinning is per job)"))
+	}
+	if *batchN > 1 && *pinTenants {
+		fatal(fmt.Errorf("-batch and -pin-tenants are incompatible (pinning is per job)"))
 	}
 	classPattern, err := parsePriorityMix(*prioMix)
 	if err != nil {
@@ -224,7 +243,7 @@ func main() {
 				tr.Name, len(tr.Jobs), tr.Span().Round(time.Millisecond), tr.Seed, *emitPath)
 			return
 		}
-		opts := replay.Options{Team: cfg, Speed: *speed, PinTenants: *pinTenants, Scale: sc, TenantWeights: weights}
+		opts := replay.Options{Team: cfg, Speed: *speed, PinTenants: *pinTenants, Scale: sc, TenantWeights: weights, Batch: *batchN}
 		if *shards > 0 {
 			opts.Shards = *shards
 			opts.Team.Workers = *workers / *shards
@@ -259,21 +278,27 @@ func main() {
 		names = []string{"fib", "nqueens", "|", "sort", "strassen"}
 	}
 
-	// One benchmark instance per submitter and mix entry, built before the
-	// clock starts so jobs/sec measures the task service, not sequential
-	// input generation. A submitter has at most one job in flight and
-	// RunTask re-initializes per-run state, so reuse across jobs is safe.
+	// One benchmark instance per submitter, mix entry, and batch lane,
+	// built before the clock starts so jobs/sec measures the task
+	// service, not sequential input generation. Unbatched, a submitter
+	// has at most one job in flight and RunTask re-initializes per-run
+	// state, so one lane suffices; with -batch N up to N of a submitter's
+	// jobs run concurrently, so each batch slot gets its own lane of
+	// instances (slot b uses apps[s][x][b*len(mix)+m]).
+	lanes := *batchN
 	apps := make([][][]bots.Benchmark, *submitters)
 	for s := range apps {
 		apps[s] = make([][]bots.Benchmark, len(mixes))
 		for x, mx := range mixes {
-			apps[s][x] = make([]bots.Benchmark, len(mx))
-			for m, name := range mx {
-				b, err := bots.New(name, sc)
-				if err != nil {
-					fatal(err)
+			apps[s][x] = make([]bots.Benchmark, lanes*len(mx))
+			for l := 0; l < lanes; l++ {
+				for m, name := range mx {
+					b, err := bots.New(name, sc)
+					if err != nil {
+						fatal(err)
+					}
+					apps[s][x][l*len(mx)+m] = b
 				}
-				apps[s][x][m] = b
 			}
 		}
 	}
@@ -282,10 +307,11 @@ func main() {
 	// submit/wait traffic; submit hides the difference (pin routes a job to
 	// shard 0, the skewed hot-shard scenario).
 	var (
-		submit    func(pin bool, fn xomp.TaskFunc, opts xomp.SubmitOpts) (*xomp.Job, error)
-		closePool func() error
-		sharded   *xomp.ShardedPool
-		pool      *xomp.Pool
+		submit      func(pin bool, fn xomp.TaskFunc, opts xomp.SubmitOpts) (*xomp.Job, error)
+		submitBatch func(items []xomp.BatchItem) ([]xomp.BatchResult, error)
+		closePool   func() error
+		sharded     *xomp.ShardedPool
+		pool        *xomp.Pool
 	)
 	ctx := context.Background()
 	if *shards > 0 {
@@ -309,6 +335,9 @@ func main() {
 			}
 			return sp.SubmitCtx(ctx, fn, opts)
 		}
+		submitBatch = func(items []xomp.BatchItem) ([]xomp.BatchResult, error) {
+			return sp.SubmitBatchCtx(ctx, items)
+		}
 		closePool = sp.Close
 		elasticNote := ""
 		if *elastic {
@@ -325,6 +354,9 @@ func main() {
 		pool = p
 		submit = func(_ bool, fn xomp.TaskFunc, opts xomp.SubmitOpts) (*xomp.Job, error) {
 			return p.SubmitCtx(ctx, fn, opts)
+		}
+		submitBatch = func(items []xomp.BatchItem) ([]xomp.BatchResult, error) {
+			return p.SubmitBatchCtx(ctx, items)
 		}
 		closePool = p.Close
 		fmt.Printf("loadgen: %d submitters x %d jobs, mix [%s] at scale %s, on %s (%d workers, %d zones, policy %s, admit %s)\n",
@@ -355,6 +387,96 @@ func main() {
 		wg.Add(1)
 		go func(s int) {
 			defer wg.Done()
+			// -batch N: the submitter admits its jobs in batches through
+			// SubmitBatchCtx (one amortized admission decision per batch)
+			// and then waits out the whole batch — the closed-loop shape
+			// of a client that accumulates work before hitting the edge.
+			// Per-item outcomes land in the same class/tenant tables as
+			// single submissions; the admission latency each item observes
+			// is its batch's single submit-call latency.
+			if *batchN > 1 {
+				items := make([]xomp.BatchItem, 0, *batchN)
+				type slot struct {
+					name   string
+					app    bots.Benchmark
+					class  xomp.Class
+					tenant int
+				}
+				meta := make([]slot, 0, *batchN)
+				for k := 0; k < *jobs; {
+					n := *batchN
+					if rem := *jobs - k; rem < n {
+						n = rem
+					}
+					x := 0
+					if *phase > 0 {
+						x = int(time.Since(start) / *phase) % len(mixes)
+					}
+					cur := mixes[x]
+					items, meta = items[:0], meta[:0]
+					for b := 0; b < n; b++ {
+						m := (s + k + b) % len(cur)
+						app := apps[s][x][b*len(cur)+m]
+						class := classPattern[(s+k+b)%len(classPattern)]
+						tenant := s % *tenants
+						so := xomp.SubmitOpts{
+							Priority: class,
+							Tenant:   xomp.Tenant{ID: tenant, Weight: weights[tenant]},
+						}
+						if *deadline > 0 {
+							so.Deadline = time.Now().Add(*deadline)
+						}
+						if rec != nil {
+							rec.Record(cur[m], 0, int(class), *deadline, tenant)
+						}
+						items = append(items, xomp.BatchItem{Fn: app.RunTask, Opts: so})
+						meta = append(meta, slot{cur[m], app, class, tenant})
+					}
+					t0 := time.Now()
+					res, err := submitBatch(items)
+					admitTime := time.Since(t0)
+					if err != nil {
+						fmt.Fprintf(os.Stderr, "submitter %d: batch submit: %v\n", s, err)
+						failures.Add(1)
+						return
+					}
+					for b := range res {
+						mt := meta[b]
+						classes[int(mt.class)].observe(admitTime, res[b].Err)
+						tenantStats[mt.tenant].observe(admitTime, res[b].Err)
+						if rerr := res[b].Err; rerr != nil {
+							if errors.Is(rerr, xomp.ErrBacklogFull) || errors.Is(rerr, xomp.ErrShed) ||
+								errors.Is(rerr, xomp.ErrDeadlineExceeded) {
+								continue
+							}
+							fmt.Fprintf(os.Stderr, "submitter %d: submit %s: %v\n", s, mt.name, rerr)
+							failures.Add(1)
+							return
+						}
+						j := res[b].Job
+						if err := j.Wait(); err != nil {
+							fmt.Fprintf(os.Stderr, "submitter %d: job %d (%s): %v\n", s, j.ID(), mt.name, err)
+							failures.Add(1)
+							continue
+						}
+						if !*noVerify {
+							if err := mt.app.Verify(); err != nil {
+								fmt.Fprintf(os.Stderr, "submitter %d: verify %s: %v\n", s, mt.name, err)
+								failures.Add(1)
+								continue
+							}
+						}
+						count(mt.name)
+						if *verbose {
+							fmt.Printf("submitter %d: job %d %s (%s, %v) ok: queue %v run %v on worker %d\n",
+								s, j.ID(), mt.name, mt.app.Params(), mt.class, j.QueueDelay().Round(time.Microsecond),
+								j.RunTime().Round(time.Microsecond), j.Worker())
+						}
+					}
+					k += n
+				}
+				return
+			}
 			for k := 0; k < *jobs; k++ {
 				x := 0
 				if *phase > 0 {

@@ -119,7 +119,50 @@ type mlWorker[T any] struct {
 	localHits      uint64
 	remoteAcquires uint64
 	globalHits     uint64
-	_              [8]uint64 // pad
+	// sharedHits counts GetShared hits; written under mu (the shared
+	// entry points have no owner), folded into GlobalHits by Stats.
+	sharedHits uint64
+	_          [8]uint64 // pad
+}
+
+// sharedSpillMax bounds a lane's spill list for PutShared: beyond it a
+// returned descriptor is dropped to the GC, so slow releasers cannot
+// grow a lane without bound.
+const sharedSpillMax = 8 * chunkSize
+
+// GetShared serves a descriptor from lane w's spill level under the lane
+// lock — the externally safe entry for goroutines that are not the
+// lane's owning worker (job frames drawn at the submit edge). It never
+// touches the owner-only local list; an empty spill falls through to a
+// fresh allocation.
+func (a *MultiLevel[T]) GetShared(w int) *T {
+	me := &a.workers[w]
+	me.mu.Lock()
+	if n := len(me.spill); n > 0 {
+		t := me.spill[n-1]
+		me.spill[n-1] = nil
+		me.spill = me.spill[:n-1]
+		me.sharedHits++
+		me.mu.Unlock()
+		return t
+	}
+	me.mu.Unlock()
+	a.statsMu.Lock()
+	a.fresh++
+	a.statsMu.Unlock()
+	return new(T)
+}
+
+// PutShared recycles t into lane w's spill level, the externally safe
+// counterpart of GetShared. Past sharedSpillMax the descriptor is
+// dropped instead (bounded pool).
+func (a *MultiLevel[T]) PutShared(w int, t *T) {
+	me := &a.workers[w]
+	me.mu.Lock()
+	if len(me.spill) < sharedSpillMax {
+		me.spill = append(me.spill, t)
+	}
+	me.mu.Unlock()
 }
 
 // NewMultiLevel returns a multi-level allocator for workers workers.
@@ -213,7 +256,10 @@ func (a *MultiLevel[T]) Stats() Stats {
 		w := &a.workers[i]
 		s.LocalHits += w.localHits
 		s.RemoteAcquires += w.remoteAcquires
-		s.GlobalHits += w.globalHits
+		w.mu.Lock()
+		shared := w.sharedHits
+		w.mu.Unlock()
+		s.GlobalHits += w.globalHits + shared
 	}
 	return s
 }

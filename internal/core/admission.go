@@ -136,13 +136,13 @@ func (tm *Team) SubmitCtx(ctx context.Context, fn TaskFunc, opts SubmitOpts) (*J
 	case load.RejectWhenFull:
 		decision = load.AdmitReject
 	default:
-		ch := svc.submit[class]
+		ring := svc.submit[class]
 		sig := tm.Signals()
 		decision = tm.admit.Admit(load.AdmitRequest{
 			Class:    class,
 			Deadline: remaining,
-			Queued:   len(ch),
-			Capacity: cap(ch),
+			Queued:   ring.Len(),
+			Capacity: ring.Cap(),
 			Tenant:   opts.Tenant,
 			// The tenant gauge is raised before the enqueue below, so it
 			// covers this tenant's submitters currently blocked at the
@@ -168,47 +168,42 @@ func (tm *Team) SubmitCtx(ctx context.Context, fn TaskFunc, opts SubmitOpts) (*J
 		return nil, ErrShed
 	}
 
-	j := &Job{done: make(chan struct{}), class: class, tenant: opts.Tenant}
-	j.worker.Store(-1)
-	j.root.reset(fn, nil, 0, 0)
-	j.root.noRecycle = true // the root outlives the region; never pool it
-	j.root.job = j
-
 	svc.mu.Lock()
 	if svc.closed {
 		svc.mu.Unlock()
 		return nil, ErrClosed
 	}
 	svc.active++
-	j.id = tm.jobSeq.Add(1)
+	id := tm.jobSeq.Add(1)
 	svc.mu.Unlock()
 
+	j := tm.acquireJob(id, fn, class, opts.Tenant)
 	admitStart := tm.profile.Now()
 	j.submitNS.Store(admitStart)
-	// Raise the queue-depth gauges before the send so a blocked submitter
-	// still counts as demand against this team (the signal a sharded
-	// dispatcher compares); adoption, migration, and the rollback below
-	// decrement them.
+	// Raise the queue-depth gauges before the enqueue so a blocked
+	// submitter still counts as demand against this team (the signal a
+	// sharded dispatcher compares); adoption, migration, and the rollback
+	// below decrement them.
 	tm.profile.AddQueueDepth(1)
 	tm.profile.AddClassQueued(int(class), 1)
 	tm.profile.AddTenantQueued(opts.Tenant.ID, 1)
 	tm.profile.ObserveTenantWeight(opts.Tenant.ID, opts.Tenant.Weight)
 
-	ch := svc.submit[class]
-	select {
-	case ch <- &j.root:
+	if svc.enqueue(class, &j.root) {
 		tm.admitted(j, admitStart)
 		return j, nil
-	default:
 	}
 	if decision == load.AdmitReject {
 		tm.rollbackSubmit(svc, j, prof.AdmitRejected)
+		tm.releaseJob(j)
 		return nil, ErrBacklogFull
 	}
-	// Blocked wait, cancellable. The select commits to exactly one arm:
-	// either the send happens (the queue owns the job from then on) or it
-	// never happens and the rollback undoes the accounting above — there
-	// is no state in which a worker can adopt a job whose submission also
+	// Blocked wait, cancellable. Exactly-once still holds without a
+	// channel select's one-arm commitment: only this goroutine can publish
+	// j's root into the ring, so either an enqueue below succeeds (the
+	// ring owns the job from then on — no rollback follows) or no enqueue
+	// ever happened and the rollback undoes the accounting above. There is
+	// no state in which a worker can adopt a job whose submission also
 	// rolled back.
 	var timeout <-chan time.Time
 	if !opts.Deadline.IsZero() {
@@ -216,16 +211,29 @@ func (tm *Team) SubmitCtx(ctx context.Context, fn TaskFunc, opts SubmitOpts) (*J
 		defer timer.Stop()
 		timeout = timer.C
 	}
-	select {
-	case ch <- &j.root:
-		tm.admitted(j, admitStart)
-		return j, nil
-	case <-ctx.Done():
-		tm.rollbackSubmit(svc, j, prof.AdmitCancelled)
-		return nil, ctx.Err()
-	case <-timeout:
-		tm.rollbackSubmit(svc, j, prof.AdmitExpired)
-		return nil, ErrDeadlineExceeded
+	g := svc.space[class]
+	g.Add()
+	defer g.Done()
+	for {
+		// Load the gate channel before retrying the enqueue: a consumer
+		// frees its slot before ringing the gate, so either the retry sees
+		// the space or the wake closes exactly this channel.
+		ch := g.Chan()
+		if svc.enqueue(class, &j.root) {
+			tm.admitted(j, admitStart)
+			return j, nil
+		}
+		select {
+		case <-ch:
+		case <-ctx.Done():
+			tm.rollbackSubmit(svc, j, prof.AdmitCancelled)
+			tm.releaseJob(j)
+			return nil, ctx.Err()
+		case <-timeout:
+			tm.rollbackSubmit(svc, j, prof.AdmitExpired)
+			tm.releaseJob(j)
+			return nil, ErrDeadlineExceeded
+		}
 	}
 }
 

@@ -1,0 +1,374 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"time"
+
+	"repro/internal/load"
+	"repro/internal/prof"
+)
+
+// Batched submission: the amortized fast path of the admission edge.
+//
+// SubmitCtx pays the full admission toll per job: a policy decision, a
+// mutex section for the active count and id, four gauge updates, a ring
+// CAS, and a bell ring. SubmitBatchCtx admits N jobs under one toll —
+// one svc.mu section reserves the whole batch's active count and id
+// range, the gauges move once per batch (per class and per tenant run
+// rather than per job), each class group enters its intake ring with a
+// single reserving CAS (intake.Ring.EnqueueBatch), and the bell rings
+// once for the whole group. The admission *contract* stays per job:
+// every item carries its own class, deadline, and tenant, the policy
+// rules on each item (against one load-signal snapshot for the batch),
+// and each item succeeds or fails with the same typed errors SubmitCtx
+// returns — a partially admitted batch is the normal outcome under
+// backpressure, not an error.
+
+// BatchItem describes one submission in a batch: the job's root task
+// body plus the same per-submission options SubmitCtx takes.
+type BatchItem struct {
+	Fn   TaskFunc
+	Opts SubmitOpts
+}
+
+// BatchResult is one batch item's outcome. Exactly one field is set:
+// Job when the item was admitted, Err (the SubmitCtx error vocabulary —
+// ctx.Err(), ErrDeadlineExceeded, ErrBacklogFull, ErrShed, ErrClosed, or
+// a validation error) when it was not.
+type BatchResult struct {
+	Job *Job
+	Err error
+}
+
+// SubmitBatch admits every fn as a new job of the neutral batch class —
+// the compatibility wrapper over SubmitBatchCtx, mirroring Submit.
+func (tm *Team) SubmitBatch(fns []TaskFunc) ([]BatchResult, error) {
+	items := make([]BatchItem, len(fns))
+	for i, fn := range fns {
+		items[i] = BatchItem{Fn: fn, Opts: SubmitOpts{Priority: load.ClassBatch}}
+	}
+	return tm.SubmitBatchCtx(context.Background(), items)
+}
+
+// SubmitBatchCtx admits a batch of jobs in one amortized admission pass
+// (see the package-section comment above) and returns one BatchResult
+// per item, index-aligned with items. The batch-level error reports only
+// conditions that fail the batch as a whole (a team that is not
+// serving); per-item failures — validation, shedding, rejection,
+// expiry, cancellation — land in the item's BatchResult, so partial
+// admission is observable and every admitted item's accounting is
+// rolled back exactly once if it later cannot enqueue. Items whose
+// policy verdict allows waiting block (in item order) on their class's
+// space gate when their ring is full, honouring ctx and each item's own
+// deadline. Like SubmitCtx it must be called from outside the team's
+// task bodies.
+func (tm *Team) SubmitBatchCtx(ctx context.Context, items []BatchItem) ([]BatchResult, error) {
+	svc := tm.svc.Load()
+	if svc == nil {
+		return nil, errors.New("core: team is not serving; call Serve first")
+	}
+	if len(items) == 0 {
+		return nil, nil
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	res := make([]BatchResult, len(items))
+
+	// Phase 1: validate every item and take the policy's per-item verdict
+	// against one load-signal snapshot. wait[i] records whether a full
+	// ring means waiting or rejection for item i; admissible counts the
+	// items that survive this phase.
+	wait := make([]bool, len(items))
+	ctxErr := ctx.Err()
+	var (
+		sig     load.Signals
+		haveSig bool
+	)
+	_, blockPol := tm.admit.(load.BlockWhenFull)
+	_, rejectPol := tm.admit.(load.RejectWhenFull)
+	admissible, shed := 0, 0
+	for i := range items {
+		it := &items[i]
+		class := it.Opts.Priority
+		if it.Fn == nil {
+			res[i].Err = errors.New("core: Submit(nil)")
+			continue
+		}
+		if class < 0 || class >= load.NumClasses {
+			res[i].Err = fmt.Errorf("core: priority class %d outside [0, %d)", class, load.NumClasses)
+			continue
+		}
+		if it.Opts.Tenant.Weight < 0 {
+			res[i].Err = fmt.Errorf("core: negative tenant weight %g", it.Opts.Tenant.Weight)
+			continue
+		}
+		if ctxErr != nil {
+			tm.admitFailed(int(class), it.Opts.Tenant, prof.AdmitCancelled)
+			res[i].Err = ctxErr
+			continue
+		}
+		var remaining time.Duration
+		if !it.Opts.Deadline.IsZero() {
+			remaining = time.Until(it.Opts.Deadline)
+			if remaining <= 0 {
+				tm.admitFailed(int(class), it.Opts.Tenant, prof.AdmitExpired)
+				res[i].Err = ErrDeadlineExceeded
+				continue
+			}
+		}
+		wait[i] = true
+		switch {
+		case blockPol:
+		case rejectPol:
+			wait[i] = false
+		default:
+			if !haveSig {
+				sig = tm.Signals()
+				haveSig = true
+			}
+			ring := svc.submit[class]
+			switch tm.admit.Admit(load.AdmitRequest{
+				Class:        class,
+				Deadline:     remaining,
+				Queued:       ring.Len(),
+				Capacity:     ring.Cap(),
+				Tenant:       it.Opts.Tenant,
+				TenantQueued: int(tm.profile.TenantQueued(it.Opts.Tenant.ID)),
+				Saturated:    tm.saturated(sig),
+			}, sig) {
+			case load.AdmitShed:
+				// Provisional: flipped to ErrClosed if the mutex section
+				// below finds the service closing (same precedence as
+				// SubmitCtx), and only counted as shed after that.
+				res[i].Err = ErrShed
+				shed++
+				continue
+			case load.AdmitReject:
+				wait[i] = false
+			}
+		}
+		admissible++
+	}
+	if admissible == 0 && shed == 0 {
+		return res, nil
+	}
+
+	// Phase 2: one mutex section reserves the whole batch — the active
+	// count and a contiguous id range — where SubmitCtx pays this per job.
+	svc.mu.Lock()
+	if svc.closed {
+		svc.mu.Unlock()
+		for i := range items {
+			if wait[i] || res[i].Err == ErrShed {
+				wait[i] = false
+				res[i].Err = ErrClosed
+			} else if res[i].Err == nil {
+				res[i].Err = ErrClosed
+			}
+		}
+		return res, nil
+	}
+	svc.active += int64(admissible)
+	seq := tm.jobSeq.Add(int64(admissible)) - int64(admissible)
+	svc.mu.Unlock()
+	if shed > 0 {
+		for i := range items {
+			if res[i].Err == ErrShed {
+				tm.admitFailed(int(items[i].Opts.Priority), items[i].Opts.Tenant, prof.AdmitShed)
+			}
+		}
+	}
+
+	// Phase 3: draw the frames and raise the gauges, grouped — one add on
+	// the total queue depth, one per class with traffic, one per
+	// consecutive same-tenant run (callers batching per tenant get O(1)
+	// tenant traffic; mixed batches degrade to per-item, never worse than
+	// the single-submit path).
+	admitStart := tm.profile.Now()
+	var classTotal [load.NumClasses]int
+	for i := range items {
+		if res[i].Err != nil {
+			continue // failed validation, shed, or pre-cancelled
+		}
+		seq++
+		j := tm.acquireJob(seq, items[i].Fn, items[i].Opts.Priority, items[i].Opts.Tenant)
+		j.submitNS.Store(admitStart)
+		res[i].Job = j
+		classTotal[j.class]++
+	}
+	tm.profile.AddQueueDepth(int64(admissible))
+	for c, n := range classTotal {
+		if n > 0 {
+			tm.profile.AddClassQueued(c, int64(n))
+		}
+	}
+	forEachTenantRun(items, res, func(id int, weight float64, n int) {
+		tm.profile.AddTenantQueued(id, int64(n))
+		tm.profile.ObserveTenantWeight(id, weight)
+	})
+
+	// Phase 4: each class group enters its ring with one reserving CAS;
+	// the bell rings once for however many jobs landed. EnqueueBatch
+	// admits a prefix of the group, so the first enq[c] class-c items (in
+	// batch order) are queued and the rest fall through to phase 5.
+	var scratch []*Task
+	var enq [load.NumClasses]int
+	total := 0
+	for _, c := range load.ByPriority {
+		if classTotal[c] == 0 {
+			continue
+		}
+		scratch = scratch[:0]
+		for i := range items {
+			if j := res[i].Job; j != nil && j.class == c {
+				scratch = append(scratch, &j.root)
+			}
+		}
+		enq[c] = svc.submit[c].EnqueueBatch(scratch)
+		total += enq[c]
+	}
+	svc.bell.RingMany(total)
+	lat := tm.profile.Now() - admitStart
+	for c, n := range enq {
+		if n > 0 {
+			tm.profile.CountAdmitN(c, prof.AdmitAdmitted, n)
+			tm.profile.RecordAdmitLatency(c, lat)
+		}
+	}
+	forEachTenantRunAdmitted(items, res, enq, func(id int, n int) {
+		tm.profile.CountTenantAdmitN(id, prof.AdmitAdmitted, n)
+		tm.profile.RecordTenantAdmitLatency(id, lat)
+	})
+	if total == admissible {
+		return res, nil
+	}
+
+	// Phase 5: leftovers — items whose class ring was full. Reject-mode
+	// items roll back immediately; wait-mode items block in item order on
+	// their class's space gate, each honouring ctx and its own deadline.
+	// Exactly-once holds per item exactly as in SubmitCtx: only this
+	// goroutine can publish an item's root, so an item either enqueues
+	// (and never rolls back) or rolls back (and never enqueued).
+	var seen [load.NumClasses]int
+	for i := range items {
+		j := res[i].Job
+		if j == nil {
+			continue
+		}
+		c := j.class
+		seen[c]++
+		if seen[c] <= enq[c] {
+			continue // queued in phase 4
+		}
+		if !wait[i] {
+			tm.rollbackSubmit(svc, j, prof.AdmitRejected)
+			tm.releaseJob(j)
+			res[i] = BatchResult{Err: ErrBacklogFull}
+			continue
+		}
+		// blockEnqueue fails fast on an already-cancelled ctx, so once a
+		// cancellation lands, the remaining wait-items roll back without
+		// blocking.
+		if err := tm.blockEnqueue(ctx, svc, j, items[i].Opts.Deadline, admitStart); err != nil {
+			res[i] = BatchResult{Err: err}
+		}
+	}
+	return res, nil
+}
+
+// blockEnqueue publishes an already-accounted job into its class ring,
+// waiting on the class's space gate until it fits, ctx is cancelled, or
+// deadline passes — the batch path's per-item tail, identical in
+// protocol to SubmitCtx's blocked wait. On failure the admission
+// accounting is rolled back and the frame recycled.
+func (tm *Team) blockEnqueue(ctx context.Context, svc *service, j *Job, deadline time.Time, admitStart int64) error {
+	if err := ctx.Err(); err != nil {
+		tm.rollbackSubmit(svc, j, prof.AdmitCancelled)
+		tm.releaseJob(j)
+		return err
+	}
+	var timeout <-chan time.Time
+	if !deadline.IsZero() {
+		timer := time.NewTimer(time.Until(deadline))
+		defer timer.Stop()
+		timeout = timer.C
+	}
+	g := svc.space[j.class]
+	g.Add()
+	defer g.Done()
+	for {
+		ch := g.Chan()
+		if svc.enqueue(j.class, &j.root) {
+			tm.admitted(j, admitStart)
+			return nil
+		}
+		select {
+		case <-ch:
+		case <-ctx.Done():
+			tm.rollbackSubmit(svc, j, prof.AdmitCancelled)
+			tm.releaseJob(j)
+			return ctx.Err()
+		case <-timeout:
+			tm.rollbackSubmit(svc, j, prof.AdmitExpired)
+			tm.releaseJob(j)
+			return ErrDeadlineExceeded
+		}
+	}
+}
+
+// forEachTenantRun calls fn once per run of consecutive admitted items
+// sharing a tenant id, with the run's length.
+func forEachTenantRun(items []BatchItem, res []BatchResult, fn func(id int, weight float64, n int)) {
+	runID, runN := 0, 0
+	var runW float64
+	started := false
+	for i := range items {
+		if res[i].Job == nil {
+			continue
+		}
+		t := items[i].Opts.Tenant
+		if !started || t.ID != runID {
+			if started {
+				fn(runID, runW, runN)
+			}
+			runID, runW, runN, started = t.ID, t.Weight, 0, true
+		}
+		runN++
+	}
+	if started {
+		fn(runID, runW, runN)
+	}
+}
+
+// forEachTenantRunAdmitted is forEachTenantRun restricted to the items
+// whose class group actually entered the ring in phase 4 (the first
+// enq[c] items of each class, in batch order).
+func forEachTenantRunAdmitted(items []BatchItem, res []BatchResult, enq [load.NumClasses]int, fn func(id int, n int)) {
+	var seen [load.NumClasses]int
+	runID, runN := 0, 0
+	started := false
+	for i := range items {
+		j := res[i].Job
+		if j == nil {
+			continue
+		}
+		seen[j.class]++
+		if seen[j.class] > enq[j.class] {
+			continue
+		}
+		t := items[i].Opts.Tenant
+		if !started || t.ID != runID {
+			if started {
+				fn(runID, runN)
+			}
+			runID, runN, started = t.ID, 0, true
+		}
+		runN++
+	}
+	if started {
+		fn(runID, runN)
+	}
+}

@@ -24,10 +24,25 @@ import (
 // Panics are captured per job: a panicking task body fails its job, cancels
 // the job's remaining task bodies, and surfaces the panic value from Wait
 // as a *PanicError. Other jobs and the team itself are unaffected.
+//
+// Job frames are recycled: the submit path draws them from the team's
+// multi-level frame pool, and a caller that is done with a handle may
+// return it with Release so steady-state submission allocates nothing.
+// Release is optional — an unreleased frame is ordinary garbage.
 type Job struct {
 	id   int64
 	root Task
-	done chan struct{}
+
+	// Completion state. state flips once, inFlight → done; wake is a
+	// one-token channel allocated once per frame lifetime: finishJob
+	// deposits the token, each Wait takes it and puts it back (so any
+	// number of waiters drain through), and reset reclaims it. doneCh
+	// backs the public Done() channel and is allocated lazily — jobs
+	// whose callers only Wait (the common case) never pay for it.
+	state  atomic.Uint32
+	wake   chan struct{}
+	doneMu sync.Mutex
+	doneCh chan struct{}
 
 	// class is the job's admission priority class (SubmitOpts.Priority),
 	// fixed at submission: it selects the admission queue, survives
@@ -54,6 +69,13 @@ type Job struct {
 	// (see MigrateQueuedJob).
 	migrated atomic.Bool
 
+	// released guards double-Release; home/lane identify the frame pool
+	// (the submitting team's, even after a migration) and the pool lane
+	// the frame came from.
+	released atomic.Bool
+	home     *Team
+	lane     int
+
 	// Profiling fields: the adopting worker and nanosecond timestamps on
 	// the executing team profile's clock. worker/startNS are written by
 	// the adopter before the root runs; endNS by the completing worker;
@@ -66,6 +88,12 @@ type Job struct {
 	startNS  atomic.Int64
 	endNS    atomic.Int64
 }
+
+// Job completion states.
+const (
+	jobInFlight uint32 = iota
+	jobDone
+)
 
 // PanicError is the error Job.Wait returns when one of the job's task
 // bodies panicked; Value is the recovered panic value of the first panic
@@ -84,21 +112,34 @@ func (e *PanicError) Error() string { return fmt.Sprintf("core: job task panicke
 func (j *Job) ID() int64 { return j.id }
 
 // Done returns a channel closed when the job's task subtree has quiesced.
-func (j *Job) Done() <-chan struct{} { return j.done }
+// The channel is created on first call; callers that only Wait never
+// allocate it.
+func (j *Job) Done() <-chan struct{} {
+	j.doneMu.Lock()
+	defer j.doneMu.Unlock()
+	if j.doneCh == nil {
+		j.doneCh = make(chan struct{})
+		if j.state.Load() == jobDone {
+			close(j.doneCh)
+		}
+	}
+	return j.doneCh
+}
 
 // Wait blocks until every task of the job has completed. It returns nil on
 // success and a *PanicError when any of the job's task bodies panicked.
 func (j *Job) Wait() error {
-	<-j.done
+	if j.state.Load() != jobDone {
+		<-j.wake
+		j.wake <- struct{}{} // pass the completion token to the next waiter
+	}
 	return j.Err()
 }
 
 // Err returns the job's failure, or nil if the job succeeded or is still
 // in flight.
 func (j *Job) Err() error {
-	select {
-	case <-j.done:
-	default:
+	if j.state.Load() != jobDone {
 		return nil
 	}
 	j.panicMu.Lock()
@@ -108,6 +149,75 @@ func (j *Job) Err() error {
 		return &PanicError{Value: r, Stack: stack}
 	}
 	return nil
+}
+
+// Release returns the job's frame to its team's pool for reuse, making
+// steady-state submission allocation-free. It is a no-op while the job is
+// still in flight, on a second call, and on a nil job — but never call it
+// while another goroutine may still use this handle (a concurrent Wait,
+// Err, or Done): Release transfers ownership of the frame exactly like
+// freeing it, and the next Submit may hand the same frame to an unrelated
+// caller. Releasing is optional; an unreleased handle is simply garbage
+// collected.
+func (j *Job) Release() {
+	if j == nil || j.state.Load() != jobDone {
+		return
+	}
+	if j.released.Swap(true) {
+		return
+	}
+	if j.home != nil {
+		j.home.releaseJob(j)
+	}
+}
+
+// finish publishes completion: records state, closes a Done channel if
+// one was materialized, and deposits the wake token. The caller must not
+// touch the job afterwards — a released frame may be reused the moment
+// the token lands.
+func (j *Job) finish() {
+	j.state.Store(jobDone)
+	j.doneMu.Lock()
+	if j.doneCh != nil {
+		close(j.doneCh)
+	}
+	j.doneMu.Unlock()
+	j.wake <- struct{}{}
+}
+
+// resetForSubmit re-initializes a (possibly recycled) frame for one
+// submission. The frame pool hands frames to one submitter at a time, so
+// no other goroutine can observe the reset.
+func (j *Job) resetForSubmit(tm *Team, lane int, id int64, fn TaskFunc, class load.Class, tenant load.Tenant) {
+	if j.wake == nil {
+		j.wake = make(chan struct{}, 1)
+	}
+	select { // reclaim the completion token of the previous generation
+	case <-j.wake:
+	default:
+	}
+	j.id = id
+	j.class = class
+	j.tenant = tenant
+	j.state.Store(jobInFlight)
+	j.released.Store(false)
+	j.doneMu.Lock()
+	j.doneCh = nil
+	j.doneMu.Unlock()
+	j.failed.Store(false)
+	j.panicMu.Lock()
+	j.panicVal, j.panicStack = nil, nil
+	j.panicMu.Unlock()
+	j.migrated.Store(false)
+	j.home = tm
+	j.lane = lane
+	j.worker.Store(-1)
+	j.submitNS.Store(0)
+	j.startNS.Store(0)
+	j.endNS.Store(0)
+	j.root.reset(fn, nil, 0, 0)
+	j.root.noRecycle = true // the root outlives the region; never task-pool it
+	j.root.job = j
 }
 
 // Worker returns the worker that adopted the job's root task, or -1 while

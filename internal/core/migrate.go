@@ -41,15 +41,19 @@ func MigrateQueuedJob(src, dst *Team) bool {
 	if ssvc == nil || dsvc == nil || ssvc.done.Load() || dsvc.done.Load() {
 		return false
 	}
-	// A task still in the admission channel is by definition unadopted;
-	// receiving it makes this goroutine its exclusive owner. Candidates
-	// come from the lowest-priority non-empty queue first (ByPriority
-	// reversed).
+	// A task still in the admission ring is by definition unadopted;
+	// dequeuing it makes this goroutine its exclusive owner (the ring is
+	// MPMC precisely so the balancer can consume alongside the workers).
+	// Candidates come from the lowest-priority non-empty queue first
+	// (ByPriority reversed). The freed slot rings src's space gate like
+	// any other dequeue, releasing a submitter blocked on the full ring.
 	var t *Task
-	for i := len(load.ByPriority) - 1; i >= 0 && t == nil; i-- {
-		select {
-		case t = <-ssvc.submit[load.ByPriority[i]]:
-		default:
+	for i := len(load.ByPriority) - 1; i >= 0; i-- {
+		c := load.ByPriority[i]
+		if v, ok := ssvc.submit[c].TryDequeue(); ok {
+			ssvc.space[c].Wake()
+			t = v
+			break
 		}
 	}
 	if t == nil {
@@ -67,13 +71,13 @@ func MigrateQueuedJob(src, dst *Team) bool {
 	dsvc.mu.Lock()
 	if dsvc.closed {
 		dsvc.mu.Unlock()
-		// Put the job back. The blocking send cannot hang: the job is
+		// Put the job back. The blocking enqueue cannot hang: the job is
 		// still in src's active count, so src's workers keep serving (and
-		// draining this channel) until it is adopted and completed.
+		// draining this ring) until it is adopted and completed.
 		src.profile.AddQueueDepth(1)
 		src.profile.AddClassQueued(class, 1)
 		src.profile.AddTenantQueued(j.tenant.ID, 1)
-		ssvc.submit[class] <- t
+		ssvc.enqueueBlocking(j.class, t)
 		return false
 	}
 	dsvc.active++
@@ -103,10 +107,10 @@ func MigrateQueuedJob(src, dst *Team) bool {
 			ob.ObserveComplete(j.tenant, 0)
 		}
 	}
-	// Blocking send is safe for the same reason as the rollback above,
-	// now on dst: the job is in dst's active count, so dst's workers
-	// cannot stop before draining it.
-	dsvc.submit[class] <- t
+	// The blocking enqueue is safe for the same reason as the rollback
+	// above, now on dst: the job is in dst's active count, so dst's
+	// workers cannot stop before draining it.
+	dsvc.enqueueBlocking(j.class, t)
 
 	ssvc.mu.Lock()
 	ssvc.active--

@@ -9,6 +9,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/intake"
 	"repro/internal/load"
 	"repro/internal/prof"
 )
@@ -49,14 +50,32 @@ const (
 
 // service is the per-Serve state of a team in task-service mode.
 type service struct {
-	// submit is the bounded admission queue, one channel per priority
-	// class (each Config.Backlog deep) so a flood in one class can never
-	// head-of-line-block another: workers adopt strictly in class order
-	// (tryRecv), but a full background queue leaves the interactive
-	// queue's space untouched. Any worker may receive, which keeps the
-	// SPSC discipline of the queueing substrates: a root task enters a
-	// worker's domain only on that worker's goroutine.
-	submit [load.NumClasses]chan *Task
+	// submit is the bounded admission queue, one lock-free intake ring
+	// per priority class (each Config.Backlog deep) so a flood in one
+	// class can never head-of-line-block another: workers adopt strictly
+	// in class order (tryRecv), but a full background queue leaves the
+	// interactive queue's space untouched. Any worker may dequeue, which
+	// keeps the SPSC discipline of the queueing substrates: a root task
+	// enters a worker's domain only on that worker's goroutine. The ring
+	// replaces a buffered channel: enqueue and dequeue are CAS-claimed
+	// slots instead of a channel lock, a batched submission reserves its
+	// whole group with one CAS (intake.Ring.EnqueueBatch), and the
+	// waiting that channels bundled in is layered back on explicitly —
+	// space (per-class producer gates, the backpressure path) and bell
+	// (the consumer-side wake, see below).
+	submit [load.NumClasses]*intake.Ring[*Task]
+	// space[c] wakes submitters blocked on class c's full ring; a
+	// consumer that frees a slot rings it (a single atomic load while
+	// nobody is blocked).
+	space [load.NumClasses]*intake.Gate
+	// bell wakes idle workers sleeping between polls: a producer that
+	// enqueued a job rings it (again one atomic load while nobody
+	// sleeps), so the first job after an idle spell is adopted in
+	// microseconds instead of waiting out a poll-backoff sleep. Only
+	// intake-ring producers ring; tasks pushed directly into a sleeping
+	// worker's queues (DLB redirects, park handoffs) still rely on the
+	// timer fallback, as the sleep-poll design always did.
+	bell *intake.Bell
 
 	// mu guards the admission/drain state below.
 	mu     sync.Mutex
@@ -122,9 +141,11 @@ func (tm *Team) Serve() error {
 	}
 	svc := &service{
 		parkCh: make(chan struct{}),
+		bell:   intake.NewBell(tm.n),
 	}
 	for c := range svc.submit {
-		svc.submit[c] = make(chan *Task, tm.cfg.Backlog)
+		svc.submit[c] = intake.New[*Task](tm.cfg.Backlog)
+		svc.space[c] = intake.NewGate()
 	}
 	svc.cond = sync.NewCond(&svc.mu)
 	// Each Serve generation starts at full capacity (Close restored the
@@ -203,16 +224,63 @@ func (tm *Team) SetActive(n int) error {
 // worker only reaches a lower class after finding every higher class's
 // queue empty, which is what makes the per-class queues an
 // anti-head-of-line-blocking device rather than mere partitioning.
-// Non-blocking; nil when all queues are empty.
+// Non-blocking; nil when all queues are empty. A successful dequeue
+// rings the class's space gate so a submitter blocked on the full ring
+// can take the freed slot.
 func (svc *service) tryRecv() *Task {
 	for _, c := range load.ByPriority {
-		select {
-		case t := <-svc.submit[c]:
+		if t, ok := svc.submit[c].TryDequeue(); ok {
+			svc.space[c].Wake()
 			return t
-		default:
 		}
 	}
 	return nil
+}
+
+// pending reports whether any class ring holds a job — the non-consuming
+// re-check a worker makes between registering on the bell and blocking.
+func (svc *service) pending() bool {
+	for c := range svc.submit {
+		if svc.submit[c].Len() > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// enqueue publishes one admitted root task into its class ring and rings
+// the bell for a sleeping worker. It reports false when the ring is at
+// its bound (the admission policy then decides between waiting,
+// rejection, and shedding).
+func (svc *service) enqueue(class load.Class, t *Task) bool {
+	if !svc.submit[class].TryEnqueue(t) {
+		return false
+	}
+	svc.bell.Ring()
+	return true
+}
+
+// enqueueBlocking publishes a root task that is already accounted as
+// active, waiting on the class's space gate for as long as it takes. The
+// wait always terminates: the job is in some team's active count, so
+// workers keep serving (and draining this ring) until it completes.
+func (svc *service) enqueueBlocking(class load.Class, t *Task) {
+	if svc.enqueue(class, t) {
+		return
+	}
+	g := svc.space[class]
+	g.Add()
+	defer g.Done()
+	for {
+		// Load the gate channel before retrying: a consumer frees its
+		// slot before ringing, so either the retry sees the space or the
+		// wake closes exactly this channel.
+		ch := g.Chan()
+		if svc.enqueue(class, t) {
+			return
+		}
+		<-ch
+	}
 }
 
 // QueueDepth returns the number of jobs submitted to this team but not yet
@@ -263,7 +331,8 @@ func (tm *Team) Close() error {
 		return nil // another Close finished the teardown
 	}
 	svc.stop.Store(true)
-	svc.wakeParked() // parked workers must observe stop and exit
+	svc.wakeParked()   // parked workers must observe stop and exit
+	svc.bell.RingAll() // idle sleepers too, without waiting out their timers
 	if svc.ctlStop != nil {
 		// The teardown section runs exactly once (the done guard above),
 		// so this close cannot double-fire.
@@ -309,6 +378,14 @@ func (tm *Team) serve(svc *service, w *Worker) {
 	spins, idle := 0, 0
 	sleep := parkSleepMin
 	stalling := false
+	// timer backs the idle sleep: the worker normally wakes early via the
+	// service bell when a job is submitted, and the timer is the fallback
+	// for work the bell does not announce (DLB pushes, park handoffs).
+	timer := time.NewTimer(time.Hour)
+	if !timer.Stop() {
+		<-timer.C
+	}
+	defer timer.Stop()
 	for {
 		if int32(w.id) >= tm.active.Load() && !svc.stop.Load() {
 			if stalling {
@@ -354,7 +431,30 @@ func (tm *Team) serve(svc *service, w *Worker) {
 		spins++
 		idle++
 		if idle > parkSpins {
-			time.Sleep(sleep)
+			// Sleep until a producer rings the bell (a submission or
+			// migration landed in an intake ring) or the backoff timer
+			// fires. Register first, then re-check: the registration is
+			// sequenced before the re-check and a producer's enqueue
+			// before its ring, so either the re-check sees the job or
+			// the ring sees this sleeper — a submission cannot slip
+			// through unannounced while the worker goes to sleep.
+			svc.bell.Sleep(w.id)
+			if svc.stop.Load() || svc.pending() {
+				svc.bell.Cancel(w.id)
+				continue
+			}
+			if !timer.Stop() {
+				select {
+				case <-timer.C:
+				default:
+				}
+			}
+			timer.Reset(sleep)
+			select {
+			case <-svc.bell.Chan(w.id):
+			case <-timer.C:
+			}
+			svc.bell.Cancel(w.id)
 			if sleep < parkSleepMax {
 				sleep *= 2
 			}
@@ -483,7 +583,10 @@ func (tm *Team) finishJob(j *Job) {
 	if ob, ok := tm.admit.(load.TenantObserver); ok {
 		ob.ObserveComplete(j.tenant, float64(j.endNS.Load()-j.startNS.Load()))
 	}
-	close(j.done)
+	// finish must be the last access to j on this path: it releases the
+	// waiter, and a released waiter may Release() the frame — from that
+	// point the frame can be recycled and belong to an unrelated job.
+	j.finish()
 	if svc := tm.svc.Load(); svc != nil {
 		svc.jobDone()
 	}

@@ -32,6 +32,12 @@ type Team struct {
 	counter taskCounter
 	bar     barrier
 	alloc   alloc.Allocator[Task]
+	// jobPool recycles job frames (handle + embedded root task) so
+	// steady-state submission is allocation-free: SubmitCtx draws a frame
+	// from a pool lane via the shared (locked) level — submitters are
+	// external goroutines with no worker identity, so the owner-only fast
+	// level stays out of reach by design — and Job.Release returns it.
+	jobPool *alloc.MultiLevel[Job]
 	profile *prof.Profile
 	workers []*Worker
 	// remotes[z] lists the workers outside zone z in ascending id order
@@ -159,6 +165,7 @@ func NewTeam(cfg Config) (*Team, error) {
 		return nil, fmt.Errorf("core: unknown allocator %v", cfg.Alloc)
 	}
 
+	tm.jobPool = alloc.NewMultiLevel[Job](cfg.Workers)
 	tm.profile = prof.New(cfg.Workers, cfg.Profile)
 	tm.workers = make([]*Worker, cfg.Workers)
 	for i := range tm.workers {
@@ -270,6 +277,29 @@ func (tm *Team) Profile() *prof.Profile { return tm.profile }
 
 // AllocStats reports the task-allocator path counters.
 func (tm *Team) AllocStats() alloc.Stats { return tm.alloc.Stats() }
+
+// acquireJob draws a job frame from the team's frame pool and initializes
+// it for one submission. The pool lane is derived from the job id, so
+// concurrent submitters spread across the pool's per-lane locks instead
+// of serializing on one free list.
+func (tm *Team) acquireJob(id int64, fn TaskFunc, class load.Class, tenant load.Tenant) *Job {
+	lane := int(id % int64(tm.n))
+	j := tm.jobPool.GetShared(lane)
+	j.resetForSubmit(tm, lane, id, fn, class, tenant)
+	return j
+}
+
+// releaseJob returns a job frame to the pool (the tail of Job.Release and
+// of the submit-rollback paths). Reference fields are cleared so a pooled
+// frame pins neither the task body nor a captured panic.
+func (tm *Team) releaseJob(j *Job) {
+	j.root.fn = nil
+	j.root.job = nil
+	j.panicMu.Lock()
+	j.panicVal, j.panicStack = nil, nil
+	j.panicMu.Unlock()
+	tm.jobPool.PutShared(j.lane, j)
+}
 
 // Run opens a parallel region in which worker 0 executes f while all other
 // workers proceed straight to task execution and the team barrier — the
@@ -400,7 +430,13 @@ func (tm *Team) execute(w *Worker, t *Task) {
 func (tm *Team) cascade(w *Worker, t *Task) {
 	for {
 		if j := t.job; j != nil && t == &j.root {
+			// finishJob releases the job's waiter, and the waiter may
+			// Release() the frame — including this root task — for reuse
+			// by an unrelated submission. Return without touching t again.
+			// (A root has no parent and is never task-pooled, so nothing
+			// below applies to it anyway.)
 			tm.finishJob(j)
+			return
 		}
 		p := t.parent
 		if !t.implicit && !t.noRecycle {

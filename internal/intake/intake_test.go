@@ -1,0 +1,294 @@
+package intake
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestRingFIFOAndBound(t *testing.T) {
+	r := New[int](5) // non-power-of-two bound: slot array 8, bound 5
+	if r.Cap() != 5 {
+		t.Fatalf("Cap() = %d, want 5", r.Cap())
+	}
+	for i := 0; i < 5; i++ {
+		if !r.TryEnqueue(i) {
+			t.Fatalf("enqueue %d refused below bound", i)
+		}
+	}
+	if r.TryEnqueue(99) {
+		t.Fatal("enqueue accepted past the bound")
+	}
+	if got := r.Len(); got != 5 {
+		t.Fatalf("Len() = %d, want 5", got)
+	}
+	for i := 0; i < 5; i++ {
+		v, ok := r.TryDequeue()
+		if !ok || v != i {
+			t.Fatalf("dequeue %d = (%d, %v), want (%d, true)", i, v, ok, i)
+		}
+	}
+	if _, ok := r.TryDequeue(); ok {
+		t.Fatal("dequeue from empty ring succeeded")
+	}
+}
+
+func TestRingWrapsManyLaps(t *testing.T) {
+	r := New[int](3)
+	for i := 0; i < 1000; i++ {
+		if !r.TryEnqueue(i) {
+			t.Fatalf("lap enqueue %d refused", i)
+		}
+		v, ok := r.TryDequeue()
+		if !ok || v != i {
+			t.Fatalf("lap dequeue %d = (%d, %v)", i, v, ok)
+		}
+	}
+}
+
+func TestRingEnqueueBatch(t *testing.T) {
+	r := New[int](6)
+	if n := r.EnqueueBatch([]int{0, 1, 2, 3}); n != 4 {
+		t.Fatalf("batch of 4 into empty ring: %d", n)
+	}
+	// Only 2 slots left under the bound: partial fit.
+	if n := r.EnqueueBatch([]int{4, 5, 6, 7}); n != 2 {
+		t.Fatalf("batch of 4 into 2 free slots: %d", n)
+	}
+	if n := r.EnqueueBatch([]int{8}); n != 0 {
+		t.Fatalf("batch into full ring: %d", n)
+	}
+	for i := 0; i < 6; i++ {
+		v, ok := r.TryDequeue()
+		if !ok || v != i {
+			t.Fatalf("dequeue %d = (%d, %v)", i, v, ok)
+		}
+	}
+}
+
+// TestRingConcurrent hammers the ring with mixed single/batch producers
+// and multiple consumers and checks every item arrives exactly once.
+// Run under -race this is the memory-ordering test for the slot
+// protocol.
+func TestRingConcurrent(t *testing.T) {
+	const (
+		producers = 4
+		consumers = 3
+		perProd   = 4000
+	)
+	r := New[int](64)
+	var got [producers * perProd]atomic.Int32
+	var wg sync.WaitGroup
+	var done atomic.Bool
+	for c := 0; c < consumers; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				v, ok := r.TryDequeue()
+				if !ok {
+					if done.Load() && r.Len() == 0 {
+						// Double-check: a producer may have raced in
+						// between the Len and done loads.
+						if _, ok := r.TryDequeue(); !ok {
+							return
+						}
+						continue
+					}
+					// Yield so spinning consumers cannot starve the
+					// producers on small GOMAXPROCS.
+					runtime.Gosched()
+					continue
+				}
+				got[v].Add(1)
+			}
+		}()
+	}
+	var pwg sync.WaitGroup
+	for p := 0; p < producers; p++ {
+		pwg.Add(1)
+		go func(p int) {
+			defer pwg.Done()
+			base := p * perProd
+			i := 0
+			for i < perProd {
+				if p%2 == 0 {
+					// Batch producer: groups of up to 7.
+					n := 7
+					if i+n > perProd {
+						n = perProd - i
+					}
+					vs := make([]int, n)
+					for k := range vs {
+						vs[k] = base + i + k
+					}
+					m := r.EnqueueBatch(vs)
+					i += m
+					if m == 0 {
+						runtime.Gosched()
+					}
+				} else if r.TryEnqueue(base + i) {
+					i++
+				} else {
+					runtime.Gosched()
+				}
+			}
+		}(p)
+	}
+	pwg.Wait()
+	done.Store(true)
+	wg.Wait()
+	for i := range got {
+		if n := got[i].Load(); n != 1 {
+			t.Fatalf("item %d seen %d times", i, n)
+		}
+	}
+}
+
+// TestRingBoundUnderContention checks the exact logical bound is never
+// exceeded while producers and consumers race (the property that keeps
+// Config.Backlog's backpressure meaning).
+func TestRingBoundUnderContention(t *testing.T) {
+	const bound = 5
+	r := New[int](bound)
+	var wg sync.WaitGroup
+	stop := time.Now().Add(50 * time.Millisecond)
+	for p := 0; p < 4; p++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for time.Now().Before(stop) {
+				r.TryEnqueue(1)
+				if n := r.Len(); n > bound {
+					t.Errorf("Len() = %d exceeds bound %d", n, bound)
+					return
+				}
+			}
+		}()
+	}
+	for c := 0; c < 2; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for time.Now().Before(stop) {
+				r.TryDequeue()
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// TestGateNoLostWake exercises the register → load chan → retry → block
+// protocol against concurrent wakes.
+func TestGateNoLostWake(t *testing.T) {
+	g := NewGate()
+	r := New[int](1)
+	if !r.TryEnqueue(0) {
+		t.Fatal("seed enqueue failed")
+	}
+	doneCh := make(chan struct{})
+	go func() {
+		defer close(doneCh)
+		g.Add()
+		defer g.Done()
+		for {
+			ch := g.Chan()
+			if r.TryEnqueue(1) {
+				return
+			}
+			<-ch
+		}
+	}()
+	// Consumer side: free the slot and wake.
+	time.Sleep(time.Millisecond)
+	if _, ok := r.TryDequeue(); !ok {
+		t.Fatal("seed dequeue failed")
+	}
+	g.Wake()
+	select {
+	case <-doneCh:
+	case <-time.After(2 * time.Second):
+		t.Fatal("blocked producer missed the wake")
+	}
+}
+
+func TestGateWakeWithoutWaitersIsFree(t *testing.T) {
+	g := NewGate()
+	// Must not close or replace the armed channel.
+	before := g.Chan()
+	g.Wake()
+	select {
+	case <-before:
+		t.Fatal("Wake with no waiters closed the channel")
+	default:
+	}
+}
+
+func TestBellWakeOne(t *testing.T) {
+	b := NewBell(4)
+	b.Sleep(2)
+	b.Ring()
+	select {
+	case <-b.Chan(2):
+	case <-time.After(time.Second):
+		t.Fatal("sleeper 2 not woken")
+	}
+	b.Cancel(2)
+	// Ring with nobody sleeping: no token appears later.
+	b.Ring()
+	b.Sleep(1)
+	select {
+	case <-b.Chan(1):
+		t.Fatal("stale ring woke a later sleeper")
+	case <-time.After(10 * time.Millisecond):
+	}
+	b.Cancel(1)
+}
+
+func TestBellRingManyAndAll(t *testing.T) {
+	b := NewBell(4)
+	for id := 0; id < 4; id++ {
+		b.Sleep(id)
+	}
+	b.RingMany(2)
+	woken := 0
+	for id := 0; id < 4; id++ {
+		select {
+		case <-b.Chan(id):
+			woken++
+			b.Cancel(id)
+		default:
+		}
+	}
+	if woken != 2 {
+		t.Fatalf("RingMany(2) woke %d sleepers", woken)
+	}
+	b.RingAll()
+	for id := 0; id < 4; id++ {
+		select {
+		case <-b.Chan(id):
+			b.Cancel(id)
+		default:
+			// The two already-cancelled sleepers are no longer
+			// registered; they must not hold tokens.
+			b.Cancel(id)
+		}
+	}
+}
+
+// TestBellCancelRemovesSleeper: a cancelled sleeper must not absorb a
+// ring meant for a remaining one.
+func TestBellCancelRemovesSleeper(t *testing.T) {
+	b := NewBell(2)
+	b.Sleep(0)
+	b.Sleep(1)
+	b.Cancel(1)
+	b.Ring()
+	select {
+	case <-b.Chan(0):
+	case <-time.After(time.Second):
+		t.Fatal("ring after cancel missed the remaining sleeper")
+	}
+}

@@ -327,7 +327,7 @@ type Profile struct {
 	// path of concurrent submitters in different classes shares no
 	// coordination point, and the event mutex is only taken on the
 	// rejection/shed paths.
-	classQueued [AdmitClasses]atomic.Int64
+	classQueued [AdmitClasses]paddedGauge
 	admitCounts [AdmitClasses][NumAdmitOutcomes]atomic.Uint64
 	admitLatMu  [AdmitClasses]sync.Mutex
 	admitLat    [AdmitClasses]ring[int64]
@@ -351,7 +351,7 @@ type Profile struct {
 	// moved into or out of this team. They are Profile-level atomics rather
 	// than per-thread counters because the writers (submitters and the
 	// pool's balancer goroutine) are not team workers.
-	queueDepth  atomic.Int64
+	queueDepth  paddedGauge
 	migratedIn  atomic.Uint64
 	migratedOut atomic.Uint64
 
@@ -465,28 +465,46 @@ func (p *Profile) JobsTotal() uint64 {
 	return n
 }
 
+// paddedGauge is an atomic gauge alone on its cache line. The admission
+// gauges are the write-hottest words of the submit fast path, hit by
+// every submitter and every adopting worker; padding keeps a store to
+// one class's gauge (or to the total) from invalidating the line under
+// its neighbours.
+type paddedGauge struct {
+	v atomic.Int64
+	_ [7]uint64
+}
+
 // AddQueueDepth adjusts the NJOBS_QUEUED gauge by d. The task service
 // increments it per submitted job and decrements it when a worker adopts
 // the job (or a balancer migrates it away), so the gauge reads the team's
 // instantaneous admission backlog. Safe for any goroutine.
-func (p *Profile) AddQueueDepth(d int64) { p.queueDepth.Add(d) }
+func (p *Profile) AddQueueDepth(d int64) { p.queueDepth.v.Add(d) }
 
 // QueueDepth returns the NJOBS_QUEUED gauge: jobs submitted but not yet
 // adopted. It is the per-shard load signal of a two-level balancer.
-func (p *Profile) QueueDepth() int64 { return p.queueDepth.Load() }
+func (p *Profile) QueueDepth() int64 { return p.queueDepth.v.Load() }
 
 // AddClassQueued adjusts class c's admission queue-depth gauge by d. The
 // task service keeps it in step with the total NJOBS_QUEUED gauge
 // (classQueued sums to queueDepth), so strict-priority consumers can read
 // the backlog a given class actually experiences. Safe for any goroutine.
-func (p *Profile) AddClassQueued(c int, d int64) { p.classQueued[c].Add(d) }
+func (p *Profile) AddClassQueued(c int, d int64) { p.classQueued[c].v.Add(d) }
 
 // ClassQueued returns class c's admission queue-depth gauge.
-func (p *Profile) ClassQueued(c int) int64 { return p.classQueued[c].Load() }
+func (p *Profile) ClassQueued(c int) int64 { return p.classQueued[c].v.Load() }
 
 // CountAdmit counts one admission outcome for class c. Safe for any
 // goroutine.
 func (p *Profile) CountAdmit(c int, o AdmitOutcome) { p.admitCounts[c][o].Add(1) }
+
+// CountAdmitN counts n same-outcome admissions for class c at once — the
+// batch-submission entry, one atomic add for a whole class group.
+func (p *Profile) CountAdmitN(c int, o AdmitOutcome, n int) {
+	if n > 0 {
+		p.admitCounts[c][o].Add(uint64(n))
+	}
+}
 
 // AdmitCount returns the lifetime count of outcome o for class c.
 func (p *Profile) AdmitCount(c int, o AdmitOutcome) uint64 { return p.admitCounts[c][o].Load() }

@@ -81,6 +81,18 @@ func (p *Profile) CountTenantAdmit(id int, o AdmitOutcome) {
 	}
 }
 
+// CountTenantAdmitN counts n same-outcome admissions for tenant id at
+// once — the batch-submission entry, one slot lookup and one atomic add
+// for a whole tenant run.
+func (p *Profile) CountTenantAdmitN(id int, o AdmitOutcome, n int) {
+	if n <= 0 {
+		return
+	}
+	if t := p.tenantSlot(id); t != nil {
+		t.counts[o].Add(uint64(n))
+	}
+}
+
 // TenantAdmitCount returns tenant id's lifetime count of outcome o.
 func (p *Profile) TenantAdmitCount(id int, o AdmitOutcome) uint64 {
 	p.tenantMu.RLock()

@@ -57,6 +57,13 @@ type Options struct {
 	// Scale is the BOTS input scale for events whose App names a BOTS
 	// application (default ScaleTest).
 	Scale bots.Scale
+	// Batch coalesces replay arrivals into SubmitBatchCtx calls of up to
+	// this many jobs: events are batched while they are already due and
+	// flushed whenever the batch fills or the arrival clock would sleep,
+	// so batching never delays an arrival past its recorded offset. <= 1
+	// submits every event individually (the default). Incompatible with
+	// PinTenants, whose per-event shard pinning has no batch equivalent.
+	Batch int
 }
 
 // ClassOutcome is one priority class's replay outcome: how its
@@ -153,6 +160,9 @@ func admitOutcome(o *ClassOutcome, err error) bool {
 // admission queue delays that job's submitter, never the arrival clock —
 // the load the pool sees is the trace's, not the pool's own drain rate.
 // Admission rejections, sheds, and expiries are outcomes, not errors.
+// With Options.Batch > 1, due arrivals are coalesced into SubmitBatchCtx
+// calls of up to Batch jobs instead — the amortized-admission variant of
+// the same open-loop contract, with identical per-item accounting.
 // The same trace replayed twice through the same blocking configuration
 // yields identical per-class admission counts — the determinism contract
 // the scenario regression tests pin.
@@ -160,6 +170,9 @@ func ReplayJobs(tr *JobTrace, opts Options) (JobReplayResult, error) {
 	res := JobReplayResult{Trace: tr.Name, Jobs: len(tr.Jobs)}
 	if len(tr.Jobs) == 0 {
 		return res, fmt.Errorf("replay: empty job trace")
+	}
+	if opts.Batch > 1 && opts.PinTenants {
+		return res, fmt.Errorf("replay: Batch and PinTenants are incompatible (pinning is per event)")
 	}
 	speed := opts.Speed
 	if speed <= 0 {
@@ -173,9 +186,10 @@ func ReplayJobs(tr *JobTrace, opts Options) (JobReplayResult, error) {
 
 	// Assemble the pool under test.
 	var (
-		submit func(ev JobEvent, fn xomp.TaskFunc, so xomp.SubmitOpts) (*xomp.Job, error)
-		closer func() error
-		shPool *xomp.ShardedPool
+		submit      func(ev JobEvent, fn xomp.TaskFunc, so xomp.SubmitOpts) (*xomp.Job, error)
+		submitBatch func(items []xomp.BatchItem) ([]xomp.BatchResult, error)
+		closer      func() error
+		shPool      *xomp.ShardedPool
 	)
 	ctx := context.Background()
 	if opts.Shards >= 2 {
@@ -203,6 +217,9 @@ func ReplayJobs(tr *JobTrace, opts Options) (JobReplayResult, error) {
 			}
 			return sp.SubmitCtx(ctx, fn, so)
 		}
+		submitBatch = func(items []xomp.BatchItem) ([]xomp.BatchResult, error) {
+			return sp.SubmitBatchCtx(ctx, items)
+		}
 		closer = sp.Close
 	} else {
 		p, err := xomp.NewPool(opts.Team)
@@ -211,6 +228,9 @@ func ReplayJobs(tr *JobTrace, opts Options) (JobReplayResult, error) {
 		}
 		submit = func(_ JobEvent, fn xomp.TaskFunc, so xomp.SubmitOpts) (*xomp.Job, error) {
 			return p.SubmitCtx(ctx, fn, so)
+		}
+		submitBatch = func(items []xomp.BatchItem) ([]xomp.BatchResult, error) {
+			return p.SubmitBatchCtx(ctx, items)
 		}
 		closer = p.Close
 	}
@@ -233,61 +253,136 @@ func ReplayJobs(tr *JobTrace, opts Options) (JobReplayResult, error) {
 		errOnce  sync.Once
 		wg       sync.WaitGroup
 	)
+	// buildOpts stamps one event's admission contract at submit time (the
+	// deadline is relative to "now", so it must not be precomputed).
+	buildOpts := func(ev JobEvent) xomp.SubmitOpts {
+		so := xomp.SubmitOpts{
+			Priority: xomp.Class(ev.Class),
+			Tenant:   xomp.Tenant{ID: ev.Tenant, Weight: weightFor(ev.Tenant)},
+		}
+		if ev.Deadline > 0 {
+			so.Deadline = time.Now().Add(time.Duration(float64(ev.Deadline) / speed))
+		}
+		return so
+	}
+	// recordAdmit books one submission attempt's admission-edge outcome
+	// into the class and tenant accumulators; batched submissions go
+	// through it once per item, so per-class admission counts stay
+	// identical to an unbatched replay of the same trace.
+	recordAdmit := func(ev JobEvent, err error, admitLat time.Duration) (*classAccum, *tenantAccum) {
+		ca := &classes[ev.Class]
+		ca.mu.Lock()
+		if !admitOutcome(&ca.ClassOutcome, err) {
+			errOnce.Do(func() { firstErr = err })
+		}
+		ca.mu.Unlock()
+		tenantMu.Lock()
+		ta := tenants[ev.Tenant]
+		if ta == nil {
+			ta = &tenantAccum{}
+			tenants[ev.Tenant] = ta
+		}
+		admitOutcome(&ta.ClassOutcome, err)
+		ta.admitLat.AddDuration(admitLat)
+		tenantMu.Unlock()
+		return ca, ta
+	}
+	// awaitJob waits out one admitted job and books its completion
+	// latency (measured from the submit call's start, the
+	// submitter-visible latency).
+	awaitJob := func(t0 time.Time, j *xomp.Job, ca *classAccum, ta *tenantAccum) {
+		werr := j.Wait()
+		lat := time.Since(t0)
+		ca.mu.Lock()
+		if werr == nil {
+			ca.Completed++
+			ca.lat.AddDuration(lat)
+		}
+		ca.mu.Unlock()
+		if werr == nil {
+			tenantMu.Lock()
+			ta.Completed++
+			ta.lat.AddDuration(lat)
+			tenantMu.Unlock()
+		} else {
+			errOnce.Do(func() { firstErr = werr })
+		}
+	}
+
+	batch := opts.Batch
+	if batch < 1 {
+		batch = 1
+	}
+	var pending []int
+	// flush submits every accumulated due event as one SubmitBatchCtx
+	// call from its own goroutine (so a saturated admission queue delays
+	// the batch's submitter, never the arrival clock), then fans out one
+	// waiter per admitted job.
+	flush := func() {
+		if len(pending) == 0 {
+			return
+		}
+		idx := append([]int(nil), pending...)
+		pending = pending[:0]
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			items := make([]xomp.BatchItem, len(idx))
+			for b, i := range idx {
+				items[b] = xomp.BatchItem{Fn: bodies[i], Opts: buildOpts(tr.Jobs[i])}
+			}
+			t0 := time.Now()
+			res, err := submitBatch(items)
+			admitLat := time.Since(t0)
+			if err != nil {
+				for _, i := range idx {
+					recordAdmit(tr.Jobs[i], err, admitLat)
+				}
+				return
+			}
+			for b, i := range idx {
+				ca, ta := recordAdmit(tr.Jobs[i], res[b].Err, admitLat)
+				if res[b].Err != nil {
+					continue
+				}
+				wg.Add(1)
+				go func(j *xomp.Job, ca *classAccum, ta *tenantAccum) {
+					defer wg.Done()
+					awaitJob(t0, j, ca, ta)
+				}(res[b].Job, ca, ta)
+			}
+		}()
+	}
 	start := time.Now()
 	for i := range tr.Jobs {
 		ev := tr.Jobs[i]
 		if d := time.Duration(float64(ev.At)/speed) - time.Since(start); d > 0 {
+			// The arrival clock is about to sleep: everything due so far
+			// must leave before the gap, or batching would delay arrivals.
+			flush()
 			time.Sleep(d)
+		}
+		if batch > 1 {
+			pending = append(pending, i)
+			if len(pending) >= batch {
+				flush()
+			}
+			continue
 		}
 		wg.Add(1)
 		go func(ev JobEvent, body xomp.TaskFunc) {
 			defer wg.Done()
-			ca := &classes[ev.Class]
-			so := xomp.SubmitOpts{
-				Priority: xomp.Class(ev.Class),
-				Tenant:   xomp.Tenant{ID: ev.Tenant, Weight: weightFor(ev.Tenant)},
-			}
-			if ev.Deadline > 0 {
-				so.Deadline = time.Now().Add(time.Duration(float64(ev.Deadline) / speed))
-			}
+			so := buildOpts(ev)
 			t0 := time.Now()
 			j, err := submit(ev, body, so)
-			admitLat := time.Since(t0)
-			ca.mu.Lock()
-			if !admitOutcome(&ca.ClassOutcome, err) {
-				errOnce.Do(func() { firstErr = err })
-			}
-			ca.mu.Unlock()
-			tenantMu.Lock()
-			ta := tenants[ev.Tenant]
-			if ta == nil {
-				ta = &tenantAccum{}
-				tenants[ev.Tenant] = ta
-			}
-			admitOutcome(&ta.ClassOutcome, err)
-			ta.admitLat.AddDuration(admitLat)
-			tenantMu.Unlock()
+			ca, ta := recordAdmit(ev, err, time.Since(t0))
 			if err != nil {
 				return
 			}
-			werr := j.Wait()
-			lat := time.Since(t0)
-			ca.mu.Lock()
-			if werr == nil {
-				ca.Completed++
-				ca.lat.AddDuration(lat)
-			}
-			ca.mu.Unlock()
-			if werr == nil {
-				tenantMu.Lock()
-				ta.Completed++
-				ta.lat.AddDuration(lat)
-				tenantMu.Unlock()
-			} else {
-				errOnce.Do(func() { firstErr = werr })
-			}
+			awaitJob(t0, j, ca, ta)
 		}(ev, bodies[i])
 	}
+	flush()
 	wg.Wait()
 	res.Wall = time.Since(start)
 	if shPool != nil {

@@ -10,8 +10,11 @@
 # the tenant fairness benchmark (BenchmarkTenantFairness: the
 # tenant-storm noisy-neighbor trace, block vs weighted-fair admission —
 # a wfq pass whose engagement counter stays zero fails the run).
-# All collected benchmark lines are written to BENCH_7.json, the
-# perf-trajectory snapshot CI archives per push. The bench-smoke CI job
+# All collected benchmark lines are written to BENCH_8.json, the
+# perf-trajectory snapshot CI archives per push. Every pass runs with
+# -benchmem so allocs/op and B/op land in the snapshot — the fast-path
+# submission work is an allocation story as much as a throughput one.
+# The bench-smoke CI job
 # runs this with the default -benchtime 1x, so the adaptive and shed
 # paths are exercised (and compiled, and non-panicking) on every push
 # even though a 1x run is not a statistically meaningful measurement. Set
@@ -32,16 +35,16 @@ fairness_pattern="${FAIRNESSPATTERN:-BenchmarkTenantFairness\$}"
 # The saturation comparison needs enough iterations for the shed regime
 # to engage; keep it cheap but non-trivial when the main pass runs at 1x.
 admit_benchtime="${ADMIT_BENCHTIME:-100x}"
-snapshot="${BENCHSNAPSHOT:-BENCH_7.json}"
+snapshot="${BENCHSNAPSHOT:-BENCH_8.json}"
 drift="${DRIFT:-0}"
 
 run() {
-	REPRO_BENCH_POLICY="$1" go test -run '^$' -bench "$pattern" -benchtime "$benchtime" -timeout 20m . 2>&1
+	REPRO_BENCH_POLICY="$1" go test -run '^$' -bench "$pattern" -benchtime "$benchtime" -benchmem -timeout 20m . 2>&1
 }
 
 if [ "$drift" -gt 1 ] 2>/dev/null; then
 	echo "benchdiff: drift mode ($drift repeats of the static pass, -benchtime $benchtime)"
-	drift_out=$(go test -run '^$' -bench "$pattern" -benchtime "$benchtime" -count "$drift" -timeout 30m . 2>&1)
+	drift_out=$(go test -run '^$' -bench "$pattern" -benchtime "$benchtime" -benchmem -count "$drift" -timeout 30m . 2>&1)
 	echo "$drift_out" | grep -E '^(Benchmark|FAIL|ok)' || true
 	case "$drift_out" in
 	*FAIL*)
@@ -85,15 +88,15 @@ adaptive_out=$(run adaptive)
 echo "$adaptive_out" | grep -E '^(Benchmark|FAIL|ok)' || true
 echo
 echo "benchdiff: admission saturation pass (block vs shed, -benchtime $admit_benchtime)"
-admit_out=$(go test -run '^$' -bench "$admit_pattern" -benchtime "$admit_benchtime" -timeout 20m . 2>&1)
+admit_out=$(go test -run '^$' -bench "$admit_pattern" -benchtime "$admit_benchtime" -benchmem -timeout 20m . 2>&1)
 echo "$admit_out" | grep -E '^(Benchmark|FAIL|ok)' || true
 echo
 echo "benchdiff: scenario replay pass (corpus trace x admission policy, -benchtime $benchtime)"
-scenario_out=$(go test -run '^$' -bench "$scenario_pattern" -benchtime "$benchtime" -timeout 20m . 2>&1)
+scenario_out=$(go test -run '^$' -bench "$scenario_pattern" -benchtime "$benchtime" -benchmem -timeout 20m . 2>&1)
 echo "$scenario_out" | grep -E '^(Benchmark|FAIL|ok)' || true
 echo
 echo "benchdiff: tenant fairness pass (tenant-storm, block vs wfq, -benchtime $benchtime)"
-fairness_out=$(go test -run '^$' -bench "$fairness_pattern" -benchtime "$benchtime" -timeout 20m . 2>&1)
+fairness_out=$(go test -run '^$' -bench "$fairness_pattern" -benchtime "$benchtime" -benchmem -timeout 20m . 2>&1)
 echo "$fairness_out" | grep -E '^(Benchmark|FAIL|ok)' || true
 
 case "$static_out$adaptive_out$admit_out$scenario_out$fairness_out" in

@@ -1,0 +1,101 @@
+package xomp_test
+
+import (
+	"context"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/prof"
+	"repro/xomp"
+)
+
+// TestPoolSubmitBatch: the pool-level batch wrapper admits everything and
+// the handles behave like single submissions.
+func TestPoolSubmitBatch(t *testing.T) {
+	pool := xomp.MustPool(xomp.Preset("xgomptb", 2))
+	defer pool.Close()
+	const n = 24
+	var ran atomic.Int64
+	fns := make([]xomp.TaskFunc, n)
+	for i := range fns {
+		fns[i] = func(*xomp.Worker) { ran.Add(1) }
+	}
+	res, err := pool.SubmitBatch(fns)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range res {
+		if r.Err != nil {
+			t.Fatalf("item %d: %v", i, r.Err)
+		}
+		if err := r.Job.Wait(); err != nil {
+			t.Fatal(err)
+		}
+		r.Job.Release()
+	}
+	if got := ran.Load(); got != n {
+		t.Fatalf("ran %d of %d", got, n)
+	}
+}
+
+// TestShardedPoolSubmitBatchAccounting: a batch through the sharded pool
+// spreads over shards in dispatch chunks, and each shard's own admission
+// accounting (admitted counters, completions, drained gauges) covers
+// exactly the jobs it received — the batch path never books a job on a
+// shard that did not admit it.
+func TestShardedPoolSubmitBatchAccounting(t *testing.T) {
+	pool := xomp.MustShardedPool(xomp.ShardConfig{
+		Shards: 2,
+		Team:   xomp.Preset("xgomptb", 2),
+	})
+	defer pool.Close()
+	const n = 64
+	var ran atomic.Int64
+	items := make([]xomp.BatchItem, n)
+	for i := range items {
+		items[i] = xomp.BatchItem{Fn: func(*xomp.Worker) { ran.Add(1) }}
+	}
+	res, err := pool.SubmitBatchCtx(context.Background(), items)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != n {
+		t.Fatalf("len(res) = %d, want %d", len(res), n)
+	}
+	for i, r := range res {
+		if r.Err != nil {
+			t.Fatalf("item %d: %v", i, r.Err)
+		}
+		if err := r.Job.Wait(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := ran.Load(); got != n {
+		t.Fatalf("ran %d of %d", got, n)
+	}
+	var admitted, completed, migrated uint64
+	for s := 0; s < pool.Shards(); s++ {
+		p := pool.Team(s).Profile()
+		for c := 0; c < int(xomp.NumClasses); c++ {
+			admitted += p.AdmitCount(c, prof.AdmitAdmitted)
+		}
+		completed += p.JobsTotal()
+		in, _ := p.JobsMigrated()
+		migrated += in
+		if d := pool.Team(s).QueueDepth(); d != 0 {
+			t.Fatalf("shard %d queue depth %d after drain, want 0", s, d)
+		}
+		if a := pool.Team(s).ActiveJobs(); a != 0 {
+			t.Fatalf("shard %d active jobs %d after drain, want 0", s, a)
+		}
+	}
+	if admitted != n {
+		t.Fatalf("admitted %d across shards, want %d", admitted, n)
+	}
+	// Completions must cover the batch; the balancer may additionally
+	// move jobs, which shifts the completion between shards but never
+	// changes the total.
+	if completed != n {
+		t.Fatalf("completed %d across shards, want %d (migrated in: %d)", completed, n, migrated)
+	}
+}

@@ -93,6 +93,22 @@ func (p *Pool) SubmitCtx(ctx context.Context, fn TaskFunc, opts SubmitOpts) (*Jo
 	return p.tm.SubmitCtx(ctx, fn, opts)
 }
 
+// SubmitBatch admits every fn as a new job of the neutral batch class in
+// one amortized admission pass — one accounting section, grouped gauge
+// traffic, and a single reserving enqueue per class — and returns one
+// index-aligned BatchResult per fn. See Team.SubmitBatchCtx for the full
+// contract.
+func (p *Pool) SubmitBatch(fns []TaskFunc) ([]BatchResult, error) { return p.tm.SubmitBatch(fns) }
+
+// SubmitBatchCtx admits a batch of jobs, each item under its own
+// admission contract (class, deadline, tenant), in one amortized pass.
+// Partial admission is the normal outcome under backpressure: each
+// item's BatchResult carries either its Job or the same typed error
+// SubmitCtx would have returned for it. See Team.SubmitBatchCtx.
+func (p *Pool) SubmitBatchCtx(ctx context.Context, items []BatchItem) ([]BatchResult, error) {
+	return p.tm.SubmitBatchCtx(ctx, items)
+}
+
 // Close stops admission, waits for all submitted jobs to complete, and
 // stops the workers. Repeated Close calls are safe and return nil. The
 // underlying team remains valid and may be reused (for regions or a new

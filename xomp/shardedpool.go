@@ -529,6 +529,62 @@ func (p *ShardedPool) SubmitCtx(ctx context.Context, fn TaskFunc, opts SubmitOpt
 	return p.shards[p.pick(opts.Priority, opts.Tenant)].SubmitCtx(ctx, fn, opts)
 }
 
+// batchChunk is how many consecutive items of a batched submission share
+// one dispatch decision: the dispatcher places whole chunks instead of
+// single jobs, so a batch of N pays N/batchChunk placement draws (each a
+// signal snapshot and an RNG step) and each chunk rides the target
+// shard's amortized batch admission. Small enough that a batch still
+// spreads across shards, large enough to amortize the dispatch cost.
+const batchChunk = 8
+
+// SubmitBatch admits every fn as a new job of the neutral batch class,
+// dispatching chunks of batchChunk jobs to shards chosen by the dispatch
+// policy and admitting each chunk through the shard's amortized batch
+// path. Results are index-aligned with fns.
+func (p *ShardedPool) SubmitBatch(fns []TaskFunc) ([]BatchResult, error) {
+	items := make([]BatchItem, len(fns))
+	for i, fn := range fns {
+		items[i] = BatchItem{Fn: fn, Opts: SubmitOpts{Priority: load.ClassBatch}}
+	}
+	return p.SubmitBatchCtx(context.Background(), items)
+}
+
+// SubmitBatchCtx admits a batch of jobs across the pool: consecutive
+// runs of batchChunk items share one dispatch decision (keyed by the
+// run's first item, so callers submitting per-class or per-tenant
+// batches get coherent placement) and enter the chosen shard through
+// Team.SubmitBatchCtx — per-shard admission accounting, gauges, and
+// rollback all happen on the team that actually received each chunk.
+// Partial admission surfaces per item, exactly as on Pool.SubmitBatchCtx.
+func (p *ShardedPool) SubmitBatchCtx(ctx context.Context, items []BatchItem) ([]BatchResult, error) {
+	if p.closed.Load() {
+		return nil, ErrClosed
+	}
+	if len(items) == 0 {
+		return nil, nil
+	}
+	res := make([]BatchResult, 0, len(items))
+	for off := 0; off < len(items); {
+		end := off + batchChunk
+		if end > len(items) {
+			end = len(items)
+		}
+		s := p.pick(items[off].Opts.Priority, items[off].Opts.Tenant)
+		part, err := p.shards[s].SubmitBatchCtx(ctx, items[off:end])
+		if err != nil {
+			// A shard-level failure (not serving) fails its chunk's items,
+			// not the whole batch — later chunks may land elsewhere.
+			for range items[off:end] {
+				res = append(res, BatchResult{Err: err})
+			}
+		} else {
+			res = append(res, part...)
+		}
+		off = end
+	}
+	return res, nil
+}
+
 // SubmitTo pins fn to one specific shard, bypassing the dispatcher. It is
 // the placement override for locality-affine clients (whose data is homed
 // in that shard's domain) and for load generators and tests that need a

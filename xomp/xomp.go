@@ -197,6 +197,14 @@ var (
 // Pool.SubmitCtx.
 type SubmitOpts = core.SubmitOpts
 
+// BatchItem is one submission of a batch (Pool.SubmitBatchCtx,
+// ShardedPool.SubmitBatchCtx): a task body plus its SubmitOpts.
+type BatchItem = core.BatchItem
+
+// BatchResult is one batch item's outcome: the admitted Job, or the
+// typed error the item's individual SubmitCtx would have returned.
+type BatchResult = core.BatchResult
+
 // Tenant identifies the principal behind a submission (id + fair-share
 // weight). The zero value is tenant 0 at weight 1. Set it on
 // SubmitOpts.Tenant to key per-tenant admission accounting and to let
