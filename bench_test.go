@@ -12,16 +12,20 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"io"
 	"math"
+	"net"
 	"os"
 	"sync"
 	"sync/atomic"
 	"testing"
 	"time"
 
+	"repro/internal/alloc"
 	"repro/internal/bench"
 	"repro/internal/bots"
 	"repro/internal/core"
+	"repro/internal/jobserve"
 	"repro/internal/numa"
 	"repro/internal/posp"
 	"repro/internal/prof"
@@ -29,6 +33,7 @@ import (
 	"repro/internal/scenario"
 	"repro/internal/simnuma"
 	"repro/internal/stats"
+	"repro/internal/wire"
 	"repro/xomp"
 )
 
@@ -647,17 +652,24 @@ func BenchmarkShardedPoolThroughput(b *testing.B) {
 // elastic capacity controller against a fixed-quota baseline with the
 // same number of *active* workers, under uniform and skewed (3/4 of
 // submissions pinned to shard 0) traffic. The fixed baseline runs 2
-// shards × 2 workers; the elastic pool runs 2 shards × 4 capacity with a
-// budget of 4 active workers, so the controller can move quota toward the
-// hot shard (visible in the hot-active and quota-moves metrics, the
-// NWORKERS_ACTIVE story). Elastic under skew should match or beat fixed;
-// uniform traffic should show no regression.
+// shards × 2 workers with background job migration; the elastic pool
+// runs 2 shards × 4 capacity with a budget of 4 active workers, job
+// migration off, and the controller stepped manually — quota is the
+// only mover (the elastic_test harness shape), so the bench exercises
+// the quota level at any -benchtime, including CI's 1x. Each op is a
+// block of jobs with controller ticks interleaved while the skewed
+// backlog is queued; hysteresis 1 lets a single sustained sighting move
+// quota, so quota-moves/op is nonzero under skew even at b.N=1 (the
+// BENCH_8 snapshots recorded 0 because the old shape ticked a 100µs
+// background loop against a b.N=1 → one-job run that was over before
+// the controller ever saw a gap). Elastic under skew should match or
+// beat fixed; uniform traffic should show no churn.
 func BenchmarkElasticShardedPool(b *testing.B) {
 	mix := []string{"fib", "sort", "nqueens"}
 	const (
-		submitters = 4
-		shards     = 2
-		budget     = benchWorkers // active workers, both modes
+		shards = 2
+		budget = benchWorkers // active workers, both modes
+		block  = 64           // jobs per op (3/4 pinned hot when skewed)
 	)
 	for _, skewed := range []bool{false, true} {
 		scenario := "uniform"
@@ -671,65 +683,51 @@ func BenchmarkElasticShardedPool(b *testing.B) {
 					// Full budget of capacity per shard, budget-bounded
 					// active set: quota can follow the traffic.
 					cfg.Team = xomp.Preset("xgomptb+naws", budget)
+					cfg.BalanceInterval = -1 // no job migration: isolate the quota level
 					cfg.Elastic = xomp.ElasticConfig{
 						Enabled:     true,
 						TotalBudget: budget,
-						Interval:    100 * time.Microsecond,
-						// Hysteresis 2, not the damped 8 of long-lived
-						// deployments: the second-level migration balancer
-						// keeps flattening queue gaps at bench timescale, so
-						// the same shard rarely stays the hot candidate for
-						// 8 consecutive 100µs ticks and a longer streak
-						// never fires (quota-moves/op pinned at 0). Two
-						// consecutive sightings still filters single-tick
-						// flicker while letting sustained skew move quota.
-						Hysteresis: 2,
+						Interval:    -1, // ticked manually below
+						Hysteresis:  1,
 					}
 				} else {
 					cfg.Team = xomp.Preset("xgomptb+naws", budget/shards)
 				}
 				applyBenchPolicy(&cfg.Team)
 				pool := xomp.MustShardedPool(cfg)
-				apps := make([][]bots.Benchmark, submitters)
-				for s := range apps {
-					apps[s] = make([]bots.Benchmark, len(mix))
-					for m, name := range mix {
-						apps[s][m] = bots.MustNew(name, bots.ScaleTest)
-					}
+				// One instance per block slot: up to `block` jobs in flight.
+				apps := make([]bots.Benchmark, block)
+				for i := range apps {
+					apps[i] = bots.MustNew(mix[i%len(mix)], bots.ScaleTest)
 				}
-				var next atomic.Int64
+				jobs := make([]*xomp.Job, block)
 				b.ResetTimer()
 				start := time.Now()
-				var wg sync.WaitGroup
-				for s := 0; s < submitters; s++ {
-					wg.Add(1)
-					go func(s int) {
-						defer wg.Done()
-						for {
-							i := int(next.Add(1)) - 1
-							if i >= b.N {
-								return
-							}
-							app := apps[s][i%len(mix)]
-							var j *xomp.Job
-							var err error
-							if skewed && i%4 != 0 {
-								j, err = pool.SubmitTo(0, app.RunTask)
-							} else {
-								j, err = pool.Submit(app.RunTask)
-							}
-							if err != nil {
-								b.Error(err)
-								return
-							}
-							if err := j.Wait(); err != nil {
-								b.Error(err)
-								return
-							}
+				for n := 0; n < b.N; n++ {
+					for i := 0; i < block; i++ {
+						var j *xomp.Job
+						var err error
+						if skewed && i%4 != 0 {
+							j, err = pool.SubmitTo(0, apps[i].RunTask)
+						} else {
+							j, err = pool.Submit(apps[i].RunTask)
 						}
-					}(s)
+						if err != nil {
+							b.Fatal(err)
+						}
+						jobs[i] = j
+						// Tick the controller while the block is still
+						// queued — the moment the quota gap is visible.
+						if mode == "elastic" && i%16 == 15 {
+							pool.RebalanceQuota()
+						}
+					}
+					for _, j := range jobs {
+						if err := j.Wait(); err != nil {
+							b.Fatal(err)
+						}
+					}
 				}
-				wg.Wait()
 				elapsed := time.Since(start)
 				b.StopTimer()
 				hotActive := pool.Stats()[0].ActiveWorkers
@@ -738,7 +736,7 @@ func BenchmarkElasticShardedPool(b *testing.B) {
 					b.Fatal(err)
 				}
 				if elapsed > 0 {
-					b.ReportMetric(float64(b.N)/elapsed.Seconds(), "jobs/sec")
+					b.ReportMetric(float64(b.N*block)/elapsed.Seconds(), "jobs/sec")
 				}
 				if mode == "elastic" {
 					b.ReportMetric(float64(hotActive), "hot-active")
@@ -750,26 +748,28 @@ func BenchmarkElasticShardedPool(b *testing.B) {
 }
 
 // BenchmarkPolicyPhase measures the adaptive policy against the two fixed
-// extremes of the policy library on a phase-changing workload: blocks of
-// fine-grained jobs (hundreds of empty tasks) alternate with blocks of
-// coarse-grained jobs (a few ~100µs tasks). A fixed policy is tuned for
-// one phase and pays in the other; the adaptive controller retunes at
-// each phase boundary. Compare the jobs/sec metric across the three
-// variants (scripts/benchdiff.sh prints the same comparison for the
-// uniform pool benchmarks).
+// extremes of the policy library on a phase-changing workload: each op is
+// one full phase cycle — a block of fine-grained jobs (hundreds of empty
+// tasks each) followed by a block of coarse-grained jobs (a few ~100µs
+// tasks each) — so every op crosses two phase boundaries at any
+// -benchtime, including CI's 1x. A fixed policy is tuned for one phase
+// and pays in the other; the adaptive variant runs with the background
+// controller off (Interval -1, the policy_test harness shape) and gets a
+// manual PolicyTick at each boundary, where the load-signal plane has
+// just accumulated one phase's worth of evidence — so the switches
+// metric is nonzero from b.N=1 (the BENCH_8 snapshot recorded 0 because
+// a 1ms background tick never fired inside a one-job 1x run). Compare
+// the jobs/sec metric across the three variants.
 func BenchmarkPolicyPhase(b *testing.B) {
-	const (
-		submitters = 4
-		phaseBlock = 32 // jobs per phase before the workload flips
-	)
+	const phaseBlock = 32 // jobs per phase before the workload flips
 	for _, pol := range []string{"ws-fine", "rp-coarse", "adaptive"} {
 		b.Run(pol, func(b *testing.B) {
 			cfg := xomp.Preset("xgomptb", benchWorkers)
 			cfg.Topology = numa.Synthetic(benchWorkers, 2)
 			cfg.Policy = xomp.Policy{Name: pol}
 			if pol == "adaptive" {
-				cfg.Policy.Interval = time.Millisecond
-				cfg.Policy.Hysteresis = 2
+				cfg.Policy.Interval = -1 // ticked manually at phase boundaries
+				cfg.Policy.Hysteresis = 1
 			}
 			pool := xomp.MustPool(cfg)
 			fine := func(w *xomp.Worker) {
@@ -784,36 +784,33 @@ func BenchmarkPolicyPhase(b *testing.B) {
 				}
 				w.TaskWait()
 			}
-			var next atomic.Int64
+			jobs := make([]*xomp.Job, phaseBlock)
+			runBlock := func(body xomp.TaskFunc) {
+				for i := range jobs {
+					j, err := pool.Submit(body)
+					if err != nil {
+						b.Fatal(err)
+					}
+					jobs[i] = j
+				}
+				for _, j := range jobs {
+					if err := j.Wait(); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}
 			b.ResetTimer()
 			start := time.Now()
-			var wg sync.WaitGroup
-			for s := 0; s < submitters; s++ {
-				wg.Add(1)
-				go func() {
-					defer wg.Done()
-					for {
-						i := int(next.Add(1)) - 1
-						if i >= b.N {
-							return
-						}
-						body := fine
-						if (i/phaseBlock)%2 == 1 {
-							body = coarse
-						}
-						j, err := pool.Submit(body)
-						if err != nil {
-							b.Error(err)
-							return
-						}
-						if err := j.Wait(); err != nil {
-							b.Error(err)
-							return
-						}
-					}
-				}()
+			for n := 0; n < b.N; n++ {
+				runBlock(fine)
+				if pol == "adaptive" {
+					pool.Team().PolicyTick()
+				}
+				runBlock(coarse)
+				if pol == "adaptive" {
+					pool.Team().PolicyTick()
+				}
 			}
-			wg.Wait()
 			elapsed := time.Since(start)
 			b.StopTimer()
 			var switches uint64
@@ -824,7 +821,7 @@ func BenchmarkPolicyPhase(b *testing.B) {
 				b.Fatal(err)
 			}
 			if elapsed > 0 {
-				b.ReportMetric(float64(b.N)/elapsed.Seconds(), "jobs/sec")
+				b.ReportMetric(float64(b.N*2*phaseBlock)/elapsed.Seconds(), "jobs/sec")
 			}
 			if pol == "adaptive" {
 				b.ReportMetric(float64(switches), "switches")
@@ -1119,4 +1116,140 @@ func min(a, b int) int {
 		return a
 	}
 	return b
+}
+
+// BenchmarkWireThroughput measures the network serving edge end to end
+// over loopback TCP: a jobserve server wrapping a one-shard pool of
+// no-op jobs, one closed-loop client connection (the loadgen client
+// shape: submit one batch, drain its results, repeat), and the submit
+// batch size as the only variable. Each op is one job. batch-1 is the
+// RPC ping-pong — every job pays a full wire frame, a write syscall, a
+// single-job admission section, and a loopback round trip. batch-64
+// amortizes all four across 64 jobs: one frame and one admission
+// section admit the whole batch, and 64 jobs ride each round trip. The
+// jobs/sec ratio between the cells is the value of batched framing
+// (the codec's own zero-alloc steady state is asserted by
+// TestCodecZeroAlloc and measured by BenchmarkWireCodec below).
+func BenchmarkWireThroughput(b *testing.B) {
+	for _, batch := range []int{1, 64} {
+		b.Run(fmt.Sprintf("batch-%d", batch), func(b *testing.B) {
+			pool := xomp.MustShardedPool(xomp.ShardConfig{
+				Shards: 1,
+				Team:   xomp.Preset("xgomptb", benchWorkers),
+			})
+			ln, err := net.Listen("tcp", "127.0.0.1:0")
+			if err != nil {
+				b.Fatal(err)
+			}
+			srv, err := jobserve.Serve(ln, jobserve.Config{Pool: pool})
+			if err != nil {
+				b.Fatal(err)
+			}
+			cl, err := jobserve.Dial(srv.Addr().String(), alloc.NewBufPool())
+			if err != nil {
+				b.Fatal(err)
+			}
+			recs := make([]wire.SubmitRecord, batch) // zero record = no-op body
+			b.ResetTimer()
+			start := time.Now()
+			for sent := 0; sent < b.N; {
+				n := min(batch, b.N-sent)
+				if _, err := cl.Submit(recs[:n]); err != nil {
+					b.Fatal(err)
+				}
+				if err := cl.Flush(); err != nil {
+					b.Fatal(err)
+				}
+				for got := 0; got < n; {
+					rs, err := cl.Recv()
+					if err != nil {
+						b.Fatal(err)
+					}
+					got += len(rs)
+				}
+				sent += n
+			}
+			elapsed := time.Since(start)
+			b.StopTimer()
+			cl.Close()
+			if err := srv.Close(); err != nil {
+				b.Fatal(err)
+			}
+			if err := pool.Close(); err != nil {
+				b.Fatal(err)
+			}
+			if elapsed > 0 {
+				b.ReportMetric(float64(b.N)/elapsed.Seconds(), "jobs/sec")
+			}
+		})
+	}
+}
+
+// BenchmarkWireCodec measures the codec alone — encode one 64-record
+// submit batch, flush it into a loopback buffer, decode it back — with
+// -benchmem reporting the allocation story: at steady state both sides
+// run entirely on recycled buffers, so allocs/op must be 0.
+func BenchmarkWireCodec(b *testing.B) {
+	var loop wireLoop
+	bufs := alloc.NewBufPool()
+	enc := wire.NewEncoder(&loop, bufs)
+	dec := wire.NewDecoder(&loop, bufs)
+	recs := make([]wire.SubmitRecord, 64)
+	for i := range recs {
+		recs[i] = wire.SubmitRecord{Class: i % 3, TenantID: i % 4, Size: i}
+	}
+	// Warm the recycled buffers so b.N measures the steady state.
+	for i := 0; i < 4; i++ {
+		if err := enc.SubmitBatch(recs); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := enc.Flush(); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := dec.Next(); err != nil {
+			b.Fatal(err)
+		}
+		dec.Submits()
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := enc.SubmitBatch(recs); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := enc.Flush(); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := dec.Next(); err != nil {
+			b.Fatal(err)
+		}
+		if got := len(dec.Submits()); got != len(recs) {
+			b.Fatalf("decoded %d records, want %d", got, len(recs))
+		}
+	}
+}
+
+// wireLoop is an in-memory pipe: Flush appends, the decoder consumes.
+// The backing array is reused once drained, so the loop itself never
+// allocates at steady state.
+type wireLoop struct {
+	buf []byte
+	off int
+}
+
+func (l *wireLoop) Write(p []byte) (int, error) {
+	if l.off == len(l.buf) {
+		l.buf, l.off = l.buf[:0], 0
+	}
+	l.buf = append(l.buf, p...)
+	return len(p), nil
+}
+
+func (l *wireLoop) Read(p []byte) (int, error) {
+	if l.off == len(l.buf) {
+		return 0, io.EOF
+	}
+	n := copy(p, l.buf[l.off:])
+	l.off += n
+	return n, nil
 }

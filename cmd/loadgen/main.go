@@ -71,6 +71,20 @@
 // -scenario with -emit writes the generated trace to a file — how the
 // golden corpus under testdata/scenarios/ is (re)generated.
 //
+// Beyond the in-process pool, -mode turns loadgen into a distributed
+// fleet over the wire protocol (internal/wire, the jobserved edge).
+// "-mode server" hosts the same pool flags behind TCP; "-mode client"
+// drives a server with -submitters connections — closed-loop batched
+// submitters by default, open-loop Poisson arrivals with -rate, or a
+// -scenario/-trace replay paced over the network — recording
+// completion latency into a mergeable log-linear histogram; "-mode
+// agent" collects -fleet-size client reports (sparse histogram buckets
+// over JSON) and merges them bucket-wise into the fleet-wide p50/p99 —
+// percentiles cannot be averaged, so the buckets travel, not the
+// quantiles. Client jobs are synthetic spin bodies scaled by -size
+// (0 = no-op, the wire-overhead measurement); traces carry their own
+// app names and sizes.
+//
 // Usage:
 //
 //	loadgen -runtime xgomptb+naws -workers 8 -submitters 8 -jobs 20
@@ -86,6 +100,12 @@
 //	loadgen -scenario tenant-storm -workers 2 -admit wfq
 //	loadgen -scenario zipf -seed 42 -emit testdata/scenarios/zipf.jsonl
 //	loadgen -jobs 20 -record run.jsonl && loadgen -trace run.jsonl -admit reject
+//	loadgen -mode server -workers 8 -shards 2 -addr 127.0.0.1:7077
+//	loadgen -mode client -addr 127.0.0.1:7077 -submitters 4 -jobs 200 -batch 32
+//	loadgen -mode client -addr 127.0.0.1:7077 -rate 500 -jobs 1000
+//	loadgen -mode client -addr 127.0.0.1:7077 -scenario flash-crowd -speed 4
+//	loadgen -mode agent -listen 127.0.0.1:7078 -fleet-size 3
+//	loadgen -mode client -addr HOST:7077 -fleet AGENT:7078 -jobs 500
 package main
 
 import (
@@ -145,6 +165,20 @@ func main() {
 	flag.Parse()
 	if *scenarioName != "" && *tracePath != "" {
 		fatal(fmt.Errorf("-scenario and -trace are mutually exclusive"))
+	}
+	// Fleet modes (-mode server|client|agent) leave for the network path
+	// here; everything below is the in-process local mode.
+	if *modeFlag != "local" {
+		runFleetMode(*modeFlag, sharedFlags{
+			preset: *preset, workers: *workers, shards: *shards, backlog: *backlog,
+			admitName: *admitName, policy: *policy, elastic: *elastic, budget: *budget,
+			scaleName:  *scale,
+			submitters: *submitters, jobs: *jobs, batch: *batchN,
+			prioMix: *prioMix, deadline: *deadline, tenants: *tenants, tenantWts: *tenantWts,
+			scenarioName: *scenarioName, tracePath: *tracePath,
+			seed: *seed, speed: *speed, verbose: *verbose,
+		})
+		return
 	}
 	if *emitPath != "" && *scenarioName == "" {
 		fatal(fmt.Errorf("-emit needs -scenario (it writes a generated trace)"))

@@ -69,6 +69,14 @@ type Job struct {
 	// (see MigrateQueuedJob).
 	migrated atomic.Bool
 
+	// tag is an opaque caller-set value carried through the job's
+	// lifetime (the network edge stores the connection-relative wire
+	// sequence number here); notify/notified implement Subscribe's
+	// exactly-once completion hand-off.
+	tag      atomic.Uint64
+	notify   atomic.Value // chan *Job
+	notified atomic.Bool
+
 	// released guards double-Release; home/lane identify the frame pool
 	// (the submitting team's, even after a migration) and the pool lane
 	// the frame came from.
@@ -172,9 +180,10 @@ func (j *Job) Release() {
 }
 
 // finish publishes completion: records state, closes a Done channel if
-// one was materialized, and deposits the wake token. The caller must not
-// touch the job afterwards — a released frame may be reused the moment
-// the token lands.
+// one was materialized, deposits the wake token, and delivers the
+// Subscribe notification. The caller must not touch the job afterwards —
+// a released frame may be reused the moment the token lands (or, for a
+// subscribed job, the moment the receiver takes the handle).
 func (j *Job) finish() {
 	j.state.Store(jobDone)
 	j.doneMu.Lock()
@@ -182,8 +191,49 @@ func (j *Job) finish() {
 		close(j.doneCh)
 	}
 	j.doneMu.Unlock()
+	// Resolve the notification claim BEFORE the wake token lands: once a
+	// waiter can drain Wait and Release, the frame may be recycled for an
+	// unrelated submission, and reading notify/notified afterwards would
+	// observe the next generation. The send itself happens after the
+	// deposit — a subscribed job's receiver is its only completer (see
+	// Subscribe), so the frame stays ours until the send hands it over as
+	// the very last touch.
+	ch, _ := j.notify.Load().(chan *Job)
+	deliver := ch != nil && j.notified.CompareAndSwap(false, true)
 	j.wake <- struct{}{}
+	if deliver {
+		ch <- j
+	}
 }
+
+// Subscribe registers ch to receive the job's handle exactly once when
+// it completes — the channel-driven alternative to Wait for callers
+// multiplexing many jobs onto one receiver (the network edge's writer
+// goroutine). It may be called before or after completion: a job that is
+// already done is delivered from Subscribe itself, otherwise the
+// completing worker delivers it, and the CAS between the two sides makes
+// the hand-off exactly-once under any interleaving.
+//
+// Contract: the receiver owns completion for a subscribed job. No other
+// goroutine may Wait, Err, or Release the handle, and ch must have
+// capacity for every subscribed job in flight — the delivery send is the
+// completing worker's last action, and a full channel would stall it.
+// One channel may serve any number of jobs; at most one Subscribe per
+// job generation.
+func (j *Job) Subscribe(ch chan *Job) {
+	j.notify.Store(ch)
+	if j.state.Load() == jobDone && j.notified.CompareAndSwap(false, true) {
+		ch <- j
+	}
+}
+
+// SetTag attaches an opaque caller value to the job for the rest of its
+// generation; Tag reads it back. The network edge keys result records by
+// it. Reset on frame recycling like every other per-submission field.
+func (j *Job) SetTag(v uint64) { j.tag.Store(v) }
+
+// Tag returns the value set by SetTag (0 if never set).
+func (j *Job) Tag() uint64 { return j.tag.Load() }
 
 // resetForSubmit re-initializes a (possibly recycled) frame for one
 // submission. The frame pool hands frames to one submitter at a time, so
@@ -209,6 +259,9 @@ func (j *Job) resetForSubmit(tm *Team, lane int, id int64, fn TaskFunc, class lo
 	j.panicVal, j.panicStack = nil, nil
 	j.panicMu.Unlock()
 	j.migrated.Store(false)
+	j.tag.Store(0)
+	j.notified.Store(false)
+	j.notify.Store((chan *Job)(nil))
 	j.home = tm
 	j.lane = lane
 	j.worker.Store(-1)

@@ -1,0 +1,150 @@
+package core
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestSubscribeDeliversEachJobOnce: many jobs multiplexed onto one
+// channel each arrive exactly once, carrying the tag set at submission —
+// the network edge's writer-goroutine pattern.
+func TestSubscribeDeliversEachJobOnce(t *testing.T) {
+	tm := admitTeam(t, 2, 128, nil)
+	defer tm.Close()
+	const n = 100
+	ch := make(chan *Job, n)
+	for i := 0; i < n; i++ {
+		j, err := tm.Submit(func(*Worker) {})
+		if err != nil {
+			t.Fatal(err)
+		}
+		j.SetTag(uint64(i) + 1)
+		j.Subscribe(ch)
+	}
+	seen := make(map[uint64]bool, n)
+	for i := 0; i < n; i++ {
+		select {
+		case j := <-ch:
+			tag := j.Tag()
+			if tag == 0 || tag > n {
+				t.Fatalf("tag %d outside submitted range", tag)
+			}
+			if seen[tag] {
+				t.Fatalf("tag %d delivered twice", tag)
+			}
+			seen[tag] = true
+			if j.state.Load() != jobDone {
+				t.Fatal("delivered job not done")
+			}
+			j.Release()
+		case <-time.After(5 * time.Second):
+			t.Fatalf("delivery %d never arrived", i)
+		}
+	}
+	select {
+	case j := <-ch:
+		t.Fatalf("spurious extra delivery, tag %d", j.Tag())
+	default:
+	}
+}
+
+// TestSubscribeAfterCompletion: subscribing a job that already finished
+// delivers it from Subscribe itself, still exactly once.
+func TestSubscribeAfterCompletion(t *testing.T) {
+	tm := admitTeam(t, 2, 16, nil)
+	defer tm.Close()
+	j, err := tm.Submit(func(*Worker) {})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	ch := make(chan *Job, 1)
+	j.Subscribe(ch)
+	select {
+	case got := <-ch:
+		if got != j {
+			t.Fatal("wrong job delivered")
+		}
+	case <-time.After(time.Second):
+		t.Fatal("completed job never delivered")
+	}
+	j.Release()
+}
+
+// TestSubscribeRaceWithFinish hammers the Subscribe/finish interleaving:
+// subscribing concurrently with completion must deliver exactly once,
+// never zero, never twice (the Dekker hand-off between the two CAS
+// sides). Run with -race.
+func TestSubscribeRaceWithFinish(t *testing.T) {
+	tm := admitTeam(t, 4, 64, nil)
+	defer tm.Close()
+	const rounds = 500
+	ch := make(chan *Job, 1)
+	for r := 0; r < rounds; r++ {
+		j, err := tm.Submit(func(*Worker) {})
+		if err != nil {
+			t.Fatal(err)
+		}
+		j.SetTag(uint64(r) + 1)
+		var wg sync.WaitGroup
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			j.Subscribe(ch)
+		}()
+		select {
+		case got := <-ch:
+			if got.Tag() != uint64(r)+1 {
+				t.Fatalf("round %d: delivered tag %d", r, got.Tag())
+			}
+		case <-time.After(5 * time.Second):
+			t.Fatalf("round %d: delivery lost", r)
+		}
+		wg.Wait()
+		j.Release()
+	}
+}
+
+// TestTagResetsOnRecycle: a recycled frame must not leak the previous
+// generation's tag or subscription into the next submission.
+func TestTagResetsOnRecycle(t *testing.T) {
+	tm := admitTeam(t, 1, 16, nil)
+	defer tm.Close()
+	ch := make(chan *Job, 1)
+	j, err := tm.Submit(func(*Worker) {})
+	if err != nil {
+		t.Fatal(err)
+	}
+	j.SetTag(777)
+	j.Subscribe(ch)
+	<-ch
+	j.Release()
+
+	// Drive enough submissions that the recycled frame comes back around.
+	var sawStale atomic.Bool
+	for i := 0; i < 64; i++ {
+		k, err := tm.Submit(func(*Worker) {})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if k.Tag() != 0 {
+			sawStale.Store(true)
+		}
+		if err := k.Wait(); err != nil {
+			t.Fatal(err)
+		}
+		k.Release()
+	}
+	if sawStale.Load() {
+		t.Fatal("recycled frame leaked a stale tag")
+	}
+	select {
+	case k := <-ch:
+		t.Fatalf("recycled frame leaked a stale subscription (tag %d)", k.Tag())
+	default:
+	}
+}

@@ -1,0 +1,404 @@
+// Package jobserve is the network serving edge over the balanced job
+// service: a TCP server that decodes wire submit batches straight into
+// ShardedPool.SubmitBatchCtx — one syscall's worth of jobs pays one
+// admission section — and streams per-job outcome records back with
+// coalesced writes, plus the matching client. Each connection runs one
+// reader/writer goroutine pair; completed jobs hop from the completing
+// worker to the writer through Job.Subscribe, so no goroutine ever
+// blocks per job. Typed admission errors travel as wire status codes,
+// buffers recycle through internal/alloc, and per-connection traffic
+// lands on prof.Wire — the whole edge holds the fast path's
+// zero-allocation line for synthetic (spin) jobs.
+package jobserve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"repro/internal/alloc"
+	"repro/internal/bots"
+	"repro/internal/load"
+	"repro/internal/prof"
+	"repro/internal/simnuma"
+	"repro/internal/wire"
+	"repro/xomp"
+)
+
+// DefaultWindow bounds each connection's admitted-but-unreported jobs
+// when Config.Window is zero. The window is the conn's only unbounded-
+// buffer guard: the completion channel is sized to it, so delivery
+// sends never block a worker.
+const DefaultWindow = 4096
+
+// Config configures a Server.
+type Config struct {
+	// Pool is the sharded pool the edge submits into. Required; the
+	// server does not close it.
+	Pool *xomp.ShardedPool
+	// Scale is the BOTS input scale for named-app submissions (zero
+	// value = bots.ScaleTest, matching the replay harness).
+	Scale bots.Scale
+	// Window bounds admitted-but-unreported jobs per connection
+	// (0 = DefaultWindow). A reader that fills its window stops decoding
+	// until results drain — per-connection backpressure.
+	Window int
+}
+
+// Server owns one listener and its connections.
+type Server struct {
+	cfg    Config
+	ln     net.Listener
+	bufs   *alloc.BufPool
+	wire   prof.Wire
+	ctx    context.Context
+	cancel context.CancelFunc
+	wg     sync.WaitGroup
+
+	mu     sync.Mutex
+	conns  map[net.Conn]struct{}
+	closed bool
+}
+
+// Serve starts serving connections from ln until Close. The returned
+// Server owns ln.
+func Serve(ln net.Listener, cfg Config) (*Server, error) {
+	if cfg.Pool == nil {
+		return nil, errors.New("jobserve: Config.Pool is required")
+	}
+	if cfg.Window == 0 {
+		cfg.Window = DefaultWindow
+	}
+	if cfg.Window < 1 {
+		return nil, fmt.Errorf("jobserve: Config.Window must be >= 1, got %d", cfg.Window)
+	}
+	s := &Server{
+		cfg:   cfg,
+		ln:    ln,
+		bufs:  alloc.NewBufPool(),
+		conns: make(map[net.Conn]struct{}),
+	}
+	s.ctx, s.cancel = context.WithCancel(context.Background())
+	s.wg.Add(1)
+	go s.accept()
+	return s, nil
+}
+
+// Addr returns the listener's address (the loopback harnesses dial it).
+func (s *Server) Addr() net.Addr { return s.ln.Addr() }
+
+// Wire snapshots the server's per-connection traffic counters.
+func (s *Server) Wire() prof.WireSnapshot { return s.wire.Snapshot() }
+
+// Close stops accepting, severs every live connection (in-flight jobs
+// finish on the pool but their results are no longer deliverable), and
+// waits for the connection goroutines to drain. The pool stays open.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		s.wg.Wait()
+		return nil
+	}
+	s.closed = true
+	conns := make([]net.Conn, 0, len(s.conns))
+	for c := range s.conns {
+		conns = append(conns, c)
+	}
+	s.mu.Unlock()
+	s.cancel()
+	err := s.ln.Close()
+	for _, c := range conns {
+		c.Close()
+	}
+	s.wg.Wait()
+	return err
+}
+
+// accept hands each connection its goroutine pair until the listener
+// closes.
+func (s *Server) accept() {
+	defer s.wg.Done()
+	for {
+		c, err := s.ln.Accept()
+		if err != nil {
+			return // Close closed the listener (or it failed terminally)
+		}
+		if tc, ok := c.(*net.TCPConn); ok {
+			// The writer already coalesces result frames; let each flush
+			// leave immediately instead of waiting out Nagle.
+			tc.SetNoDelay(true)
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			c.Close()
+			return
+		}
+		s.conns[c] = struct{}{}
+		s.wg.Add(1)
+		s.mu.Unlock()
+		go s.handle(c)
+	}
+}
+
+// handle runs one connection: this goroutine is the reader (decode →
+// admit → subscribe), a second is the writer (completions → encode →
+// coalesced flush). The two share the window semaphore bounding
+// admitted-but-unreported jobs and a context that either side cancels
+// on its terminal error, so neither outlives the other by more than a
+// drain.
+func (s *Server) handle(c net.Conn) {
+	defer s.wg.Done()
+	s.wire.ConnOpened()
+	defer s.wire.ConnClosed()
+	defer func() {
+		s.mu.Lock()
+		delete(s.conns, c)
+		s.mu.Unlock()
+		c.Close()
+	}()
+	ctx, cancel := context.WithCancel(s.ctx)
+	defer cancel()
+
+	window := s.cfg.Window
+	// done (completed jobs, delivered by the finishing worker) and
+	// refusals (records for items that never became jobs) feed the
+	// writer. cap(done) == window keeps Subscribe's delivery send
+	// nonblocking by construction.
+	done := make(chan *xomp.Job, window)
+	refusals := make(chan []wire.ResultRecord, 8)
+	slots := make(chan struct{}, window)
+
+	var writerWG sync.WaitGroup
+	writerWG.Add(1)
+	go func() {
+		defer writerWG.Done()
+		s.writeResults(ctx, cancel, c, done, refusals, slots)
+	}()
+	s.readSubmits(ctx, cancel, c, done, refusals, slots)
+	writerWG.Wait()
+}
+
+// readSubmits is the reader half: decode one submit frame, admit it as
+// one batch, subscribe the admitted jobs to the writer's channel, and
+// forward immediate refusals. Sequence numbers are implicit per
+// connection, assigned in decode order.
+func (s *Server) readSubmits(ctx context.Context, cancel context.CancelFunc, c net.Conn, done chan *xomp.Job, refusals chan []wire.ResultRecord, slots chan struct{}) {
+	defer cancel() // reader gone → writer must not wait forever
+	dec := wire.NewDecoder(c, s.bufs)
+	defer dec.Close()
+	var (
+		seq   uint64
+		items []xomp.BatchItem
+	)
+	for {
+		ft, err := dec.Next()
+		if err != nil {
+			return // clean EOF, conn severed, or corrupt frame: all end the conn
+		}
+		if ft != wire.FrameSubmit {
+			return // clients must not send result frames
+		}
+		recs := dec.Submits()
+		s.wire.FrameIn(len(recs), dec.FrameBytes())
+
+		// One decoded frame becomes one admission batch. Deadlines are
+		// relative on the wire and rebased onto the server clock here.
+		now := time.Now()
+		items = items[:0]
+		for i := range recs {
+			r := &recs[i]
+			it := xomp.BatchItem{Fn: s.bodyFor(r)}
+			it.Opts.Priority = load.Class(r.Class)
+			if r.DeadlineNS > 0 {
+				it.Opts.Deadline = now.Add(time.Duration(r.DeadlineNS))
+			}
+			it.Opts.Tenant = load.Tenant{ID: r.TenantID, Weight: float64(r.TenantMilliWeight) / 1000}
+			items = append(items, it)
+		}
+
+		// One frame is normally one admission section. A frame larger
+		// than the window is admitted in window-sized chunks — acquiring
+		// more slots than the window holds would deadlock against the
+		// writer, which can only free slots for jobs already submitted.
+		for at := 0; at < len(items); {
+			chunk := len(items) - at
+			if chunk > s.cfg.Window {
+				chunk = s.cfg.Window
+			}
+			// Window acquisition before admission: the chunk must fit the
+			// unreported-jobs bound before it may hold admission slots.
+			for i := 0; i < chunk; i++ {
+				select {
+				case slots <- struct{}{}:
+				case <-ctx.Done():
+					return
+				}
+			}
+			res, err := s.cfg.Pool.SubmitBatchCtx(ctx, items[at:at+chunk])
+			if err != nil {
+				// Batch-level failure (pool closed): report and end the conn.
+				out := make([]wire.ResultRecord, chunk)
+				for i := range out {
+					out[i] = wire.ResultRecord{Seq: seq + uint64(at+i), Status: wire.StatusClosed}
+					<-slots
+				}
+				sendRefusals(ctx, refusals, out)
+				return
+			}
+			var refused []wire.ResultRecord
+			for i := range res {
+				if res[i].Err != nil {
+					refused = append(refused, wire.ResultRecord{
+						Seq:    seq + uint64(at+i),
+						Status: statusFor(res[i].Err),
+					})
+					<-slots // never became a job; free its window slot
+					continue
+				}
+				j := res[i].Job
+				j.SetTag(seq + uint64(at+i))
+				j.Subscribe(done)
+			}
+			if refused != nil && !sendRefusals(ctx, refusals, refused) {
+				return
+			}
+			at += chunk
+		}
+		seq += uint64(len(items))
+	}
+}
+
+// sendRefusals forwards refusal records to the writer, reporting false
+// when the connection died first.
+func sendRefusals(ctx context.Context, refusals chan []wire.ResultRecord, out []wire.ResultRecord) bool {
+	select {
+	case refusals <- out:
+		return true
+	case <-ctx.Done():
+		return false
+	}
+}
+
+// writeResults is the writer half: collect completed jobs and refusal
+// records, encode them as result frames, and flush coalesced — after
+// one blocking receive it drains everything already pending, so a burst
+// of completions costs one syscall.
+func (s *Server) writeResults(ctx context.Context, cancel context.CancelFunc, c net.Conn, done chan *xomp.Job, refusals chan []wire.ResultRecord, slots chan struct{}) {
+	defer cancel() // writer gone → reader must stop admitting
+	enc := wire.NewEncoder(c, s.bufs)
+	defer enc.Close()
+	var out []wire.ResultRecord
+	for {
+		out = out[:0]
+		refused := 0
+		select {
+		case j := <-done:
+			out = appendJobResult(out, j)
+			<-slots
+		case recs := <-refusals:
+			out = append(out, recs...)
+			refused += len(recs)
+		case <-ctx.Done():
+			return
+		}
+	coalesce:
+		for len(out) < wire.MaxBatch {
+			select {
+			case j := <-done:
+				out = appendJobResult(out, j)
+				<-slots
+			case recs := <-refusals:
+				out = append(out, recs...)
+				refused += len(recs)
+			default:
+				break coalesce
+			}
+		}
+		if err := enc.Results(out); err != nil {
+			return // batch somehow unencodable; conn is unusable
+		}
+		n, err := enc.Flush()
+		if err != nil {
+			return // peer gone; reader will notice via cancel
+		}
+		s.wire.FlushOut(n)
+		s.wire.ResultOut(len(out), refused)
+	}
+}
+
+// appendJobResult converts one completed job to its wire record and
+// releases the frame — the handle is dead past this point.
+func appendJobResult(out []wire.ResultRecord, j *xomp.Job) []wire.ResultRecord {
+	rec := wire.ResultRecord{Seq: j.Tag(), Status: wire.StatusOK}
+	if j.Err() != nil {
+		rec.Status = wire.StatusPanicked
+	} else {
+		rec.QueueNS = int64(j.QueueDelay())
+		rec.RunNS = int64(j.RunTime())
+		if rec.QueueNS < 0 {
+			rec.QueueNS = 0
+		}
+		if rec.RunNS < 0 {
+			rec.RunNS = 0
+		}
+	}
+	j.Release()
+	return append(out, rec)
+}
+
+// noopBody is the shared zero-size synthetic body: the wire fast path's
+// job, allocation-free by construction.
+func noopBody(*xomp.Worker) {}
+
+// bodyFor turns a submit record's workload selector into a task body,
+// mirroring the replay harness: named apps get a fresh BOTS instance
+// per job (instances are not concurrent-safe — the allocating slow
+// path), synthetic sizes a spin tree fanned over a handful of subtasks,
+// and size zero the shared noop. An unknown app yields nil, which the
+// pool refuses as a validation error (StatusInvalid on the wire).
+func (s *Server) bodyFor(r *wire.SubmitRecord) xomp.TaskFunc {
+	if len(r.App) > 0 {
+		b, err := bots.New(string(r.App), s.cfg.Scale)
+		if err != nil {
+			return nil
+		}
+		return b.RunTask
+	}
+	size := r.Size
+	if size == 0 {
+		return noopBody
+	}
+	fan := 1 + size/8192
+	if fan > 8 {
+		fan = 8
+	}
+	chunk := size / fan
+	return func(w *xomp.Worker) {
+		for t := 0; t < fan; t++ {
+			w.Spawn(func(*xomp.Worker) { simnuma.Spin(chunk) })
+		}
+		w.TaskWait()
+	}
+}
+
+// statusFor maps the submit path's typed errors onto wire statuses.
+func statusFor(err error) wire.Status {
+	switch {
+	case errors.Is(err, xomp.ErrBacklogFull):
+		return wire.StatusBacklogFull
+	case errors.Is(err, xomp.ErrShed):
+		return wire.StatusShed
+	case errors.Is(err, xomp.ErrDeadlineExceeded):
+		return wire.StatusExpired
+	case errors.Is(err, xomp.ErrClosed):
+		return wire.StatusClosed
+	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
+		return wire.StatusCanceled
+	}
+	return wire.StatusInvalid
+}

@@ -1,0 +1,87 @@
+package prof
+
+import "sync/atomic"
+
+// Wire counters for the network serving edge: one Wire per listener,
+// shared by every connection's reader/writer goroutine pair. All fields
+// are independent atomics — the wire hot path (one frame per syscall's
+// worth of jobs) bumps them per frame, not per job, so plain atomic adds
+// are cheap enough and keep the struct snapshot-safe while connections
+// are live (unlike the Profile counters, which require quiescence).
+type Wire struct {
+	connsOpened atomic.Uint64
+	connsClosed atomic.Uint64
+	framesIn    atomic.Uint64
+	framesOut   atomic.Uint64
+	bytesIn     atomic.Uint64
+	bytesOut    atomic.Uint64
+	jobsIn      atomic.Uint64
+	resultsOut  atomic.Uint64
+	refused     atomic.Uint64
+}
+
+// WireSnapshot is one consistent-enough read of a Wire's counters
+// (individually atomic; the edge never needs cross-counter exactness
+// while traffic flows).
+type WireSnapshot struct {
+	// ConnsOpened and ConnsClosed count accepted and finished
+	// connections; their difference is the live-connection gauge.
+	ConnsOpened uint64
+	ConnsClosed uint64
+	// FramesIn/BytesIn count decoded submit frames and their wire bytes;
+	// FramesOut/BytesOut count flushed result writes (one flush may
+	// coalesce several frames) and their bytes.
+	FramesIn  uint64
+	FramesOut uint64
+	BytesIn   uint64
+	BytesOut  uint64
+	// JobsIn counts decoded submit records; ResultsOut counts result
+	// records streamed back (both statuses); Refused counts the subset
+	// that carried a non-OK status.
+	JobsIn     uint64
+	ResultsOut uint64
+	Refused    uint64
+}
+
+// ConnOpened records one accepted connection.
+func (w *Wire) ConnOpened() { w.connsOpened.Add(1) }
+
+// ConnClosed records one finished connection.
+func (w *Wire) ConnClosed() { w.connsClosed.Add(1) }
+
+// FrameIn records one decoded submit frame carrying jobs records.
+func (w *Wire) FrameIn(jobs, bytes int) {
+	w.framesIn.Add(1)
+	w.jobsIn.Add(uint64(jobs))
+	w.bytesIn.Add(uint64(bytes))
+}
+
+// FlushOut records one coalesced result write of bytes wire bytes.
+func (w *Wire) FlushOut(bytes int) {
+	w.framesOut.Add(1)
+	w.bytesOut.Add(uint64(bytes))
+}
+
+// ResultOut records result records streamed back, refused of which
+// carried a non-OK status.
+func (w *Wire) ResultOut(n, refused int) {
+	w.resultsOut.Add(uint64(n))
+	if refused > 0 {
+		w.refused.Add(uint64(refused))
+	}
+}
+
+// Snapshot reads every counter.
+func (w *Wire) Snapshot() WireSnapshot {
+	return WireSnapshot{
+		ConnsOpened: w.connsOpened.Load(),
+		ConnsClosed: w.connsClosed.Load(),
+		FramesIn:    w.framesIn.Load(),
+		FramesOut:   w.framesOut.Load(),
+		BytesIn:     w.bytesIn.Load(),
+		BytesOut:    w.bytesOut.Load(),
+		JobsIn:      w.jobsIn.Load(),
+		ResultsOut:  w.resultsOut.Load(),
+		Refused:     w.refused.Load(),
+	}
+}

@@ -1,0 +1,40 @@
+package prof
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestWireCounters: the wire counters must sum exactly under concurrent
+// per-connection traffic — the invariant the e2e accounting test and
+// the wire-smoke CI gate read through Snapshot.
+func TestWireCounters(t *testing.T) {
+	var w Wire
+	const conns, frames = 8, 50
+	var wg sync.WaitGroup
+	for c := 0; c < conns; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			w.ConnOpened()
+			for f := 0; f < frames; f++ {
+				w.FrameIn(4, 100)
+				w.ResultOut(4, 1)
+				w.FlushOut(60)
+			}
+			w.ConnClosed()
+		}()
+	}
+	wg.Wait()
+	s := w.Snapshot()
+	want := WireSnapshot{
+		ConnsOpened: conns, ConnsClosed: conns,
+		FramesIn: conns * frames, FramesOut: conns * frames,
+		BytesIn: conns * frames * 100, BytesOut: conns * frames * 60,
+		JobsIn: conns * frames * 4, ResultsOut: conns * frames * 4,
+		Refused: conns * frames,
+	}
+	if s != want {
+		t.Fatalf("snapshot %+v, want %+v", s, want)
+	}
+}

@@ -1,0 +1,101 @@
+package wire_test
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"testing"
+
+	"repro/internal/wire"
+)
+
+// FuzzWireRoundTrip fuzzes the codec from both directions. The raw-byte
+// half feeds arbitrary data straight into the decoder — truncated,
+// corrupt, or hostile frames must surface as errors, never panics or
+// runaway buffering. The structured half builds records from the fuzzed
+// scalars, encodes them, and demands byte-exact decode identity.
+func FuzzWireRoundTrip(f *testing.F) {
+	var seed bytes.Buffer
+	enc := wire.NewEncoder(&seed, nil)
+	if err := enc.SubmitBatch(goldenSubmits); err != nil {
+		f.Fatal(err)
+	}
+	if err := enc.Results(goldenResults); err != nil {
+		f.Fatal(err)
+	}
+	if _, err := enc.Flush(); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(seed.Bytes(), uint8(1), uint64(1000), uint16(7), uint32(2500), []byte("fib"), uint32(64), uint64(3), uint8(0))
+	f.Add([]byte{}, uint8(0), uint64(0), uint16(0), uint32(0), []byte(nil), uint32(0), uint64(0), uint8(2))
+	f.Add([]byte{2, 0, 0, 0, wire.Version, 99}, uint8(255), uint64(1<<40), uint16(65535), uint32(1<<20), bytes.Repeat([]byte("x"), 300), uint32(1<<31-1), uint64(1<<60), uint8(7))
+
+	f.Fuzz(func(t *testing.T, data []byte, class uint8, deadline uint64, tenant uint16, milliW uint32, app []byte, size uint32, seq uint64, status uint8) {
+		// Direction 1: arbitrary bytes through the decoder. Any outcome
+		// but a panic is acceptable; after the first error the decoder
+		// is done with this stream.
+		dec := wire.NewDecoder(bytes.NewReader(data), nil)
+		for {
+			if _, err := dec.Next(); err != nil {
+				if err != io.EOF && err != io.ErrUnexpectedEOF &&
+					!errorsIsAny(err, wire.ErrCorrupt, wire.ErrVersion, wire.ErrFrameType) {
+					t.Fatalf("unexpected decode error class: %v", err)
+				}
+				break
+			}
+		}
+
+		// Direction 2: structured round trip. Clamp the fuzzed scalars
+		// into the encodable domain, then demand identity.
+		sub := wire.SubmitRecord{
+			Class:             int(class),
+			DeadlineNS:        int64(deadline >> 1),
+			TenantID:          int(tenant),
+			TenantMilliWeight: int(milliW),
+			Size:              int(size >> 1),
+		}
+		if len(app) > 0 {
+			if len(app) > wire.MaxApp {
+				app = app[:wire.MaxApp]
+			}
+			sub.App = app
+		}
+		res := wire.ResultRecord{Seq: seq, Status: wire.Status(status % uint8(wire.NumStatus))}
+		if res.Status == wire.StatusOK {
+			res.QueueNS = int64(deadline >> 2)
+			res.RunNS = int64(size >> 2)
+		}
+		var buf bytes.Buffer
+		e := wire.NewEncoder(&buf, nil)
+		if err := e.SubmitBatch([]wire.SubmitRecord{sub}); err != nil {
+			t.Fatalf("encode submit: %v", err)
+		}
+		if err := e.Results([]wire.ResultRecord{res}); err != nil {
+			t.Fatalf("encode results: %v", err)
+		}
+		if _, err := e.Flush(); err != nil {
+			t.Fatal(err)
+		}
+		d := wire.NewDecoder(bytes.NewReader(buf.Bytes()), nil)
+		if ft, err := d.Next(); err != nil || ft != wire.FrameSubmit {
+			t.Fatalf("decode submit: type %v err %v", ft, err)
+		}
+		checkSubmits(t, d.Submits(), []wire.SubmitRecord{sub})
+		if ft, err := d.Next(); err != nil || ft != wire.FrameResults {
+			t.Fatalf("decode results: type %v err %v", ft, err)
+		}
+		checkResults(t, d.Results(), []wire.ResultRecord{res})
+		if _, err := d.Next(); err != io.EOF {
+			t.Fatalf("want io.EOF after frames, got %v", err)
+		}
+	})
+}
+
+func errorsIsAny(err error, targets ...error) bool {
+	for _, t := range targets {
+		if errors.Is(err, t) {
+			return true
+		}
+	}
+	return false
+}

@@ -9,8 +9,13 @@
 # (BenchmarkScenarioReplay: corpus scenario × admission policy); then run
 # the tenant fairness benchmark (BenchmarkTenantFairness: the
 # tenant-storm noisy-neighbor trace, block vs weighted-fair admission —
-# a wfq pass whose engagement counter stays zero fails the run).
-# All collected benchmark lines are written to BENCH_8.json, the
+# a wfq pass whose engagement counter stays zero fails the run); then
+# run the network serving-edge pass (BenchmarkWireThroughput: one
+# closed-loop client over loopback TCP at batch 1 vs batch 64, plus
+# BenchmarkWireCodec whose allocs/op must stay 0 — the zero-alloc wire
+# steady state is an acceptance bar, not an aspiration) and print the
+# batch-1 vs batch-64 comparison.
+# All collected benchmark lines are written to BENCH_9.json, the
 # perf-trajectory snapshot CI archives per push. Every pass runs with
 # -benchmem so allocs/op and B/op land in the snapshot — the fast-path
 # submission work is an allocation story as much as a throughput one.
@@ -35,7 +40,11 @@ fairness_pattern="${FAIRNESSPATTERN:-BenchmarkTenantFairness\$}"
 # The saturation comparison needs enough iterations for the shed regime
 # to engage; keep it cheap but non-trivial when the main pass runs at 1x.
 admit_benchtime="${ADMIT_BENCHTIME:-100x}"
-snapshot="${BENCHSNAPSHOT:-BENCH_8.json}"
+# The wire comparison needs enough round trips for the batch-64 cell to
+# actually batch (b.N=1 sends a single 1-record frame in both cells).
+wire_pattern="${WIREPATTERN:-BenchmarkWireThroughput\$|BenchmarkWireCodec\$}"
+wire_benchtime="${WIRE_BENCHTIME:-2000x}"
+snapshot="${BENCHSNAPSHOT:-BENCH_9.json}"
 drift="${DRIFT:-0}"
 
 run() {
@@ -98,8 +107,19 @@ echo
 echo "benchdiff: tenant fairness pass (tenant-storm, block vs wfq, -benchtime $benchtime)"
 fairness_out=$(go test -run '^$' -bench "$fairness_pattern" -benchtime "$benchtime" -benchmem -timeout 20m . 2>&1)
 echo "$fairness_out" | grep -E '^(Benchmark|FAIL|ok)' || true
+echo
+echo "benchdiff: wire serving-edge pass (batch 1 vs 64 over loopback, -benchtime $wire_benchtime)"
+wire_out=$(go test -run '^$' -bench "$wire_pattern" -benchtime "$wire_benchtime" -benchmem -timeout 20m . 2>&1)
+echo "$wire_out" | grep -E '^(Benchmark|FAIL|ok)' || true
+# The codec's recycled-buffer steady state is a hard property: any
+# allocation per op is a regression, fail the run on it.
+codec_allocs=$(echo "$wire_out" | awk '/^BenchmarkWireCodec/ { for (i = 3; i < NF; i += 2) if ($(i+1) == "allocs/op") print $(i) }')
+if [ -n "$codec_allocs" ] && [ "$codec_allocs" != "0" ]; then
+	echo "benchdiff: BenchmarkWireCodec allocates ($codec_allocs allocs/op, want 0)" >&2
+	exit 1
+fi
 
-case "$static_out$adaptive_out$admit_out$scenario_out$fairness_out" in
+case "$static_out$adaptive_out$admit_out$scenario_out$fairness_out$wire_out" in
 *FAIL*)
 	echo "benchdiff: benchmark failure" >&2
 	exit 1
@@ -117,6 +137,7 @@ esac
 		echo "$admit_out" | awk '/^Benchmark/ { print "admission", $0 }'
 		echo "$scenario_out" | awk '/^Benchmark/ { print "scenario", $0 }'
 		echo "$fairness_out" | awk '/^Benchmark/ { print "fairness", $0 }'
+		echo "$wire_out" | awk '/^Benchmark/ { print "wire", $0 }'
 	} | awk '
 		{
 			if (NR > 1) printf ",\n"
@@ -178,6 +199,24 @@ echo "$fairness_out" | awk '
 				(("block|" name) in m ? m["block|" name] : "-"), \
 				(("wfq|" name) in m ? m["wfq|" name] : "-")
 		}
+	}
+'
+
+echo
+echo "benchdiff: wire batching comparison (batch 1 vs 64)"
+# Pair the /batch-1 and /batch-64 rows: the jobs/sec ratio is the value
+# of batched framing — one frame, one syscall, one admission section,
+# and one round trip amortized across the batch.
+echo "$wire_out" | awk '
+	/^BenchmarkWireThroughput/ {
+		mode = ($1 ~ /batch-64/) ? "b64" : "b1"
+		for (i = 3; i < NF; i += 2) if ($(i+1) == "jobs/sec") m[mode] = $(i)
+	}
+	END {
+		printf "%-24s %12s %12s %8s\n", "metric", "batch-1", "batch-64", "ratio"
+		ratio = ("b1" in m && m["b1"] + 0 > 0) ? sprintf("%.2fx", m["b64"] / m["b1"]) : "-"
+		printf "%-24s %12s %12s %8s\n", "jobs/sec", \
+			("b1" in m ? m["b1"] : "-"), ("b64" in m ? m["b64"] : "-"), ratio
 	}
 '
 

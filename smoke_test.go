@@ -18,7 +18,7 @@ import (
 // cmdMains are the flag-driven tools; -help must print a usage message and
 // exit 0 (the flag package's ErrHelp convention).
 var cmdMains = []string{
-	"benchall", "botsrun", "dlbsweep", "loadgen", "posp", "profview", "whatif",
+	"benchall", "botsrun", "dlbsweep", "jobserved", "loadgen", "posp", "profview", "whatif",
 }
 
 // cmdRequiredFlags pins load-bearing flags into each tool's -help output:
@@ -26,9 +26,11 @@ var cmdMains = []string{
 // user's broken script. Keyed by tool name; every entry must appear as a
 // "-name" flag in the usage text.
 var cmdRequiredFlags = map[string][]string{
-	"loadgen": {"scenario", "trace", "record", "emit", "seed", "speed", "admit", "priority-mix", "elastic", "shards"},
-	"whatif":  {"in", "scenario", "seed", "shards", "speed", "reps"},
-	"botsrun": {"app", "profile"},
+	"loadgen": {"scenario", "trace", "record", "emit", "seed", "speed", "admit", "priority-mix", "elastic", "shards",
+		"mode", "addr", "listen", "rate", "size", "fleet", "fleet-size", "window"},
+	"jobserved": {"addr", "workers", "shards", "backlog", "admit", "policy", "elastic", "budget", "scale", "window", "report"},
+	"whatif":    {"in", "scenario", "seed", "shards", "speed", "reps"},
+	"botsrun":   {"app", "profile"},
 }
 
 // exampleMains only need to build: they are demos with fixed inputs, some
