@@ -24,6 +24,7 @@ import (
 	"os/signal"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"syscall"
 	"time"
 
@@ -378,13 +379,18 @@ func driveConn(addr string, bufs *alloc.BufPool, plan connPlan, batch int, out *
 	}
 	defer cl.Close()
 
-	submitted := make([]int64, len(plan.recs)) // UnixNano at flush, indexed by seq
+	// submitted holds each record's UnixNano at flush, indexed by seq.
+	// Atomic elements: in open-loop mode the submitter goroutine stores
+	// while the receiver goroutine loads, and the round trip through the
+	// server is not a happens-before edge — atomics make the cross-
+	// goroutine reads well-defined while keeping the path allocation-free.
+	submitted := make([]atomic.Int64, len(plan.recs))
 	record := func(recs []wire.ResultRecord, now int64) {
 		for _, r := range recs {
 			out.jobs++
 			out.statuses[r.Status]++
 			if r.Status == wire.StatusOK && r.Seq < uint64(len(submitted)) {
-				out.hist.Record(now - submitted[r.Seq])
+				out.hist.Record(now - submitted[r.Seq].Load())
 			}
 		}
 	}
@@ -406,7 +412,7 @@ func driveConn(addr string, bufs *alloc.BufPool, plan connPlan, batch int, out *
 			}
 			now := time.Now().UnixNano()
 			for i := 0; i < n; i++ {
-				submitted[seq+uint64(i)] = now
+				submitted[seq+uint64(i)].Store(now)
 			}
 			for got := 0; got < n; {
 				recs, err := cl.Recv()
@@ -422,10 +428,11 @@ func driveConn(addr string, bufs *alloc.BufPool, plan connPlan, batch int, out *
 		return
 	}
 
-	// Open loop: pipelined. The receiver owns out (the submitter only
-	// writes submitted[seq] strictly before the matching flush hits the
-	// wire, and the server echoes seq back, so reads are ordered by the
-	// round trip itself).
+	// Open loop: pipelined. The receiver owns out; submitted is shared
+	// between the two goroutines, hence its atomic elements — each
+	// timestamp is stored before the matching flush hits the wire, so by
+	// the time the server echoes the seq back the receiver's load
+	// observes the store.
 	done := make(chan error, 1)
 	go func() {
 		var got uint64
@@ -454,7 +461,7 @@ func driveConn(addr string, bufs *alloc.BufPool, plan connPlan, batch int, out *
 		if err == nil {
 			now := time.Now().UnixNano()
 			for i := 0; i < n; i++ {
-				submitted[seq+uint64(i)] = now
+				submitted[seq+uint64(i)].Store(now)
 			}
 			err = cl.Flush()
 		}

@@ -180,27 +180,35 @@ func (j *Job) Release() {
 }
 
 // finish publishes completion: records state, closes a Done channel if
-// one was materialized, deposits the wake token, and delivers the
-// Subscribe notification. The caller must not touch the job afterwards —
-// a released frame may be reused the moment the token lands (or, for a
-// subscribed job, the moment the receiver takes the handle).
+// one was materialized, deposits the wake token (unless a subscriber
+// claimed delivery), and delivers the Subscribe notification. The caller
+// must not touch the job afterwards — a released frame may be reused the
+// moment the token lands (or, for a subscribed job, the moment the
+// receiver takes the handle).
+//
+// Completion publication and the hand-off resolution are one atomic step
+// under doneMu: the moment another goroutine can observe jobDone it can
+// reach Release — a waiter through the wake token, a subscriber through
+// Subscribe's inline-delivery path — and the frame may be recycled for
+// an unrelated submission, so every touch finish makes on the frame must
+// be ordered before that observation. Subscribe runs entirely under the
+// same lock, which forces its inline delivery to wait until finish has
+// released it, by which point finish's only remaining touch is the
+// delivery send it claimed for itself (and a finish that claimed
+// delivery skips the wake token, so no waiter can race the send either —
+// a subscribed job's receiver owns completion, see Subscribe).
 func (j *Job) finish() {
-	j.state.Store(jobDone)
 	j.doneMu.Lock()
+	j.state.Store(jobDone)
 	if j.doneCh != nil {
 		close(j.doneCh)
 	}
-	j.doneMu.Unlock()
-	// Resolve the notification claim BEFORE the wake token lands: once a
-	// waiter can drain Wait and Release, the frame may be recycled for an
-	// unrelated submission, and reading notify/notified afterwards would
-	// observe the next generation. The send itself happens after the
-	// deposit — a subscribed job's receiver is its only completer (see
-	// Subscribe), so the frame stays ours until the send hands it over as
-	// the very last touch.
 	ch, _ := j.notify.Load().(chan *Job)
 	deliver := ch != nil && j.notified.CompareAndSwap(false, true)
-	j.wake <- struct{}{}
+	if !deliver {
+		j.wake <- struct{}{} // no subscriber claimed: wake the Wait-ers
+	}
+	j.doneMu.Unlock()
 	if deliver {
 		ch <- j
 	}
@@ -221,8 +229,26 @@ func (j *Job) finish() {
 // One channel may serve any number of jobs; at most one Subscribe per
 // job generation.
 func (j *Job) Subscribe(ch chan *Job) {
-	j.notify.Store(ch)
-	if j.state.Load() == jobDone && j.notified.CompareAndSwap(false, true) {
+	// The whole registration runs under doneMu, the same lock finish
+	// publishes completion under, so the two sides serialize cleanly:
+	// either this critical section completes first — finish then sees
+	// the stored channel, claims delivery, and sends after Subscribe has
+	// no touches left — or finish's completes first, in which case it
+	// saw no subscriber, deposited the wake token, and is done with the
+	// frame entirely before the inline claim below can hand it to the
+	// receiver. Without the lock, either side could still be touching
+	// the frame (finish: the wake deposit; Subscribe: these loads) after
+	// the other delivered it, and the receiver's Release would let the
+	// frame recycle under those touches, corrupting the next generation.
+	j.doneMu.Lock()
+	if j.state.Load() != jobDone {
+		j.notify.Store(ch) // in flight: finish delivers
+		j.doneMu.Unlock()
+		return
+	}
+	deliver := j.notified.CompareAndSwap(false, true)
+	j.doneMu.Unlock()
+	if deliver {
 		ch <- j
 	}
 }

@@ -148,3 +148,57 @@ func TestTagResetsOnRecycle(t *testing.T) {
 	default:
 	}
 }
+
+// TestSubscribeRecycleGenerations: the finish/Subscribe hand-off must
+// be atomic with completion publication. A finish whose final touches
+// (the notify claim, the wake-token deposit) trailed an inline delivery
+// would corrupt the frame's NEXT generation once the receiver Releases
+// and the frame recycles — a stale wake token makes the next Wait
+// return on an in-flight job, a stale claim steals the next
+// subscription. Hammer deliver → release → resubmit on a small pool so
+// frames recycle immediately, asserting every generation's completion
+// is observed exactly once and only when actually done. Run with -race.
+func TestSubscribeRecycleGenerations(t *testing.T) {
+	tm := admitTeam(t, 2, 16, nil)
+	defer tm.Close()
+	ch := make(chan *Job, 1)
+	const rounds = 2000
+	for r := 0; r < rounds; r++ {
+		j, err := tm.Submit(func(*Worker) {})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var wg sync.WaitGroup
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			j.Subscribe(ch) // races finish: inline or worker-side delivery
+		}()
+		got := <-ch
+		if got.state.Load() != jobDone {
+			t.Fatalf("round %d: delivered job still in flight", r)
+		}
+		wg.Wait()
+		got.Release()
+
+		// The recycled frame's next generation must not inherit the
+		// previous finish's wake token or subscription claim.
+		var ran atomic.Bool
+		k, err := tm.Submit(func(*Worker) { ran.Store(true) })
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := k.Wait(); err != nil {
+			t.Fatal(err)
+		}
+		if k.state.Load() != jobDone || !ran.Load() {
+			t.Fatalf("round %d: Wait returned on an in-flight job (stale wake token)", r)
+		}
+		select {
+		case s := <-ch:
+			t.Fatalf("round %d: stale subscription delivered job %d", r, s.ID())
+		default:
+		}
+		k.Release()
+	}
+}

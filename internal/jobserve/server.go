@@ -319,8 +319,21 @@ func (s *Server) writeResults(ctx context.Context, cancel context.CancelFunc, c 
 				break coalesce
 			}
 		}
-		if err := enc.Results(out); err != nil {
-			return // batch somehow unencodable; conn is unusable
+		// Encode in frame-safe chunks before the single flush: the
+		// coalesce bound is loose (a refusal slice lands whole, so out
+		// can exceed MaxBatch), and even a legal near-MaxBatch batch of
+		// OK records can overflow MaxFrame — an oversized coalesced
+		// batch becomes several frames in one flush, not a terminal
+		// encode error.
+		for at := 0; at < len(out); {
+			n := len(out) - at
+			if n > wire.MaxResultsPerFrame {
+				n = wire.MaxResultsPerFrame
+			}
+			if err := enc.Results(out[at : at+n]); err != nil {
+				return // malformed record; conn is unusable
+			}
+			at += n
 		}
 		n, err := enc.Flush()
 		if err != nil {

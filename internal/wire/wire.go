@@ -64,6 +64,14 @@ const (
 	MaxBatch = 1 << 16
 	// MaxApp bounds the app-name length in a submit record.
 	MaxApp = 255
+	// MaxResultsPerFrame is the largest result-record count guaranteed
+	// to encode into one frame regardless of field values: a StatusOK
+	// record costs at most 31 bytes (three maximal 10-byte varints plus
+	// the status byte), and 32768 such records plus the count varint
+	// stay under MaxFrame. Writers coalescing unbounded completion
+	// streams chunk at this bound so Results can never report ErrTooBig
+	// for a well-formed batch.
+	MaxResultsPerFrame = 32768
 )
 
 // Codec errors. Decoder errors other than io.EOF (clean close between

@@ -263,3 +263,36 @@ func TestCodecZeroAlloc(t *testing.T) {
 		t.Fatalf("steady-state codec allocates %.1f allocs/op, want 0", allocs)
 	}
 }
+
+// TestMaxResultsPerFrameFits proves the chunking bound the serving
+// edge's writer relies on: MaxResultsPerFrame worst-case StatusOK
+// records (every varint field maximal) must encode into one frame, and
+// the frame must round-trip.
+func TestMaxResultsPerFrameFits(t *testing.T) {
+	recs := make([]wire.ResultRecord, wire.MaxResultsPerFrame)
+	const maxI64 = int64(^uint64(0) >> 1)
+	for i := range recs {
+		recs[i] = wire.ResultRecord{
+			Seq:     ^uint64(0),
+			Status:  wire.StatusOK,
+			QueueNS: maxI64,
+			RunNS:   maxI64,
+		}
+	}
+	var sink bytes.Buffer
+	enc := wire.NewEncoder(&sink, nil)
+	if err := enc.Results(recs); err != nil {
+		t.Fatalf("worst-case MaxResultsPerFrame batch must fit one frame: %v", err)
+	}
+	if _, err := enc.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	dec := wire.NewDecoder(&sink, nil)
+	ft, err := dec.Next()
+	if err != nil || ft != wire.FrameResults {
+		t.Fatalf("decode: type %v err %v", ft, err)
+	}
+	if got := len(dec.Results()); got != wire.MaxResultsPerFrame {
+		t.Fatalf("round-tripped %d records, want %d", got, wire.MaxResultsPerFrame)
+	}
+}
