@@ -1,0 +1,39 @@
+package main
+
+// Smoke test: the repolint binary must build and its -help output must
+// list every registered analyzer, so CI notices if one is dropped from
+// the suite.
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/analysis"
+)
+
+func TestRepolintBuildsAndListsAnalyzers(t *testing.T) {
+	if _, err := exec.LookPath("go"); err != nil {
+		t.Skipf("go tool not in PATH: %v", err)
+	}
+	bin := filepath.Join(t.TempDir(), "repolint")
+	build := exec.Command("go", "build", "-o", bin, ".")
+	build.Env = os.Environ()
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("go build ./cmd/repolint: %v\n%s", err, out)
+	}
+
+	help := exec.Command(bin, "-help")
+	out, _ := help.CombinedOutput() // -help exits nonzero by flag convention
+	text := string(out)
+	for _, a := range analysis.Analyzers() {
+		if !strings.Contains(text, a.Name) {
+			t.Errorf("-help output does not mention analyzer %q:\n%s", a.Name, text)
+		}
+	}
+	if len(analysis.Analyzers()) < 5 {
+		t.Errorf("analyzer suite shrank: %d registered, want at least 5", len(analysis.Analyzers()))
+	}
+}

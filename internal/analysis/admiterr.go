@@ -1,0 +1,325 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strconv"
+	"strings"
+)
+
+// AdmitErr enforces the typed-error discipline of the admission path
+// and the exhaustiveness of the error↔status mappings at the wire edge.
+//
+// Callers shed load by branching on sentinels (errors.Is(err,
+// xomp.ErrBacklogFull) → retry with backoff; ErrShed → drop). A
+// dynamic error created inside the admission path is invisible to that
+// logic: the caller's errors.Is chain falls through, the wire edge maps
+// it to a catch-all status, and a recoverable condition is reported as
+// an invalid request. Three rules pin the discipline:
+//
+//  1. In admission-path functions of the core package (Submit*,
+//     *admit*), errors.New and fmt.Errorf are forbidden — except
+//     fmt.Errorf whose format starts with "%w", which wraps a sentinel
+//     and stays errors.Is-able.
+//
+//  2. A mapping function from error to a closed status enum (an error
+//     parameter, a single enum result) must mention every enum constant
+//     except the exempt successes (AdmitErrExemptStatuses) and every
+//     exported Err* sentinel of each package it draws sentinels from.
+//     Adding a sentinel to xomp without teaching jobserve.statusFor
+//     about it becomes a lint failure, not a silent StatusInvalid.
+//
+//  3. A switch whose tag is a closed status enum and which has no
+//     default clause must list every enum constant. (With a default the
+//     author has opted into partial handling; without one, a new status
+//     would fall through silently.)
+//
+// A "closed status enum" is a named integer type whose package declares
+// an unexported count terminator const of the same type named num…
+// (wire.Status / numStatus is the idiom). Types without the terminator
+// are open and exempt.
+var AdmitErr = &Analyzer{
+	Name: "admiterr",
+	Doc:  "admission path returns typed sentinels only; error↔status mappings stay exhaustive",
+	Run:  runAdmitErr,
+}
+
+// AdmitErrPackages are the import-path suffixes where rule 1 (no
+// dynamic errors in admission functions) applies.
+var AdmitErrPackages = []string{"internal/core"}
+
+// AdmitErrExemptStatuses are enum constants a mapping function need not
+// produce: successes and statuses set by other mechanisms.
+var AdmitErrExemptStatuses = map[string]bool{
+	"StatusOK":       true, // success: mapped from err == nil, not from a sentinel
+	"StatusPanicked": true, // set by the worker recover path, not by error mapping
+}
+
+func runAdmitErr(pass *Pass) error {
+	ruleOne := pathIn(pass.Pkg.Path(), AdmitErrPackages)
+	for _, file := range pass.Files {
+		if isTestFile(pass, file) {
+			continue
+		}
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if ruleOne && isAdmissionFunc(fd.Name.Name) {
+				checkDynamicErrors(pass, fd)
+			}
+			if enum, ok := errToStatusFunc(pass, fd); ok {
+				checkMappingCoverage(pass, fd, enum)
+			}
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			sw, ok := n.(*ast.SwitchStmt)
+			if ok {
+				checkEnumSwitch(pass, sw)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// isTestFile reports whether file comes from a _test.go source (go vet
+// feeds test files as part of the augmented package; the invariants
+// here are about production paths).
+func isTestFile(pass *Pass, file *ast.File) bool {
+	return strings.HasSuffix(pass.Fset.Position(file.Pos()).Filename, "_test.go")
+}
+
+// isAdmissionFunc matches the admission-path naming: Submit, SubmitCtx,
+// SubmitBatchCtx, submitLocked, admitOne, …
+func isAdmissionFunc(name string) bool {
+	lower := strings.ToLower(name)
+	return strings.HasPrefix(lower, "submit") || strings.Contains(lower, "admit")
+}
+
+// checkDynamicErrors flags errors.New and non-wrapping fmt.Errorf.
+func checkDynamicErrors(pass *Pass, fd *ast.FuncDecl) {
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+		if !ok || fn.Pkg() == nil {
+			return true
+		}
+		switch {
+		case fn.Pkg().Path() == "errors" && fn.Name() == "New":
+			pass.Reportf(call.Pos(), "errors.New in admission function %s creates an untyped error callers cannot errors.Is against; return a package sentinel (ErrInvalid, …) or wrap one with fmt.Errorf(\"%%w: …\", Err…)", fd.Name.Name)
+		case fn.Pkg().Path() == "fmt" && fn.Name() == "Errorf":
+			if !errorfWrapsSentinel(call) {
+				pass.Reportf(call.Pos(), "fmt.Errorf in admission function %s does not wrap a sentinel; start the format with %%w and pass a package sentinel so errors.Is keeps working", fd.Name.Name)
+			}
+		}
+		return true
+	})
+}
+
+// errorfWrapsSentinel reports whether the fmt.Errorf format begins with
+// a %w verb (the sentinel-wrapping shape the admission path allows).
+func errorfWrapsSentinel(call *ast.CallExpr) bool {
+	if len(call.Args) == 0 {
+		return false
+	}
+	lit, ok := call.Args[0].(*ast.BasicLit)
+	if !ok {
+		return false
+	}
+	format, err := strconv.Unquote(lit.Value)
+	if err != nil {
+		return false
+	}
+	return strings.HasPrefix(format, "%w")
+}
+
+// enumInfo describes one closed status enum.
+type enumInfo struct {
+	named *types.Named
+	// consts are the exported constants of the enum, in declaration
+	// scope order.
+	consts []*types.Const
+}
+
+// closedEnum recognizes a closed status enum: a named integer type
+// whose package has an unexported "num…" count terminator of the same
+// type.
+func closedEnum(t types.Type) (*enumInfo, bool) {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return nil, false
+	}
+	basic, ok := named.Underlying().(*types.Basic)
+	if !ok || basic.Info()&types.IsInteger == 0 {
+		return nil, false
+	}
+	pkg := named.Obj().Pkg()
+	if pkg == nil {
+		return nil, false
+	}
+	info := &enumInfo{named: named}
+	closed := false
+	scope := pkg.Scope()
+	for _, name := range scope.Names() {
+		c, ok := scope.Lookup(name).(*types.Const)
+		if !ok || !types.Identical(c.Type(), named) {
+			continue
+		}
+		if !c.Exported() && strings.HasPrefix(c.Name(), "num") {
+			closed = true
+			continue
+		}
+		if c.Exported() {
+			info.consts = append(info.consts, c)
+		}
+	}
+	return info, closed && len(info.consts) > 0
+}
+
+// errToStatusFunc reports whether fd maps an error to a closed enum:
+// at least one error parameter, exactly one result of enum type.
+func errToStatusFunc(pass *Pass, fd *ast.FuncDecl) (*enumInfo, bool) {
+	obj, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func)
+	if !ok {
+		return nil, false
+	}
+	sig := obj.Type().(*types.Signature)
+	if sig.Results().Len() != 1 {
+		return nil, false
+	}
+	hasErrParam := false
+	for i := 0; i < sig.Params().Len(); i++ {
+		if types.Identical(sig.Params().At(i).Type(), types.Universe.Lookup("error").Type()) {
+			hasErrParam = true
+			break
+		}
+	}
+	if !hasErrParam {
+		return nil, false
+	}
+	return closedEnum(sig.Results().At(0).Type())
+}
+
+// checkMappingCoverage verifies an err→status function mentions every
+// non-exempt enum constant and every exported Err* sentinel of each
+// package it draws sentinels from.
+func checkMappingCoverage(pass *Pass, fd *ast.FuncDecl, enum *enumInfo) {
+	used := make(map[types.Object]bool)
+	sentinelPkgs := make(map[*types.Package]bool)
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		obj := pass.TypesInfo.Uses[id]
+		if obj == nil {
+			return true
+		}
+		used[obj] = true
+		if v, ok := obj.(*types.Var); ok && isSentinelVar(v) {
+			sentinelPkgs[v.Pkg()] = true
+		}
+		return true
+	})
+
+	var missing []string
+	for _, c := range enum.consts {
+		if AdmitErrExemptStatuses[c.Name()] || used[c] {
+			continue
+		}
+		missing = append(missing, c.Name())
+	}
+	if len(missing) > 0 {
+		pass.Reportf(fd.Name.Pos(), "mapping function %s never produces %s of enum %s; every status needs an error mapped to it (add a case, or exempt the status in the analyzer with a design rationale)",
+			fd.Name.Name, strings.Join(missing, ", "), enum.named.Obj().Name())
+	}
+
+	for pkg := range sentinelPkgs {
+		var unmapped []string
+		scope := pkg.Scope()
+		for _, name := range scope.Names() {
+			v, ok := scope.Lookup(name).(*types.Var)
+			if !ok || !isSentinelVar(v) || !v.Exported() {
+				continue
+			}
+			if !used[v] {
+				unmapped = append(unmapped, pkg.Name()+"."+v.Name())
+			}
+		}
+		if len(unmapped) > 0 {
+			pass.Reportf(fd.Name.Pos(), "mapping function %s handles some sentinels of package %s but not %s; map every sentinel to a status so callers never see a catch-all",
+				fd.Name.Name, pkg.Path(), strings.Join(unmapped, ", "))
+		}
+	}
+}
+
+// isSentinelVar reports whether v is a package-level exported Err…
+// variable of type error.
+func isSentinelVar(v *types.Var) bool {
+	if v.Pkg() == nil || v.Parent() != v.Pkg().Scope() {
+		return false
+	}
+	if !strings.HasPrefix(v.Name(), "Err") {
+		return false
+	}
+	iface, ok := types.Universe.Lookup("error").Type().Underlying().(*types.Interface)
+	if !ok {
+		return false
+	}
+	return types.Implements(v.Type(), iface)
+}
+
+// checkEnumSwitch enforces rule 3: a defaultless switch over a closed
+// enum lists every constant.
+func checkEnumSwitch(pass *Pass, sw *ast.SwitchStmt) {
+	if sw.Tag == nil {
+		return
+	}
+	tv, ok := pass.TypesInfo.Types[sw.Tag]
+	if !ok || tv.Type == nil {
+		return
+	}
+	enum, ok := closedEnum(tv.Type)
+	if !ok {
+		return
+	}
+	seen := make(map[types.Object]bool)
+	for _, stmt := range sw.Body.List {
+		cc, ok := stmt.(*ast.CaseClause)
+		if !ok {
+			continue
+		}
+		if cc.List == nil {
+			return // default clause present: partial handling is explicit
+		}
+		for _, e := range cc.List {
+			if sel, ok := e.(*ast.SelectorExpr); ok {
+				e = sel.Sel
+			}
+			if id, ok := e.(*ast.Ident); ok {
+				if obj := pass.TypesInfo.Uses[id]; obj != nil {
+					seen[obj] = true
+				}
+			}
+		}
+	}
+	var missing []string
+	for _, c := range enum.consts {
+		if !seen[c] {
+			missing = append(missing, c.Name())
+		}
+	}
+	if len(missing) > 0 {
+		pass.Reportf(sw.Pos(), "switch over closed enum %s has no default and is missing %s; add the cases or an explicit default",
+			enum.named.Obj().Name(), strings.Join(missing, ", "))
+	}
+}

@@ -1,0 +1,208 @@
+package analysis_test
+
+// A miniature analysistest: fixtures live under
+// testdata/<analyzer>/src/<importpath>/, and a comment
+//
+//	// want `regex`
+//
+// on a line asserts that the analyzer reports a diagnostic there whose
+// message matches the regex (several backquoted or quoted patterns on
+// one line assert several diagnostics). Fixture packages typecheck
+// against the real standard library via build-cache export data and
+// may import each other by their fixture import paths.
+
+import (
+	"go/ast"
+	"go/build"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/driver"
+)
+
+func TestFalseShare(t *testing.T)   { runAnalyzer(t, analysis.FalseShare) }
+func TestNoCopy(t *testing.T)       { runAnalyzer(t, analysis.NoCopy) }
+func TestPooledEscape(t *testing.T) { runAnalyzer(t, analysis.PooledEscape) }
+func TestAdmitErr(t *testing.T)     { runAnalyzer(t, analysis.AdmitErr) }
+func TestAtomicMix(t *testing.T)    { runAnalyzer(t, analysis.AtomicMix) }
+
+// stdDeps are the standard-library roots fixtures may import.
+var stdDeps = []string{"errors", "fmt", "sync", "sync/atomic", "strconv"}
+
+// fixtureImporter resolves fixture import paths to already-checked
+// fixture packages and everything else through export data.
+type fixtureImporter struct {
+	pkgs map[string]*types.Package
+	std  types.Importer
+}
+
+func (im *fixtureImporter) Import(path string) (*types.Package, error) {
+	if p, ok := im.pkgs[path]; ok {
+		return p, nil
+	}
+	return im.std.Import(path)
+}
+
+type fixturePkg struct {
+	path  string
+	files []*ast.File
+	info  *types.Info
+	pkg   *types.Package
+}
+
+func runAnalyzer(t *testing.T, a *analysis.Analyzer) {
+	root := filepath.Join("testdata", a.Name, "src")
+	fset := token.NewFileSet()
+	std, err := driver.ExportImporter(fset, stdDeps...)
+	if err != nil {
+		t.Fatalf("std export data: %v", err)
+	}
+	fixtures := parseFixtures(t, fset, root)
+	checkFixtures(t, fset, fixtures, std)
+
+	sizes := types.SizesFor("gc", build.Default.GOARCH)
+	var got []driver.Diag
+	for _, fp := range fixtures {
+		diags, _, err := driver.Analyze(fset, fp.files, fp.pkg, fp.info, sizes, []*analysis.Analyzer{a})
+		if err != nil {
+			t.Fatalf("%s: %v", fp.path, err)
+		}
+		got = append(got, diags...)
+	}
+	compare(t, fset, fixtures, got)
+}
+
+func parseFixtures(t *testing.T, fset *token.FileSet, root string) []*fixturePkg {
+	t.Helper()
+	byPath := make(map[string]*fixturePkg)
+	var order []string
+	err := filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
+		if err != nil || d.IsDir() || !strings.HasSuffix(d.Name(), ".go") {
+			return err
+		}
+		rel, err := filepath.Rel(root, filepath.Dir(path))
+		if err != nil {
+			return err
+		}
+		imp := filepath.ToSlash(rel)
+		fp := byPath[imp]
+		if fp == nil {
+			fp = &fixturePkg{path: imp}
+			byPath[imp] = fp
+			order = append(order, imp)
+		}
+		f, err := parser.ParseFile(fset, path, nil, parser.ParseComments)
+		if err != nil {
+			return err
+		}
+		fp.files = append(fp.files, f)
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("parse fixtures under %s: %v", root, err)
+	}
+	if len(order) == 0 {
+		t.Fatalf("no fixture packages under %s", root)
+	}
+	fixtures := make([]*fixturePkg, len(order))
+	for i, p := range order {
+		fixtures[i] = byPath[p]
+	}
+	return fixtures
+}
+
+// checkFixtures typechecks to a fixpoint so fixture packages may import
+// each other in any declaration order.
+func checkFixtures(t *testing.T, fset *token.FileSet, fixtures []*fixturePkg, std types.Importer) {
+	t.Helper()
+	imp := &fixtureImporter{pkgs: make(map[string]*types.Package), std: std}
+	sizes := types.SizesFor("gc", build.Default.GOARCH)
+	remaining := fixtures
+	for len(remaining) > 0 {
+		var next []*fixturePkg
+		var lastErr error
+		for _, fp := range remaining {
+			info := driver.NewInfo()
+			conf := &types.Config{Importer: imp, Sizes: sizes, Error: func(error) {}}
+			pkg, err := conf.Check(fp.path, fset, fp.files, info)
+			if err != nil {
+				lastErr = err
+				next = append(next, fp)
+				continue
+			}
+			fp.pkg, fp.info = pkg, info
+			imp.pkgs[fp.path] = pkg
+		}
+		if len(next) == len(remaining) {
+			t.Fatalf("typecheck %s: %v", next[0].path, lastErr)
+		}
+		remaining = next
+	}
+}
+
+var (
+	wantRE  = regexp.MustCompile(`//\s*want\s+(.*)$`)
+	quoteRE = regexp.MustCompile("`([^`]*)`|\"((?:[^\"\\\\]|\\\\.)*)\"")
+)
+
+type lineKey struct {
+	file string
+	line int
+}
+
+func compare(t *testing.T, fset *token.FileSet, fixtures []*fixturePkg, got []driver.Diag) {
+	t.Helper()
+	wants := make(map[lineKey][]*regexp.Regexp)
+	for _, fp := range fixtures {
+		for _, f := range fp.files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					m := wantRE.FindStringSubmatch(c.Text)
+					if m == nil {
+						continue
+					}
+					posn := fset.Position(c.Pos())
+					k := lineKey{posn.Filename, posn.Line}
+					for _, q := range quoteRE.FindAllStringSubmatch(m[1], -1) {
+						pat := q[1]
+						if pat == "" {
+							pat = q[2]
+						}
+						re, err := regexp.Compile(pat)
+						if err != nil {
+							t.Fatalf("%s: bad want pattern %q: %v", posn, pat, err)
+						}
+						wants[k] = append(wants[k], re)
+					}
+				}
+			}
+		}
+	}
+
+	for _, d := range got {
+		k := lineKey{d.Posn.Filename, d.Posn.Line}
+		matched := false
+		for i, re := range wants[k] {
+			if re.MatchString(d.Message) {
+				wants[k] = append(wants[k][:i], wants[k][i+1:]...)
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("unexpected diagnostic at %s: %s", d.Posn, d.Message)
+		}
+	}
+	for k, res := range wants {
+		for _, re := range res {
+			t.Errorf("%s:%d: expected diagnostic matching %q, got none", k.file, k.line, re)
+		}
+	}
+}

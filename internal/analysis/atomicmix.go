@@ -1,0 +1,268 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// AtomicMix flags variables accessed through old-style sync/atomic
+// calls (atomic.AddInt64(&x, …)) that are *also* read or written
+// plainly.
+//
+// The typed atomics (atomic.Int64 et al.) make this mistake
+// impossible: the value is unexported inside the struct and every
+// access goes through a method. But old-style call-based atomics leave
+// the variable addressable and ordinary-looking, and the compiler says
+// nothing when one path uses atomic.LoadInt64 and another reads the
+// variable directly. That exact bug shipped in the PR 9 load
+// generator: per-slot timestamps written with atomic stores in the
+// sender goroutine and read plainly in the reporter — a data race the
+// race detector only catches when the interleaving cooperates.
+//
+// The rule: once any access to a variable (or field, or slice element
+// set) is via a sync/atomic function, every access must be — except in
+// recognizably single-threaded contexts:
+//
+//   - construction and teardown functions (New*/Init*/Reset*/Close*/
+//     Clear*/Stop*/Drain* and init), where the value is not yet or no
+//     longer shared;
+//   - code lexically after a mutex Lock/RLock call in the same
+//     function body (the coarse "mutex-held region" the hot path uses
+//     for slow-path state);
+//   - composite-literal field initialization;
+//   - //repolint:ok atomicmix suppressions with a justification.
+//
+// For slice/array element targets (atomic.LoadInt64(&ts[i])) only
+// *element* accesses (ts[j]) are checked; header uses (len(ts), range
+// for the index, passing the slice) do not touch element memory.
+//
+// Mixing is detected per package. The analyzer deliberately skips
+// _test.go files: tests routinely read counters plainly after
+// goroutines are joined, and the race detector already covers them.
+var AtomicMix = &Analyzer{
+	Name: "atomicmix",
+	Doc:  "variables accessed via sync/atomic functions must never also be accessed plainly",
+	Run:  runAtomicMix,
+}
+
+// atomicFuncs are the sync/atomic package-level functions whose first
+// argument is the address of the target word.
+var atomicFuncs = map[string]bool{
+	"AddInt32": true, "AddInt64": true, "AddUint32": true, "AddUint64": true, "AddUintptr": true,
+	"LoadInt32": true, "LoadInt64": true, "LoadUint32": true, "LoadUint64": true, "LoadUintptr": true, "LoadPointer": true,
+	"StoreInt32": true, "StoreInt64": true, "StoreUint32": true, "StoreUint64": true, "StoreUintptr": true, "StorePointer": true,
+	"SwapInt32": true, "SwapInt64": true, "SwapUint32": true, "SwapUint64": true, "SwapUintptr": true, "SwapPointer": true,
+	"CompareAndSwapInt32": true, "CompareAndSwapInt64": true, "CompareAndSwapUint32": true,
+	"CompareAndSwapUint64": true, "CompareAndSwapUintptr": true, "CompareAndSwapPointer": true,
+}
+
+const (
+	modeScalar  = iota // &x or &s.f: every use of the object is an access
+	modeElement        // &xs[i]: only index-expression uses touch element memory
+)
+
+type atomicTarget struct {
+	mode        int
+	firstAtomic token.Pos // first atomic access, for the diagnostic
+}
+
+func runAtomicMix(pass *Pass) error {
+	targets := make(map[types.Object]*atomicTarget)
+	var atomicCalls []*ast.CallExpr
+
+	// Pass 1: find old-style atomic accesses and resolve their targets.
+	for _, file := range pass.Files {
+		if isTestFile(pass, file) {
+			continue
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || len(call.Args) == 0 {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+			if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "sync/atomic" || !atomicFuncs[fn.Name()] {
+				return true
+			}
+			obj, mode := atomicArgTarget(pass, call.Args[0])
+			if obj == nil {
+				return true
+			}
+			atomicCalls = append(atomicCalls, call)
+			if t, seen := targets[obj]; !seen {
+				targets[obj] = &atomicTarget{mode: mode, firstAtomic: call.Pos()}
+			} else if mode == modeScalar {
+				t.mode = modeScalar // scalar evidence dominates
+			}
+			return true
+		})
+	}
+	if len(targets) == 0 {
+		return nil
+	}
+
+	insideAtomicCall := func(pos token.Pos) bool {
+		for _, c := range atomicCalls {
+			if c.Pos() <= pos && pos <= c.End() {
+				return true
+			}
+		}
+		return false
+	}
+
+	// Pass 2: find plain accesses of the targets.
+	for _, file := range pass.Files {
+		if isTestFile(pass, file) {
+			continue
+		}
+		var stack []ast.Node
+		ast.Inspect(file, func(n ast.Node) bool {
+			if n == nil {
+				stack = stack[:len(stack)-1]
+				return true
+			}
+			stack = append(stack, n)
+			id, ok := n.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			obj := pass.TypesInfo.Uses[id]
+			if obj == nil {
+				return true
+			}
+			t, ok := targets[obj]
+			if !ok {
+				return true
+			}
+			if insideAtomicCall(id.Pos()) {
+				return true
+			}
+			if t.mode == modeElement && !underIndexExpr(stack, id) {
+				return true // header use of the slice: len, range, pass-through
+			}
+			if isCompositeLitKey(stack, id) {
+				return true // construction
+			}
+			if fd := enclosingFunc(pass.Files, id.Pos()); fd != nil {
+				if singleThreadedFunc(fd.Name.Name) {
+					return true
+				}
+				if mutexHeldBefore(pass, fd, id.Pos()) {
+					return true
+				}
+			}
+			pass.Reportf(id.Pos(),
+				"%s is accessed with sync/atomic at %s but plainly here; every access to an atomically-used word must go through sync/atomic (or move this one under the owning mutex / into an Init-Reset-Close path)",
+				id.Name, pass.Fset.Position(t.firstAtomic))
+			return true
+		})
+	}
+	return nil
+}
+
+// atomicArgTarget resolves the &X first argument of an atomic call to
+// the object whose memory is accessed, plus the access mode.
+func atomicArgTarget(pass *Pass, arg ast.Expr) (types.Object, int) {
+	un, ok := arg.(*ast.UnaryExpr)
+	if !ok || un.Op != token.AND {
+		return nil, 0 // an already-computed *T: out of scope
+	}
+	x := un.X
+	mode := modeScalar
+	if idx, ok := x.(*ast.IndexExpr); ok {
+		x = idx.X
+		mode = modeElement
+	}
+	switch e := x.(type) {
+	case *ast.Ident:
+		return pass.TypesInfo.Uses[e], mode
+	case *ast.SelectorExpr:
+		// Field access: the target is the field object, so every other
+		// selection of the same field (on any instance) is checked.
+		if sel, ok := pass.TypesInfo.Selections[e]; ok {
+			return sel.Obj(), mode
+		}
+		return pass.TypesInfo.Uses[e.Sel], mode
+	}
+	return nil, 0
+}
+
+// underIndexExpr reports whether id is (part of) the base of an index
+// expression — i.e., the use touches element memory.
+func underIndexExpr(stack []ast.Node, id *ast.Ident) bool {
+	var child ast.Node = id
+	for i := len(stack) - 2; i >= 0; i-- {
+		switch p := stack[i].(type) {
+		case *ast.IndexExpr:
+			if p.X == child {
+				return true
+			}
+			return false
+		case *ast.SelectorExpr, *ast.ParenExpr:
+			child = stack[i]
+		default:
+			return false
+		}
+	}
+	return false
+}
+
+// isCompositeLitKey reports whether id is the key of a struct
+// composite-literal element (initialization, not access).
+func isCompositeLitKey(stack []ast.Node, id *ast.Ident) bool {
+	if len(stack) < 3 {
+		return false
+	}
+	kv, ok := stack[len(stack)-2].(*ast.KeyValueExpr)
+	if !ok || kv.Key != id {
+		return false
+	}
+	_, inLit := stack[len(stack)-3].(*ast.CompositeLit)
+	return inLit
+}
+
+// singleThreadedFunc matches construction/teardown function names where
+// the value is not yet, or no longer, shared.
+func singleThreadedFunc(name string) bool {
+	lower := strings.ToLower(name)
+	for _, p := range []string{"new", "init", "reset", "close", "clear", "stop", "drain"} {
+		if strings.HasPrefix(lower, p) {
+			return true
+		}
+	}
+	return false
+}
+
+// mutexHeldBefore reports whether fd's body contains a mutex
+// Lock/RLock call lexically before pos — the coarse approximation of
+// "this plain access is under the owning lock".
+func mutexHeldBefore(pass *Pass, fd *ast.FuncDecl, pos token.Pos) bool {
+	held := false
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if held {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() >= pos {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		if sel.Sel.Name != "Lock" && sel.Sel.Name != "RLock" {
+			return true
+		}
+		if fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func); ok && fn.Pkg() != nil && fn.Pkg().Path() == "sync" {
+			held = true
+		}
+		return true
+	})
+	return held
+}

@@ -1,0 +1,159 @@
+package driver
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/build"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+
+	"repro/internal/analysis"
+)
+
+// vetConfig mirrors the JSON config cmd/go hands a -vettool per
+// package (the unitchecker protocol). Field names must match.
+type vetConfig struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoVersion                 string
+	GoFiles                   []string
+	NonGoFiles                []string
+	IgnoredFiles              []string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	Standard                  map[string]bool
+	ModulePath                string
+	ModuleVersion             string
+	SucceedOnTypecheckFailure bool
+	VetxOnly                  bool
+	VetxOutput                string
+	PackageVetx               map[string]string
+}
+
+// PrintVersion implements the -V=full handshake: cmd/go uses the
+// output (which must embed a content hash of the tool binary) as the
+// vet cache key, so edits to repolint invalidate cached results.
+func PrintVersion(w io.Writer) error {
+	exe, err := os.Executable()
+	if err != nil {
+		return err
+	}
+	f, err := os.Open(exe)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	h := sha256.New()
+	if _, err := io.Copy(h, f); err != nil {
+		return err
+	}
+	_, err = fmt.Fprintf(w, "%s version devel comments-go-here buildID=%02x\n", exe, h.Sum(nil))
+	return err
+}
+
+// PrintFlags implements the -flags handshake: a JSON list of flags the
+// tool accepts. Repolint takes none from cmd/go.
+func PrintFlags(w io.Writer) {
+	fmt.Fprintln(w, "[]")
+}
+
+// VetTool runs the suite over the single package described by cfgPath
+// and returns the process exit code (0 clean, 1 findings or errors).
+// Diagnostics and errors go to stderr, as cmd/go expects.
+func VetTool(cfgPath string, analyzers []*analysis.Analyzer) int {
+	cfg, err := readVetConfig(cfgPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	// cmd/go requires the facts file to exist even though repolint
+	// records no facts; write it first so every exit path below is
+	// covered.
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, nil, 0o666); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+	}
+	if cfg.VetxOnly {
+		return 0 // dependency run: facts only, no diagnostics wanted
+	}
+
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, name := range cfg.GoFiles {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments)
+		if err != nil {
+			if cfg.SucceedOnTypecheckFailure {
+				return 0
+			}
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+		files = append(files, f)
+	}
+
+	lookup := func(path string) (io.ReadCloser, error) {
+		canonical := path
+		if m, ok := cfg.ImportMap[path]; ok {
+			canonical = m
+		}
+		file, ok := cfg.PackageFile[canonical]
+		if !ok || file == "" {
+			return nil, fmt.Errorf("no package file for %q", canonical)
+		}
+		return os.Open(file)
+	}
+	compiler := cfg.Compiler
+	if compiler == "" {
+		compiler = "gc"
+	}
+	sizes := types.SizesFor(compiler, build.Default.GOARCH)
+	conf := &types.Config{
+		Importer:  importer.ForCompiler(fset, compiler, lookup),
+		Sizes:     sizes,
+		GoVersion: cfg.GoVersion,
+		Error:     func(error) {},
+	}
+	info := NewInfo()
+	pkg, err := conf.Check(cfg.ImportPath, fset, files, info)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			// The compiler proper reports the error; vet stays quiet.
+			return 0
+		}
+		fmt.Fprintf(os.Stderr, "%s: typecheck: %v\n", cfg.ImportPath, err)
+		return 1
+	}
+
+	diags, _, err := Analyze(fset, files, pkg, info, sizes, analyzers)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	Print(os.Stderr, diags)
+	if len(diags) > 0 {
+		return 1
+	}
+	return 0
+}
+
+func readVetConfig(path string) (*vetConfig, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	cfg := new(vetConfig)
+	if err := json.Unmarshal(data, cfg); err != nil {
+		return nil, fmt.Errorf("%s: %v", path, err)
+	}
+	return cfg, nil
+}

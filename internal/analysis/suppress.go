@@ -1,0 +1,85 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// Suppressions indexes //repolint:ok comments so a driver can filter
+// diagnostics. A suppression covers the line it sits on and the line
+// directly below it (so it can trail the offending expression or sit
+// alone above a long one):
+//
+//	j := pool.GetShared(lane) //repolint:ok pooledescape — handed to caller via map
+//
+//	//repolint:ok falseshare — single-writer publication group
+//	type cell struct { ... }
+type Suppressions struct {
+	// byLine maps filename -> line -> analyzer names suppressed there.
+	byLine map[string]map[int][]string
+}
+
+// suppressMarker introduces a suppression comment. The analyzer list
+// follows, comma-separated; everything after whitespace is the
+// justification.
+const suppressMarker = "repolint:ok"
+
+// NewSuppressions scans every comment of files.
+func NewSuppressions(fset *token.FileSet, files []*ast.File) *Suppressions {
+	s := &Suppressions{byLine: make(map[string]map[int][]string)}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimPrefix(strings.TrimPrefix(c.Text, "//"), "/*")
+				text = strings.TrimSpace(text)
+				if !strings.HasPrefix(text, suppressMarker) {
+					continue
+				}
+				rest := strings.TrimSpace(strings.TrimPrefix(text, suppressMarker))
+				// The analyzer list ends at the first whitespace; the
+				// rest is the (strongly encouraged) justification.
+				names := rest
+				if i := strings.IndexAny(rest, " \t—-"); i >= 0 {
+					names = rest[:i]
+				}
+				if names == "" {
+					continue
+				}
+				posn := fset.Position(c.Pos())
+				m := s.byLine[posn.Filename]
+				if m == nil {
+					m = make(map[int][]string)
+					s.byLine[posn.Filename] = m
+				}
+				for _, n := range strings.Split(names, ",") {
+					if n = strings.TrimSpace(n); n != "" {
+						m[posn.Line] = append(m[posn.Line], n)
+					}
+				}
+			}
+		}
+	}
+	return s
+}
+
+// Suppressed reports whether a diagnostic from analyzer name at pos is
+// covered by a suppression comment (same line, or the line above).
+func (s *Suppressions) Suppressed(fset *token.FileSet, name string, pos token.Pos) bool {
+	if s == nil || !pos.IsValid() {
+		return false
+	}
+	posn := fset.Position(pos)
+	m := s.byLine[posn.Filename]
+	if m == nil {
+		return false
+	}
+	for _, line := range []int{posn.Line, posn.Line - 1} {
+		for _, n := range m[line] {
+			if n == name || n == "all" {
+				return true
+			}
+		}
+	}
+	return false
+}

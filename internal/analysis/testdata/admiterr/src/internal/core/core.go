@@ -1,0 +1,40 @@
+// Fixture for admiterr rule 1: dynamic errors in admission-path
+// functions of the core package. go vet has no opinion on any of this.
+package core
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Package-level sentinel declarations are the one legal errors.New site.
+var (
+	ErrBacklogFull = errors.New("backlog full")
+	ErrInvalid     = errors.New("invalid submission")
+)
+
+func SubmitCtx(n int) error {
+	if n < 0 {
+		return errors.New("negative count") // want `errors.New in admission function SubmitCtx`
+	}
+	if n == 0 {
+		return fmt.Errorf("zero of %d", n) // want `does not wrap a sentinel`
+	}
+	if n > 100 {
+		return fmt.Errorf("%w: count %d out of range", ErrInvalid, n)
+	}
+	return ErrBacklogFull
+}
+
+func submitLocked(n int) error {
+	return errors.New("locked") // want `errors.New in admission function submitLocked`
+}
+
+// helper is not an admission function; its dynamic error is fine.
+func helper(n int) error {
+	return fmt.Errorf("helper %d", n)
+}
+
+func admitOne() error {
+	return fmt.Errorf("%w: rejected", ErrInvalid) //repolint:ok admiterr — exercising the suppression path
+}

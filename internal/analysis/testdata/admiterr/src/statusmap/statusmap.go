@@ -1,0 +1,59 @@
+// Fixture for admiterr rules 2 and 3: error→status mapping coverage
+// and defaultless switches over a closed enum.
+package statusmap
+
+import (
+	"errors"
+
+	"wire"
+)
+
+var (
+	ErrFull = errors.New("full")
+	ErrShed = errors.New("shed")
+)
+
+// statusFor draws on this package's sentinels but forgets ErrShed, and
+// never produces StatusShed: rule 2 reports both gaps.
+func statusFor(err error) wire.Status { // want `never produces StatusShed` `but not statusmap.ErrShed`
+	if errors.Is(err, ErrFull) {
+		return wire.StatusFull
+	}
+	return wire.StatusInvalid
+}
+
+// statusForAll covers every sentinel and every non-exempt status.
+func statusForAll(err error) wire.Status {
+	switch {
+	case errors.Is(err, ErrFull):
+		return wire.StatusFull
+	case errors.Is(err, ErrShed):
+		return wire.StatusShed
+	}
+	return wire.StatusInvalid
+}
+
+// describe switches over the closed enum without a default: rule 3
+// requires every constant.
+func describe(s wire.Status) string {
+	switch s { // want `missing StatusInvalid, StatusOK, StatusShed`
+	case wire.StatusFull:
+		return "full"
+	}
+	return ""
+}
+
+// describeSome opted into partial handling with a default: no finding.
+func describeSome(s wire.Status) string {
+	switch s {
+	case wire.StatusOK:
+		return "ok"
+	default:
+		return "other"
+	}
+}
+
+var _ = statusFor
+var _ = statusForAll
+var _ = describe
+var _ = describeSome

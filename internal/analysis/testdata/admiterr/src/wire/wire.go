@@ -1,0 +1,38 @@
+// Fixture dependency for admiterr rules 2 and 3: a closed status enum
+// in the wire.Status idiom — the unexported num terminator is what
+// marks the enum closed.
+package wire
+
+// Status is one result status.
+type Status uint8
+
+// The wire statuses.
+const (
+	StatusOK Status = iota
+	StatusFull
+	StatusShed
+	StatusInvalid
+
+	numStatus
+)
+
+// String is a defaultless switch over the closed enum: rule 3 holds it
+// exhaustive, and it is.
+func (s Status) String() string {
+	switch s {
+	case StatusOK:
+		return "ok"
+	case StatusFull:
+		return "full"
+	case StatusShed:
+		return "shed"
+	case StatusInvalid:
+		return "invalid"
+	}
+	return "unknown"
+}
+
+// Valid keeps numStatus referenced the way the real codec does.
+func (s Status) Valid() bool {
+	return s < numStatus
+}

@@ -1,0 +1,62 @@
+// Fixture for the atomicmix analyzer: old-style sync/atomic calls
+// mixed with plain access. The race detector only catches these when
+// an interleaving cooperates; the analyzer catches them statically.
+package a
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+type counters struct {
+	hits  int64
+	total int64
+	mu    sync.Mutex
+	slow  int64
+}
+
+func (c *counters) add() {
+	atomic.AddInt64(&c.hits, 1)
+}
+
+func (c *counters) report() int64 {
+	return c.hits // want `accessed with sync/atomic`
+}
+
+func (c *counters) bump() {
+	c.total++ // total is never touched atomically: no finding
+}
+
+func (c *counters) slowAdd() {
+	atomic.AddInt64(&c.slow, 1)
+}
+
+func (c *counters) flushLocked() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.slow // under the owning mutex: no finding
+}
+
+func newCounters() *counters {
+	c := &counters{total: 0}
+	c.hits = 0 // constructor: the value is not shared yet
+	return c
+}
+
+var stamps = make([]int64, 8)
+
+func mark(i int) {
+	atomic.StoreInt64(&stamps[i], 1)
+}
+
+func scan() int64 {
+	var sum int64
+	for i := range stamps { // header use: no finding
+		sum += stamps[i] // want `accessed with sync/atomic`
+	}
+	return sum
+}
+
+func (c *counters) estimate() int64 {
+	return c.hits //repolint:ok atomicmix — monotonic racy read for logging only
+}

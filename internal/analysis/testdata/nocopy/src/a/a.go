@@ -1,0 +1,57 @@
+// Fixture for the nocopy analyzer: same-package marker detection.
+package a
+
+// tracker owns a recycled buffer slot and is move-only
+// (repolint:nocopy). It carries no mutex and no atomic, so go vet's
+// copylocks never flags a copy of it.
+type tracker struct {
+	n int
+}
+
+// plain is copyable: no findings anywhere below.
+type plain struct {
+	n int
+}
+
+func value(t tracker) int { // want `parameter of move-only type tracker`
+	return t.n
+}
+
+func (t tracker) read() int { // want `value receiver of move-only type tracker`
+	return t.n
+}
+
+func pointerOK(t *tracker) int {
+	return t.n
+}
+
+func produce() tracker { // want `result of move-only type tracker`
+	return tracker{}
+}
+
+func copies() int {
+	var t tracker
+	u := t // want `assignment of move-only type tracker`
+	p := &t
+	v := *p // want `assignment of move-only type tracker`
+	ts := []tracker{{n: 1}}
+	sum := 0
+	for _, e := range ts { // want `range value copies move-only type tracker`
+		sum += e.n
+	}
+	take(t) // want `argument copies move-only type tracker`
+	fresh := tracker{n: 2}
+	var pl plain
+	pc := pl
+	return u.n + v.n + sum + fresh.n + pc.n
+}
+
+func take(v any) {
+	_ = v
+}
+
+func quiet() int {
+	var t tracker
+	s := t //repolint:ok nocopy — quiescent snapshot for the suppression test
+	return s.n
+}

@@ -1,0 +1,20 @@
+// Fixture for the nocopy analyzer: copies of registry types made from
+// an importing package, where the declaring file's marker comment is
+// not part of the analyzed syntax.
+package b
+
+import "internal/wire"
+
+func snapshot(e *wire.Encoder) int {
+	c := *e // want `assignment of move-only type Encoder`
+	return len(c.Buf)
+}
+
+func borrow(e wire.Encoder) int { // want `parameter of move-only type Encoder`
+	return len(e.Buf)
+}
+
+func fine() int {
+	e := wire.NewEncoder()
+	return len(e.Buf)
+}

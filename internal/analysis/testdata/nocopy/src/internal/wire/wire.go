@@ -1,0 +1,14 @@
+// Fixture dependency for the nocopy cross-package registry test: the
+// path suffix internal/wire plus the type name Encoder put this type in
+// NoCopyTypes even though the marker comment is invisible to importers.
+package wire
+
+// Encoder owns a recycled buffer.
+type Encoder struct {
+	Buf []byte
+}
+
+// NewEncoder hands out a fresh encoder.
+func NewEncoder() *Encoder {
+	return &Encoder{}
+}

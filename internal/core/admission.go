@@ -40,6 +40,18 @@ var (
 	// admitted — already past at submit, or reached while waiting for
 	// queue space.
 	ErrDeadlineExceeded = errors.New("core: submission deadline exceeded before admission")
+	// ErrNotServing is returned by SubmitCtx when the team has no serving
+	// worker set — Serve was never called, or the previous Serve has
+	// fully wound down.
+	ErrNotServing = errors.New("core: team is not serving; call Serve first")
+	// ErrInvalid is the sentinel every malformed-submission error wraps
+	// (nil function, class out of range, negative tenant weight), so
+	// callers can branch with one errors.Is and the wire edge maps the
+	// whole family to one status.
+	ErrInvalid = errors.New("core: invalid submission")
+	// ErrNilFunc is returned by SubmitCtx for a nil task function. It
+	// wraps ErrInvalid.
+	ErrNilFunc = fmt.Errorf("%w: nil task function", ErrInvalid)
 )
 
 // SubmitOpts qualifies one submission.
@@ -91,22 +103,24 @@ func (tm *Team) Submit(fn TaskFunc) (*Job, error) {
 // promptly when ctx is cancelled or the deadline arrives. The error is
 // typed: ctx.Err() on cancellation, ErrDeadlineExceeded on an expired
 // deadline, ErrBacklogFull on a non-blocking rejection, ErrShed when the
-// policy dropped the job, ErrClosed once Close has begun. Like Submit it
-// must be called from outside the team's task bodies.
+// policy dropped the job, ErrClosed once Close has begun, ErrNotServing
+// before Serve, and errors wrapping ErrInvalid for a malformed
+// submission (nil fn, class out of range, negative tenant weight). Like
+// Submit it must be called from outside the team's task bodies.
 func (tm *Team) SubmitCtx(ctx context.Context, fn TaskFunc, opts SubmitOpts) (*Job, error) {
 	svc := tm.svc.Load()
 	if svc == nil {
-		return nil, errors.New("core: team is not serving; call Serve first")
+		return nil, ErrNotServing
 	}
 	if fn == nil {
-		return nil, errors.New("core: Submit(nil)")
+		return nil, ErrNilFunc
 	}
 	class := opts.Priority
 	if class < 0 || class >= load.NumClasses {
-		return nil, fmt.Errorf("core: priority class %d outside [0, %d)", class, load.NumClasses)
+		return nil, fmt.Errorf("%w: priority class %d outside [0, %d)", ErrInvalid, class, load.NumClasses)
 	}
 	if opts.Tenant.Weight < 0 {
-		return nil, fmt.Errorf("core: negative tenant weight %g", opts.Tenant.Weight)
+		return nil, fmt.Errorf("%w: negative tenant weight %g", ErrInvalid, opts.Tenant.Weight)
 	}
 	if ctx == nil {
 		ctx = context.Background()

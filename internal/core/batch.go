@@ -2,7 +2,6 @@ package core
 
 import (
 	"context"
-	"errors"
 	"fmt"
 	"time"
 
@@ -67,7 +66,7 @@ func (tm *Team) SubmitBatch(fns []TaskFunc) ([]BatchResult, error) {
 func (tm *Team) SubmitBatchCtx(ctx context.Context, items []BatchItem) ([]BatchResult, error) {
 	svc := tm.svc.Load()
 	if svc == nil {
-		return nil, errors.New("core: team is not serving; call Serve first")
+		return nil, ErrNotServing
 	}
 	if len(items) == 0 {
 		return nil, nil
@@ -94,15 +93,15 @@ func (tm *Team) SubmitBatchCtx(ctx context.Context, items []BatchItem) ([]BatchR
 		it := &items[i]
 		class := it.Opts.Priority
 		if it.Fn == nil {
-			res[i].Err = errors.New("core: Submit(nil)")
+			res[i].Err = ErrNilFunc
 			continue
 		}
 		if class < 0 || class >= load.NumClasses {
-			res[i].Err = fmt.Errorf("core: priority class %d outside [0, %d)", class, load.NumClasses)
+			res[i].Err = fmt.Errorf("%w: priority class %d outside [0, %d)", ErrInvalid, class, load.NumClasses)
 			continue
 		}
 		if it.Opts.Tenant.Weight < 0 {
-			res[i].Err = fmt.Errorf("core: negative tenant weight %g", it.Opts.Tenant.Weight)
+			res[i].Err = fmt.Errorf("%w: negative tenant weight %g", ErrInvalid, it.Opts.Tenant.Weight)
 			continue
 		}
 		if ctxErr != nil {

@@ -33,6 +33,10 @@ import (
 	"sync/atomic"
 )
 
+// CacheLine is the coherence granularity the padded layouts in this
+// package assume (64 B on every amd64/arm64 part the paper targets).
+const CacheLine = 64
+
 // slot is one ring entry. seq encodes the slot's state: pos means free
 // for the producer claiming position pos, pos+1 means occupied for the
 // consumer claiming it, pos+capacity means freed for the producer one
@@ -43,7 +47,8 @@ type slot[T any] struct {
 }
 
 // Ring is the bounded lock-free MPMC intake queue. The zero value is not
-// usable; construct with New.
+// usable; construct with New. Ring is move-only (repolint:nocopy): a
+// copy would alias the slot array under detached cursors.
 type Ring[T any] struct {
 	mask  uint64
 	bound uint64
@@ -190,8 +195,14 @@ func (r *Ring[T]) TryDequeue() (T, bool) {
 // the retry and the block closes exactly the loaded channel and cannot
 // be lost. Wake is a no-op single atomic load while nobody waits, which
 // keeps it free on the consumer fast path.
+//
+// Gate is move-only (repolint:nocopy): a copy would broadcast on a
+// stale channel. waiters sits alone on its cache line because every
+// consumer-side Wake loads it — an unpadded counter would drag the
+// producer-side mu/ch writes into those reads' line (falseshare).
 type Gate struct {
 	waiters atomic.Int32
+	_       [CacheLine - 4]byte
 	mu      sync.Mutex
 	ch      chan struct{}
 }
@@ -231,8 +242,13 @@ func (g *Gate) Wake() {
 // on its token channel; a producer that enqueued work rings the bell,
 // which pops one sleeper and hands it a token. While nobody sleeps —
 // the loaded steady state — Ring is one atomic load and no lock.
+//
+// Bell is move-only (repolint:nocopy). sleepers is padded for the same
+// reason as Gate.waiters: it is loaded on every producer Ring call and
+// must not share a line with the registry the sleepers mutate.
 type Bell struct {
 	sleepers atomic.Int32
+	_        [CacheLine - 4]byte
 	mu       sync.Mutex
 	ids      []int
 	tokens   []chan struct{}

@@ -400,6 +400,9 @@ func (s *Server) bodyFor(r *wire.SubmitRecord) xomp.TaskFunc {
 }
 
 // statusFor maps the submit path's typed errors onto wire statuses.
+// repolint's admiterr analyzer holds this exhaustive: every xomp
+// sentinel and every non-exempt status must appear, so adding a
+// sentinel without a wire mapping fails the lint, not the client.
 func statusFor(err error) wire.Status {
 	switch {
 	case errors.Is(err, xomp.ErrBacklogFull):
@@ -408,10 +411,16 @@ func statusFor(err error) wire.Status {
 		return wire.StatusShed
 	case errors.Is(err, xomp.ErrDeadlineExceeded):
 		return wire.StatusExpired
-	case errors.Is(err, xomp.ErrClosed):
+	case errors.Is(err, xomp.ErrClosed), errors.Is(err, xomp.ErrNotServing):
+		// A pool that is not serving is indistinguishable from a closed
+		// one to a remote client: stop submitting here.
 		return wire.StatusClosed
 	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
 		return wire.StatusCanceled
+	case errors.Is(err, xomp.ErrNilFunc), errors.Is(err, xomp.ErrInvalid):
+		// ErrNilFunc wraps ErrInvalid; it is listed so the mapping reads
+		// as the complete sentinel vocabulary.
+		return wire.StatusInvalid
 	}
 	return wire.StatusInvalid
 }

@@ -90,6 +90,12 @@ func (s Signals) Load() float64 {
 // atomic float bits, and any reader snapshots them without a lock.
 // Individual fields are internally consistent; a snapshot may mix fields
 // from two adjacent publications, which is harmless for load signals.
+//
+// Cell is move-only (repolint:nocopy): a copy is a torn, detached
+// snapshot masquerading as a live slot. It is also a packed publication
+// group for the falseshare analyzer — all-atomic, single line — so the
+// invariant checked is its element size (64 B exactly), not per-field
+// isolation.
 type Cell struct {
 	queueDepth atomic.Uint64
 	running    atomic.Uint64
@@ -126,7 +132,8 @@ func (c *Cell) Snapshot() Signals {
 }
 
 // Plane is a fixed array of cells, one per entity (the workers of a team,
-// or the shards of a pool).
+// or the shards of a pool). Plane is move-only (repolint:nocopy): a copy
+// aliases the cell array while detaching the header.
 type Plane struct {
 	cells []Cell
 }

@@ -186,7 +186,8 @@ type ResultRecord struct {
 // Encoder appends frames to an internal recycled buffer and writes the
 // whole buffer with one Flush — the writer side's coalescing point: a
 // burst of result batches costs one syscall. Encoders are not safe for
-// concurrent use.
+// concurrent use and are move-only (repolint:nocopy): a copy duplicates
+// the recycled buffer and both owners would return it to the pool.
 type Encoder struct {
 	w    io.Writer
 	pool *alloc.BufPool
@@ -299,7 +300,8 @@ func (e *Encoder) Close() {
 
 // Decoder reads frames from an io.Reader into recycled buffers and
 // parses them into reused record slices. Decoders are not safe for
-// concurrent use.
+// concurrent use and are move-only (repolint:nocopy) for the same
+// reason as Encoder: copies double-free the recycled buffers.
 type Decoder struct {
 	r       io.Reader
 	pool    *alloc.BufPool

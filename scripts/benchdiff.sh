@@ -32,6 +32,16 @@
 set -eu
 cd "$(dirname "$0")/.."
 
+# Preflight: the repolint invariant suite (falseshare, nocopy,
+# pooledescape, admiterr, atomicmix) must be clean before any numbers
+# are collected — a benchmark of a hot path that violates its own
+# concurrency invariants measures the wrong program. Hard fail.
+echo "benchdiff: repolint preflight"
+if ! go run ./cmd/repolint ./...; then
+	echo "benchdiff: repolint found invariant violations; fix them before benchmarking" >&2
+	exit 1
+fi
+
 benchtime="${BENCHTIME:-1x}"
 pattern="${BENCHPATTERN:-BenchmarkPoolThroughput\$|BenchmarkElasticShardedPool\$|BenchmarkPolicyPhase\$}"
 admit_pattern="${ADMITPATTERN:-BenchmarkAdmissionSaturation\$}"

@@ -184,12 +184,18 @@ func ValidPolicyName(name string) bool { return core.ValidPolicyName(name) }
 func PolicyDLB(name string, zones int) (DLBConfig, bool) { return core.PolicyDLB(name, zones) }
 
 // Admission errors of SubmitCtx: a full class queue under a non-blocking
-// policy, a submission deadline expired before admission, and a
-// policy-shed submission. Cancelled contexts surface as ctx.Err().
+// policy, a submission deadline expired before admission, a policy-shed
+// submission, a pool that is not serving, and the ErrInvalid family for
+// malformed submissions (ErrNilFunc wraps ErrInvalid, as do the
+// class-range and tenant-weight errors). Cancelled contexts surface as
+// ctx.Err().
 var (
 	ErrBacklogFull      = core.ErrBacklogFull
 	ErrShed             = core.ErrShed
 	ErrDeadlineExceeded = core.ErrDeadlineExceeded
+	ErrNotServing       = core.ErrNotServing
+	ErrInvalid          = core.ErrInvalid
+	ErrNilFunc          = core.ErrNilFunc
 )
 
 // SubmitOpts qualifies one SubmitCtx submission: a priority class, an
